@@ -1,0 +1,122 @@
+"""Ablations on the concurrent insertion DP (pruning, MOES weights, segmentation).
+
+These regenerate the design decisions discussed in Section III-C:
+
+* per-side inferior-solution pruning with and without resource diversity,
+* the beam width bounding the per-node candidate count,
+* the MOES weight sensitivity (alpha, beta, gamma),
+* the trunk-edge segmentation length.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+from repro.flow import CtsConfig, DoubleSideCTS
+from repro.insertion.moes import MoesWeights
+
+from benchmarks.conftest import publish
+
+BENCH_ID = "C4"
+
+
+def _run(pdk, design, config):
+    result = DoubleSideCTS(pdk, config).run(design)
+    return {
+        "latency_ps": round(result.metrics.latency, 2),
+        "skew_ps": round(result.metrics.skew, 2),
+        "buffers": result.metrics.buffers,
+        "ntsvs": result.metrics.ntsvs,
+        "runtime_s": round(result.runtime, 3),
+    }
+
+
+def test_ablation_pruning_strategies(benchmark, pdk, designs, results_dir):
+    design = designs[BENCH_ID]
+
+    def build():
+        rows = []
+        for diversity in (False, True):
+            for beam in (4, 16, 64):
+                config = CtsConfig(
+                    keep_resource_diversity=diversity, max_candidates_per_side=beam
+                )
+                row = _run(pdk, design, config)
+                row.update({"resource_diversity": diversity, "beam_width": beam})
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    columns = ["resource_diversity", "beam_width", "latency_ps", "skew_ps",
+               "buffers", "ntsvs", "runtime_s"]
+    publish(results_dir, "ablation_pruning", format_table(rows, columns=columns))
+    assert len(rows) == 6
+
+
+def test_ablation_moes_weights(benchmark, pdk, designs, results_dir):
+    design = designs[BENCH_ID]
+    weight_sets = [
+        ("paper (1,10,1)", MoesWeights(1.0, 10.0, 1.0)),
+        ("latency only", MoesWeights(1.0, 0.0, 0.0)),
+        ("resource heavy", MoesWeights(1.0, 50.0, 10.0)),
+        ("ntsv averse", MoesWeights(1.0, 10.0, 50.0)),
+    ]
+
+    def build():
+        rows = []
+        for label, weights in weight_sets:
+            config = CtsConfig(moes_weights=weights)
+            row = _run(pdk, design, config)
+            row["weights"] = label
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    columns = ["weights", "latency_ps", "skew_ps", "buffers", "ntsvs", "runtime_s"]
+    publish(results_dir, "ablation_moes_weights", format_table(rows, columns=columns))
+
+    latency_only = next(r for r in rows if r["weights"] == "latency only")
+    ntsv_averse = next(r for r in rows if r["weights"] == "ntsv averse")
+    assert latency_only["latency_ps"] <= ntsv_averse["latency_ps"] + 1e-6
+    assert ntsv_averse["ntsvs"] <= latency_only["ntsvs"]
+
+
+def test_ablation_segmentation_length(benchmark, pdk, designs, results_dir):
+    design = designs[BENCH_ID]
+
+    def build():
+        rows = []
+        for segment in (None, 400.0, 200.0, 100.0, 50.0):
+            config = CtsConfig(max_segment_length=segment)
+            row = _run(pdk, design, config)
+            row["max_segment_um"] = segment if segment is not None else "unsegmented"
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    columns = ["max_segment_um", "latency_ps", "skew_ps", "buffers", "ntsvs", "runtime_s"]
+    publish(results_dir, "ablation_segmentation", format_table(rows, columns=columns))
+    assert len(rows) == 5
+
+
+def test_ablation_skew_refinement_strategy(benchmark, pdk, designs, results_dir):
+    design = designs[BENCH_ID]
+
+    def build():
+        rows = []
+        for strategy, enabled in (("pad_fast", True), ("shield_slow", True), ("disabled", False)):
+            config = CtsConfig(
+                skew_strategy=strategy if enabled else "pad_fast",
+                enable_skew_refinement=enabled,
+            )
+            row = _run(pdk, design, config)
+            row["strategy"] = strategy if enabled else "disabled"
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    columns = ["strategy", "latency_ps", "skew_ps", "buffers", "ntsvs", "runtime_s"]
+    publish(results_dir, "ablation_skew_strategy", format_table(rows, columns=columns))
+
+    disabled = next(r for r in rows if r["strategy"] == "disabled")
+    pad_fast = next(r for r in rows if r["strategy"] == "pad_fast")
+    assert pad_fast["skew_ps"] <= disabled["skew_ps"] + 1e-6

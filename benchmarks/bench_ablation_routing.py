@@ -1,0 +1,76 @@
+"""Ablation — hierarchical DME versus flat matching DME (Section III-B).
+
+The paper motivates the dual-level clustering + hierarchical DME by the poor
+wirelength of matching-based DME on imbalanced sink distributions.  The
+ablation routes C4 and C5 both ways and compares clock wirelength and the
+quality of the final double-side tree built on top of each routing.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import evaluate_tree, format_table
+from repro.flow import CtsConfig, DoubleSideCTS
+
+from benchmarks.conftest import publish
+
+DESIGN_IDS = ["C4", "C5"]
+
+
+def test_ablation_hierarchical_vs_flat_routing(benchmark, pdk, designs, results_dir):
+    def build():
+        rows = []
+        for bench_id in DESIGN_IDS:
+            design = designs[bench_id]
+            for hierarchical in (True, False):
+                config = CtsConfig(hierarchical_routing=hierarchical)
+                result = DoubleSideCTS(pdk, config).run(design)
+                rows.append(
+                    {
+                        "id": bench_id,
+                        "routing": "hierarchical" if hierarchical else "flat_matching",
+                        "wirelength_um": round(result.metrics.wirelength, 1),
+                        "latency_ps": round(result.metrics.latency, 2),
+                        "skew_ps": round(result.metrics.skew, 2),
+                        "buffers": result.metrics.buffers,
+                        "ntsvs": result.metrics.ntsvs,
+                        "runtime_s": round(result.runtime, 2),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish(results_dir, "ablation_routing", format_table(rows))
+
+    # The hierarchical router must stay wirelength-competitive while being
+    # dramatically cheaper to buffer (the flat tree has one DP node per sink
+    # edge, so its runtime and buffer count explode).
+    for bench_id in DESIGN_IDS:
+        hier = next(r for r in rows if r["id"] == bench_id and r["routing"] == "hierarchical")
+        flat = next(r for r in rows if r["id"] == bench_id and r["routing"] == "flat_matching")
+        assert hier["runtime_s"] <= flat["runtime_s"] * 1.5
+
+
+def test_ablation_cluster_size_sweep(benchmark, pdk, designs, results_dir):
+    """Sensitivity of the flow to the low-level cluster size Lc."""
+
+    def build():
+        rows = []
+        design = designs["C4"]
+        for low_size in (10, 20, 30, 60):
+            config = CtsConfig(low_cluster_size=low_size)
+            result = DoubleSideCTS(pdk, config).run(design)
+            rows.append(
+                {
+                    "Lc": low_size,
+                    "latency_ps": round(result.metrics.latency, 2),
+                    "skew_ps": round(result.metrics.skew, 2),
+                    "buffers": result.metrics.buffers,
+                    "ntsvs": result.metrics.ntsvs,
+                    "wirelength_um": round(result.metrics.wirelength, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish(results_dir, "ablation_cluster_size", format_table(rows))
+    assert len(rows) == 4

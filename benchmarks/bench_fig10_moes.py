@@ -1,0 +1,121 @@
+"""Fig. 10 — effectiveness of the MOES on C3 (ethmac).
+
+The figure plots the root candidate solutions of the concurrent insertion DP
+(latency / #buffers / #nTSVs) for the double-side flow ("Ours") and for the
+single-side buffered tree, and marks the solution selected with the MOES and
+the one selected by pure minimum latency.  The paper's observation: the two
+selections diverge strongly in the double-side scenario (the enlarged design
+space keeps many buffer/nTSV combinations alive) while they nearly coincide
+in the single-side scenario.
+
+To expose the full candidate distribution the DP is run here with the
+resource-diversity pruning variant (dominated-but-cheaper candidates are kept
+alongside the (cap, delay) staircase); the production default collapses the
+root set more aggressively, which is one of the ablations in
+``bench_ablation_dp.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_table
+from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.insertion.moes import MoesWeights, select_by_moes, select_min_latency
+
+from benchmarks.conftest import publish
+
+BENCH_ID = "C3"
+
+#: Fig. 10 plots the raw candidate distribution: keep the diverse root set.
+FIG10_CONFIG = CtsConfig(keep_resource_diversity=True, max_candidates_per_side=32)
+
+
+@pytest.fixture(scope="module")
+def fig10_runs(pdk, designs):
+    design = designs[BENCH_ID]
+    double = DoubleSideCTS(pdk, FIG10_CONFIG).run(design)
+    single = SingleSideCTS(pdk, FIG10_CONFIG).run(design)
+    return double, single
+
+
+def _candidate_rows(candidates, tag):
+    rows = []
+    for cand in sorted(candidates, key=lambda c: c.max_delay):
+        rows.append(
+            {
+                "scenario": tag,
+                "latency_ps": round(cand.max_delay, 2),
+                "buffers": cand.buffer_count,
+                "ntsvs": cand.ntsv_count,
+                "moes": round(MoesWeights().score(cand), 1),
+            }
+        )
+    return rows
+
+
+def test_fig10_double_side_candidates(benchmark, fig10_runs, results_dir):
+    double, _single = fig10_runs
+    candidates = benchmark.pedantic(
+        lambda: double.insertion.root_candidates, rounds=1, iterations=1
+    )
+    with_moes = select_by_moes(candidates)
+    without_moes = select_min_latency(candidates)
+    rows = _candidate_rows(candidates, "double_side")
+    rows.append(
+        {"scenario": "best w/ MOES", "latency_ps": round(with_moes.max_delay, 2),
+         "buffers": with_moes.buffer_count, "ntsvs": with_moes.ntsv_count,
+         "moes": round(MoesWeights().score(with_moes), 1)}
+    )
+    rows.append(
+        {"scenario": "best w/o MOES", "latency_ps": round(without_moes.max_delay, 2),
+         "buffers": without_moes.buffer_count, "ntsvs": without_moes.ntsv_count,
+         "moes": round(MoesWeights().score(without_moes), 1)}
+    )
+    publish(results_dir, "fig10_double_side", format_table(rows))
+    # The min-latency selection never has larger latency than the MOES one,
+    # and the MOES selection never has a larger score.
+    assert without_moes.max_delay <= with_moes.max_delay + 1e-9
+    assert MoesWeights().score(with_moes) <= MoesWeights().score(without_moes) + 1e-9
+
+
+def test_fig10_single_side_candidates(benchmark, fig10_runs, results_dir):
+    _double, single = fig10_runs
+    candidates = benchmark.pedantic(
+        lambda: single.insertion.root_candidates, rounds=1, iterations=1
+    )
+    rows = _candidate_rows(candidates, "single_side")
+    publish(results_dir, "fig10_single_side", format_table(rows))
+    # Single-side candidates contain no nTSVs at all.
+    assert all(c.ntsv_count == 0 for c in candidates)
+
+
+def test_fig10_selection_gap_comparison(benchmark, fig10_runs, results_dir):
+    """Quantify the double-side vs single-side selection gap (the figure's point)."""
+    double, single = fig10_runs
+
+    def build():
+        rows = []
+        for tag, cands in (
+            ("double_side", double.insertion.root_candidates),
+            ("single_side", single.insertion.root_candidates),
+        ):
+            moes_pick = select_by_moes(cands)
+            fast_pick = select_min_latency(cands)
+            rows.append(
+                {
+                    "scenario": tag,
+                    "candidates": len(cands),
+                    "latency_gap_ps": round(moes_pick.max_delay - fast_pick.max_delay, 2),
+                    "ntsv_gap": moes_pick.ntsv_count - fast_pick.ntsv_count,
+                    "buffer_gap": moes_pick.buffer_count - fast_pick.buffer_count,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish(results_dir, "fig10_selection_gap", format_table(rows))
+    double_row = next(r for r in rows if r["scenario"] == "double_side")
+    single_row = next(r for r in rows if r["scenario"] == "single_side")
+    # The double-side design space keeps many more combinations alive.
+    assert double_row["candidates"] >= single_row["candidates"]

@@ -1,0 +1,45 @@
+"""Fig. 11 — effectiveness of skew refinement on C1..C5.
+
+The figure shows, per design, latency / skew / #buffers with and without the
+skew refinement (SR) step.  The expected shape: skew drops (or at worst stays
+equal), latency is unchanged, and the buffer increase is negligible.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+
+from benchmarks.conftest import publish
+
+DESIGN_IDS = ["C1", "C2", "C3", "C4", "C5"]
+
+
+def test_fig11_skew_refinement(benchmark, flow_cache, results_dir):
+    def build():
+        rows = []
+        for bench_id in DESIGN_IDS:
+            run = flow_cache.ours(bench_id)
+            before = run.metrics_without_refinement
+            after = run.metrics
+            rows.append(
+                {
+                    "id": bench_id,
+                    "latency_wo_sr": round(before.latency, 2),
+                    "latency_w_sr": round(after.latency, 2),
+                    "skew_wo_sr": round(before.skew, 2),
+                    "skew_w_sr": round(after.skew, 2),
+                    "buffers_wo_sr": before.buffers,
+                    "buffers_w_sr": after.buffers,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish(results_dir, "fig11_skew_refinement", format_table(rows))
+
+    for row in rows:
+        # Skew never degrades and latency never increases (Fig. 11 shape).
+        assert row["skew_w_sr"] <= row["skew_wo_sr"] + 1e-6
+        assert row["latency_w_sr"] <= row["latency_wo_sr"] + 1e-6
+        # The buffer overhead stays bounded by the refinement budget (m = 33).
+        assert row["buffers_w_sr"] - row["buffers_wo_sr"] <= 33

@@ -1,0 +1,60 @@
+"""Fig. 8 — the adaptive scale factor t as a function of N/10,000.
+
+Regenerates the curve of Fig. 8 (t = 0.1 for small designs, falling linearly
+to 0.06 at N = 10,000) and the resulting refined end-point budgets for the
+Table II designs.
+"""
+
+from __future__ import annotations
+
+from repro.designs import BENCHMARK_SPECS
+from repro.evaluation import format_table
+from repro.refinement import adaptive_scale_factor, refined_endpoint_count
+
+from benchmarks.conftest import publish
+
+
+def test_fig8_curve(benchmark, results_dir):
+    """The t ~ N/10,000 curve sampled across the plotted range."""
+
+    def build():
+        rows = []
+        for n in range(0, 15_001, 1_000):
+            rows.append(
+                {
+                    "N": n,
+                    "N/10000": round(n / 10_000.0, 2),
+                    "t": round(adaptive_scale_factor(n), 4),
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    publish(results_dir, "fig8_adaptive_factor", format_table(rows))
+    # Shape: flat at 0.1, then decreasing, flat at 0.06.
+    values = [row["t"] for row in rows]
+    assert values[0] == 0.1
+    assert values[-1] == 0.06
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_fig8_endpoint_budget_per_design(benchmark, results_dir):
+    """The n = min(N*t, m) budget for the paper's benchmark sizes."""
+
+    def build():
+        rows = []
+        for bench_id, spec in BENCHMARK_SPECS.items():
+            rows.append(
+                {
+                    "id": bench_id,
+                    "design": spec.name,
+                    "sinks": spec.ff_count,
+                    "t": round(adaptive_scale_factor(spec.ff_count), 4),
+                    "refined_endpoints": refined_endpoint_count(spec.ff_count),
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    publish(results_dir, "fig8_endpoint_budgets", format_table(rows))
+    assert all(row["refined_endpoints"] <= 33 for row in rows)

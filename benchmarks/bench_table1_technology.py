@@ -1,0 +1,80 @@
+"""Table I — layer resistances and capacitances (and delay-model throughput).
+
+Regenerates the technology table of the paper and benchmarks the Elmore
+delay evaluation that every other experiment rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_table
+from repro.tech import TABLE_I_LAYERS, MetalStack, Side
+from repro.timing import ElmoreTimingEngine
+
+from benchmarks.conftest import publish
+
+
+#: The exact values printed in Table I of the paper.
+PAPER_TABLE_I = {
+    "M1": (0.138890, 0.11368),
+    "M2": (0.024222, 0.13426),
+    "M3": (0.024222, 0.12918),
+    "M4": (0.016778, 0.11396),
+    "M5": (0.014677, 0.13323),
+    "M6": (0.010371, 0.11575),
+    "M7": (0.009672, 0.13293),
+    "M8": (0.007431, 0.11822),
+    "M9": (0.006874, 0.13497),
+    "BM1": (0.000384, 0.116264),
+    "BM2": (0.000384, 0.116264),
+    "BM3": (0.000384, 0.116264),
+}
+
+
+def test_table1_layer_parasitics(benchmark, results_dir):
+    stack = MetalStack.table_i()
+    rows = benchmark(stack.as_table)
+    for row in rows:
+        res, cap = PAPER_TABLE_I[row["layer"]]
+        assert row["unit_resistance_kohm_per_um"] == pytest.approx(res)
+        assert row["unit_capacitance_ff_per_um"] == pytest.approx(cap)
+    publish(results_dir, "table1_technology", format_table(rows))
+
+
+def test_table1_delay_model_throughput(benchmark, pdk):
+    """Throughput of the wire-delay primitive (front + back evaluation)."""
+    engine = ElmoreTimingEngine(pdk)
+
+    def evaluate():
+        total = 0.0
+        for length in range(1, 200):
+            total += engine.wire_delay(float(length), Side.FRONT, 10.0)
+            total += engine.wire_delay(float(length), Side.BACK, 10.0)
+        return total
+
+    total = benchmark(evaluate)
+    assert total > 0
+
+
+def test_table1_backside_advantage(benchmark, results_dir):
+    """The motivating numbers: back-side wires are ~60x less resistive."""
+    m3 = next(l for l in TABLE_I_LAYERS if l.name == "M3")
+    bm1 = next(l for l in TABLE_I_LAYERS if l.name == "BM1")
+    benchmark(lambda: bm1.wire_delay(100.0, 30.0))
+    rows = [
+        {
+            "metric": "unit resistance ratio M3/BM1",
+            "value": round(m3.unit_resistance / bm1.unit_resistance, 2),
+        },
+        {
+            "metric": "100um wire delay, 30fF load, M3 (ps)",
+            "value": round(m3.wire_delay(100.0, 30.0), 3),
+        },
+        {
+            "metric": "100um wire delay, 30fF load, BM1 (ps)",
+            "value": round(bm1.wire_delay(100.0, 30.0), 3),
+        },
+    ]
+    publish(results_dir, "table1_backside_advantage", format_table(rows))
+    assert m3.unit_resistance / bm1.unit_resistance > 50

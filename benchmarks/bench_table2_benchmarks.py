@@ -1,0 +1,48 @@
+"""Table II — benchmark statistics (and generation throughput)."""
+
+from __future__ import annotations
+
+from repro.designs import BENCHMARK_SPECS, load_design, table_ii_rows
+from repro.evaluation import format_table
+
+from benchmarks.conftest import bench_scale, publish
+
+
+def test_table2_statistics(benchmark, results_dir, designs):
+    """Reproduce Table II from the generated designs."""
+    benchmark.pedantic(lambda: designs["C4"].statistics(), rounds=1, iterations=1)
+    rows = []
+    for bench_id, design in designs.items():
+        spec = BENCHMARK_SPECS[bench_id]
+        stats = design.statistics()
+        rows.append(
+            {
+                "id": bench_id,
+                "design": spec.name,
+                "#cells(paper)": spec.cell_count,
+                "#ffs(paper)": spec.ff_count,
+                "util(paper)": spec.utilization,
+                "#ffs(generated)": stats["ffs"],
+                "die_um": f"{stats['die_width_um']}x{stats['die_height_um']}",
+            }
+        )
+    publish(results_dir, "table2_benchmarks", format_table(rows))
+    if bench_scale() == 1.0:
+        for row in rows:
+            assert row["#ffs(generated)"] == row["#ffs(paper)"]
+
+
+def test_table2_reference_rows(benchmark, results_dir):
+    """The paper's raw Table II rows as data."""
+    rows = benchmark(table_ii_rows)
+    publish(results_dir, "table2_reference", format_table(rows))
+
+
+def test_table2_generation_runtime(benchmark):
+    """Benchmark synthetic placement generation for the median-size design."""
+    design = benchmark.pedantic(
+        lambda: load_design("C5", scale=bench_scale(), include_combinational=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert design.flip_flop_count > 0

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+printed to stdout (run pytest with ``-s`` to see them live) and also written
+to ``benchmarks/results/*.txt`` so that EXPERIMENTS.md can reference them.
+
+The full Table II design sizes are used by default.  Set the environment
+variable ``REPRO_BENCH_SCALE`` (e.g. ``0.2``) to shrink every design
+proportionally when a quick smoke run is needed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.designs import benchmark_suite
+from repro.tech import asap7_backside
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Benchmark design scale factor (1.0 = the paper's design sizes)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def pdk():
+    return asap7_backside()
+
+
+@pytest.fixture(scope="session")
+def designs():
+    """The C1..C5 suite at the configured scale (clock sinks only)."""
+    return benchmark_suite(scale=bench_scale(), include_combinational=False)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def flow_cache(pdk, designs):
+    """Lazily runs and memoises every flow the benchmarks compare."""
+    from benchmarks.flow_cache import FlowCache
+
+    return FlowCache(pdk=pdk, designs=designs)
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

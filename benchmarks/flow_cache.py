@@ -1,0 +1,165 @@
+"""Lazy, cached execution of every flow the benchmarks compare.
+
+Several benchmarks (Table III top/bottom, Fig. 10, Fig. 11) need the same
+flow runs on the same designs; this cache runs each (design, flow) pair once
+per pytest session and hands out the resulting metrics and trees.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.baselines import (
+    FanoutBacksideOptimizer,
+    OpenRoadLikeCTS,
+    TimingCriticalBacksideOptimizer,
+    VelosoBacksideOptimizer,
+)
+from repro.clocktree import ClockTree
+from repro.evaluation import ClockTreeMetrics, evaluate_tree
+from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig
+from repro.netlist.design import Design
+from repro.refinement import SkewRefiner
+from repro.routing.hierarchical import HierarchicalClockRouter
+from repro.tech.pdk import Pdk
+
+
+@dataclass
+class OursRun:
+    """The paper's flow with intermediate snapshots for the figure benches."""
+
+    tree: ClockTree
+    metrics: ClockTreeMetrics
+    metrics_without_refinement: ClockTreeMetrics
+    root_candidates: list
+    selected: object
+    runtime: float
+
+
+@dataclass
+class FlowCache:
+    """Runs flows lazily and memoises the results per benchmark design."""
+
+    pdk: Pdk
+    designs: dict[str, Design]
+    config: CtsConfig = field(default_factory=CtsConfig)
+    _cache: dict[tuple[str, str], object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- our flows
+    def ours(self, bench_id: str, selection: str = "moes") -> OursRun:
+        """Hierarchical routing + concurrent insertion + skew refinement."""
+        key = (bench_id, f"ours_{selection}")
+        if key not in self._cache:
+            design = self.designs[bench_id]
+            config = self.config.with_updates(selection=selection)
+            start = time.perf_counter()
+            clock_net = design.require_clock_net()
+            router = HierarchicalClockRouter(
+                self.pdk,
+                high_cluster_size=config.high_cluster_size,
+                low_cluster_size=config.low_cluster_size,
+                seed=config.seed,
+            )
+            routing = router.route(clock_net)
+            inserter = ConcurrentInserter(
+                self.pdk,
+                InsertionConfig(
+                    weights=config.moes_weights,
+                    selection=config.selection,
+                    max_segment_length=config.max_segment_length,
+                    keep_resource_diversity=config.keep_resource_diversity,
+                    max_candidates_per_side=config.max_candidates_per_side,
+                ),
+            )
+            insertion = inserter.run(routing.tree)
+            without_sr = evaluate_tree(
+                routing.tree, self.pdk, design=design.name, flow="ours_no_sr"
+            )
+            SkewRefiner(
+                self.pdk,
+                skew_trigger_fraction=config.skew_trigger_fraction,
+                max_endpoints=config.max_refined_endpoints,
+                strategy=config.skew_strategy,
+            ).refine(routing.tree)
+            runtime = time.perf_counter() - start
+            metrics = evaluate_tree(
+                routing.tree, self.pdk, design=design.name, flow="ours", runtime=runtime
+            )
+            self._cache[key] = OursRun(
+                tree=routing.tree,
+                metrics=metrics,
+                metrics_without_refinement=without_sr,
+                root_candidates=insertion.root_candidates,
+                selected=insertion.selected,
+                runtime=runtime,
+            )
+        return self._cache[key]
+
+    def single(self, bench_id: str):
+        """Our buffered clock tree (front side only)."""
+        key = (bench_id, "single")
+        if key not in self._cache:
+            self._cache[key] = SingleSideCTS(self.pdk, self.config).run(
+                self.designs[bench_id]
+            )
+        return self._cache[key]
+
+    # ------------------------------------------------------------- baselines
+    def openroad(self, bench_id: str):
+        key = (bench_id, "openroad")
+        if key not in self._cache:
+            self._cache[key] = OpenRoadLikeCTS(self.pdk).run(self.designs[bench_id])
+        return self._cache[key]
+
+    def openroad_veloso(self, bench_id: str):
+        key = (bench_id, "openroad_veloso")
+        if key not in self._cache:
+            base = self.openroad(bench_id)
+            run = VelosoBacksideOptimizer(self.pdk).run(
+                base.tree, design_name=self.designs[bench_id].name
+            )
+            self._cache[key] = self._with_total_runtime(run, base.metrics.runtime)
+        return self._cache[key]
+
+    def single_veloso(self, bench_id: str):
+        key = (bench_id, "single_veloso")
+        if key not in self._cache:
+            base = self.single(bench_id)
+            run = VelosoBacksideOptimizer(self.pdk).run(
+                base.tree, design_name=self.designs[bench_id].name
+            )
+            self._cache[key] = self._with_total_runtime(run, base.metrics.runtime)
+        return self._cache[key]
+
+    def single_fanout(self, bench_id: str, fanout_threshold: int = 100):
+        key = (bench_id, f"single_fanout_{fanout_threshold}")
+        if key not in self._cache:
+            base = self.single(bench_id)
+            run = FanoutBacksideOptimizer(
+                self.pdk, fanout_threshold=fanout_threshold
+            ).run(base.tree, design_name=self.designs[bench_id].name)
+            self._cache[key] = self._with_total_runtime(run, base.metrics.runtime)
+        return self._cache[key]
+
+    def single_critical(self, bench_id: str, critical_fraction: float = 0.5):
+        key = (bench_id, f"single_critical_{critical_fraction}")
+        if key not in self._cache:
+            base = self.single(bench_id)
+            run = TimingCriticalBacksideOptimizer(
+                self.pdk, critical_fraction=critical_fraction
+            ).run(base.tree, design_name=self.designs[bench_id].name)
+            self._cache[key] = self._with_total_runtime(run, base.metrics.runtime)
+        return self._cache[key]
+
+    @staticmethod
+    def _with_total_runtime(run, base_runtime: float):
+        """Report the incremental flows' runtime as CTS + post-CTS flipping.
+
+        The paper's RT column for "X + [2]" covers the whole incremental
+        flow, i.e. generating the buffered clock tree plus the back-side
+        optimisation, so the substrate's runtime is added here.
+        """
+        run.metrics = replace(run.metrics, runtime=run.metrics.runtime + base_runtime)
+        return run

@@ -1,0 +1,68 @@
+"""repro — multi-objective double-side clock tree synthesis.
+
+A from-scratch Python reproduction of "A Systematic Approach for
+Multi-objective Double-side Clock Tree Synthesis" (DAC 2025): hierarchical
+clock routing, concurrent buffer and nTSV insertion by multi-objective
+dynamic programming, skew refinement, design-space exploration, and the
+baselines the paper compares against.
+
+Quick start::
+
+    from repro import asap7_backside, load_design, DoubleSideCTS
+
+    pdk = asap7_backside()
+    design = load_design("C4", scale=0.25)   # a scaled-down riscv32i
+    result = DoubleSideCTS(pdk).run(design)
+    print(result.metrics.as_row())
+"""
+
+from repro.tech import asap7_backside, Pdk, Side
+from repro.tech.pdk import asap7_frontside
+from repro.netlist import Design, ClockNet, ClockSink, ClockSource
+from repro.designs import load_design, benchmark_suite, BENCHMARK_SPECS
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.dse import DesignSpaceExplorer
+from repro.evaluation import ClockTreeMetrics, evaluate_tree, ComparisonTable
+from repro.baselines import (
+    OpenRoadLikeCTS,
+    VelosoBacksideOptimizer,
+    FanoutBacksideOptimizer,
+    TimingCriticalBacksideOptimizer,
+    PdnAwareBacksideOptimizer,
+)
+from repro.visualization import render_tree_svg, render_scatter_svg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "asap7_backside",
+    "asap7_frontside",
+    "Pdk",
+    "Side",
+    "Design",
+    "ClockNet",
+    "ClockSink",
+    "ClockSource",
+    "load_design",
+    "benchmark_suite",
+    "BENCHMARK_SPECS",
+    "ClockTree",
+    "ClockTreeNode",
+    "NodeKind",
+    "CtsConfig",
+    "DoubleSideCTS",
+    "SingleSideCTS",
+    "DesignSpaceExplorer",
+    "ClockTreeMetrics",
+    "evaluate_tree",
+    "ComparisonTable",
+    "OpenRoadLikeCTS",
+    "VelosoBacksideOptimizer",
+    "FanoutBacksideOptimizer",
+    "TimingCriticalBacksideOptimizer",
+    "PdnAwareBacksideOptimizer",
+    "render_tree_svg",
+    "render_scatter_svg",
+    "__version__",
+]

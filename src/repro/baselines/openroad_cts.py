@@ -1,0 +1,228 @@
+"""An OpenROAD/TritonCTS-style single-side buffered CTS baseline.
+
+OpenROAD's TritonCTS builds clock trees by (i) grouping sinks into leaf
+clusters, (ii) constructing a balanced geometric topology over the cluster
+centres, and (iii) inserting buffers level by level so that no driver exceeds
+its load limit.  This module reimplements that recipe from scratch (no DME
+balancing, no back-side awareness), which is the comparison point used by the
+"OpenROAD Buffered Clock Tree" columns of Table III.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.clustering.kmeans import KMeans
+from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
+from repro.geometry import Point
+from repro.netlist.clock import ClockNet
+from repro.netlist.design import Design
+from repro.routing.topology import TopologyNode, balanced_bipartition_topology
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+from repro.timing import ElmoreTimingEngine
+
+
+@dataclass(frozen=True)
+class OpenRoadCtsConfig:
+    """Tunables of the OpenROAD-like baseline.
+
+    Attributes:
+        leaf_cluster_size: sinks per leaf cluster (TritonCTS sink grouping).
+        buffer_distance: a buffer is inserted on any trunk edge longer than
+            this (um), emulating TritonCTS's fixed buffer distance.
+        buffer_every_level: insert a buffer at every branching level of the
+            topology (TritonCTS drives every level of its H-tree).
+        seed: clustering seed.
+    """
+
+    leaf_cluster_size: int = 30
+    buffer_distance: float = 110.0
+    buffer_every_level: int = 2
+    seed: int = 7
+
+
+@dataclass
+class OpenRoadCtsResult:
+    """Result of the OpenROAD-like baseline run."""
+
+    design_name: str
+    tree: ClockTree
+    metrics: ClockTreeMetrics
+    runtime: float
+
+
+class OpenRoadLikeCTS:
+    """Cluster + geometric-bisection + per-level buffering CTS."""
+
+    flow_name = "openroad_buffered_tree"
+
+    def __init__(self, pdk: Pdk, config: OpenRoadCtsConfig | None = None) -> None:
+        # The baseline is single-side by construction.
+        self.pdk = pdk.front_side_only() if pdk.has_backside else pdk
+        self.config = config if config is not None else OpenRoadCtsConfig()
+
+    # ----------------------------------------------------------------- public
+    def run(self, design: Design | ClockNet, design_name: str | None = None) -> OpenRoadCtsResult:
+        """Build the buffered single-side clock tree for ``design``."""
+        if isinstance(design, Design):
+            clock_net = design.require_clock_net()
+            name = design_name or design.name
+        else:
+            clock_net = design
+            name = design_name or design.name
+        start = time.perf_counter()
+        tree = self._build_tree(clock_net)
+        runtime = time.perf_counter() - start
+        tree.validate()
+        metrics = evaluate_tree(
+            tree, self.pdk, design=name, flow=self.flow_name, runtime=runtime
+        )
+        return OpenRoadCtsResult(design_name=name, tree=tree, metrics=metrics, runtime=runtime)
+
+    # --------------------------------------------------------------- internals
+    def _build_tree(self, clock_net: ClockNet) -> ClockTree:
+        clusters = self._cluster_sinks(clock_net)
+        root = ClockTreeNode(
+            name="clkroot",
+            kind=NodeKind.ROOT,
+            location=clock_net.source.location,
+            side=Side.FRONT,
+        )
+        tree = ClockTree(root, name=clock_net.name)
+        centroids = [c[0] for c in clusters]
+        topology = balanced_bipartition_topology(centroids)
+        top = self._materialise(tree, root, topology, clusters, level=0)
+        self._buffer_long_edges(tree)
+        self._buffer_taps(tree)
+        del top
+        return tree
+
+    def _cluster_sinks(self, clock_net: ClockNet):
+        from repro.clustering.dual_level import split_by_capacitance
+
+        sinks = clock_net.sinks
+        count = max(1, int(np.ceil(len(sinks) / self.config.leaf_cluster_size)))
+        if count == 1:
+            centroid = Point(
+                float(np.mean([s.location.x for s in sinks])),
+                float(np.mean([s.location.y for s in sinks])),
+            )
+            clusters = [(centroid, list(sinks))]
+        else:
+            points = np.array([[s.location.x, s.location.y] for s in sinks])
+            result = KMeans(
+                n_clusters=count,
+                seed=self.config.seed,
+                max_cluster_size=self.config.leaf_cluster_size + 2,
+            ).fit(points)
+            clusters = []
+            for cluster in range(result.cluster_count):
+                members_idx = result.members(cluster)
+                if len(members_idx) == 0:
+                    continue
+                members = [sinks[i] for i in members_idx]
+                centroid = Point(
+                    float(np.mean([m.location.x for m in members])),
+                    float(np.mean([m.location.y for m in members])),
+                )
+                clusters.append((centroid, members))
+        # TritonCTS splits sink groups that would overload their driver.
+        return split_by_capacitance(
+            clusters,
+            max_capacitance=0.9 * self.pdk.max_capacitance,
+            unit_wire_capacitance=self.pdk.front_layer.unit_capacitance,
+            seed=self.config.seed,
+        )
+
+    def _materialise(
+        self,
+        tree: ClockTree,
+        parent: ClockTreeNode,
+        topology: TopologyNode,
+        clusters,
+        level: int,
+    ) -> ClockTreeNode:
+        if topology.is_leaf:
+            centroid, members = clusters[topology.terminal_index]
+            tap = ClockTreeNode(
+                name=tree.new_name("tap"),
+                kind=NodeKind.TAP,
+                location=centroid,
+                side=Side.FRONT,
+                wire_side=Side.FRONT,
+            )
+            parent.add_child(tap)
+            for sink in members:
+                tap.add_child(
+                    ClockTreeNode(
+                        name=sink.name,
+                        kind=NodeKind.SINK,
+                        location=sink.location,
+                        capacitance=sink.capacitance,
+                        side=Side.FRONT,
+                        wire_side=Side.FRONT,
+                    )
+                )
+            return tap
+        steiner = ClockTreeNode(
+            name=tree.new_name("st"),
+            kind=NodeKind.STEINER,
+            location=topology.location_hint,
+            side=Side.FRONT,
+            wire_side=Side.FRONT,
+        )
+        parent.add_child(steiner)
+        for child in topology.children:
+            self._materialise(tree, steiner, child, clusters, level + 1)
+        # Buffer every N levels of the topology (drives the branch below).
+        if self.config.buffer_every_level > 0 and level % self.config.buffer_every_level == 0:
+            tree.add_buffer(
+                steiner, steiner.location, self.pdk.buffer.input_capacitance
+            )
+        return steiner
+
+    def _buffer_long_edges(self, tree: ClockTree) -> None:
+        """Chain buffers along trunk edges longer than the buffer distance."""
+        from repro.geometry.point import point_toward
+
+        distance = self.config.buffer_distance
+        trunk_children = [
+            node for node in tree.nodes() if node.parent is not None and not node.is_sink
+        ]
+        for child in trunk_children:
+            length = child.edge_length()
+            count = int(length // distance)
+            if count < 1:
+                continue
+            parent = child.parent
+            for i in range(count, 0, -1):
+                location = point_toward(
+                    child.location, parent.location, length * i / (count + 1)
+                )
+                tree.add_buffer(child, location, self.pdk.buffer.input_capacitance)
+
+    def _buffer_taps(self, tree: ClockTree) -> None:
+        """Give every leaf cluster its own driving buffer (TritonCTS leaf level)."""
+        engine = ElmoreTimingEngine(self.pdk)
+        del engine  # the load check is implicit: one buffer per tap
+        for tap in [n for n in tree.nodes() if n.kind is NodeKind.TAP]:
+            sink_children = [c for c in tap.children if c.is_sink]
+            if not sink_children:
+                continue
+            buffer_node = ClockTreeNode(
+                name=tree.new_name("leafbuf"),
+                kind=NodeKind.BUFFER,
+                location=tap.location,
+                side=Side.FRONT,
+                capacitance=self.pdk.buffer.input_capacitance,
+                wire_side=Side.FRONT,
+            )
+            tap.add_child(buffer_node)
+            for sink in sink_children:
+                sink.detach()
+                buffer_node.add_child(sink)

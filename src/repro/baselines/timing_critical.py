@@ -1,0 +1,69 @@
+"""Baseline [6] (Bethur et al., DAC 2024): criticality-driven flipping.
+
+The original work trains a graph neural network to identify the flip-flops
+with the worst timing and flips the nets feeding their leaf buffers to the
+back side.  The GNN only acts as a selector, so this reproduction replaces it
+with a delay-criticality oracle: end-points (taps / leaf buffers) are ranked
+by their worst sink arrival time and the top ``critical_fraction`` of them is
+selected (0.5 in Table III, swept 0.2..0.9 in Fig. 12).  Every trunk edge on
+the root-to-end-point path of a selected end-point is flipped.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.backside import trunk_edges
+from repro.baselines.veloso import BacksideOptimizerBase
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.timing import ElmoreTimingEngine
+
+
+class TimingCriticalBacksideOptimizer(BacksideOptimizerBase):
+    """[6]: flip the trunk paths feeding the most critical end-points."""
+
+    flow_name = "bethur_gnn_2024"
+
+    def __init__(self, pdk, critical_fraction: float = 0.5) -> None:
+        super().__init__(pdk)
+        if not 0 < critical_fraction <= 1:
+            raise ValueError("the critical fraction must be in (0, 1]")
+        self.critical_fraction = critical_fraction
+
+    # ------------------------------------------------------------------ logic
+    def select_edges(self, tree: ClockTree) -> list[ClockTreeNode]:
+        endpoints = self._rank_endpoints(tree)
+        if not endpoints:
+            return []
+        count = max(1, int(round(len(endpoints) * self.critical_fraction)))
+        critical = endpoints[:count]
+        allowed = {id(child) for child in trunk_edges(tree)}
+        selected: dict[int, ClockTreeNode] = {}
+        for endpoint in critical:
+            node = endpoint
+            while node is not None and node.parent is not None:
+                if id(node) in allowed:
+                    selected[id(node)] = node
+                node = node.parent
+        return list(selected.values())
+
+    def _rank_endpoints(self, tree: ClockTree) -> list[ClockTreeNode]:
+        """End-points ordered from most to least timing critical."""
+        engine = ElmoreTimingEngine(self.pdk)
+        timing = engine.analyze(tree, with_slew=False)
+        endpoints = [n for n in tree.nodes() if n.kind is NodeKind.TAP]
+        if not endpoints:
+            endpoints = [
+                parent
+                for parent in {id(s.parent): s.parent for s in tree.sinks()}.values()
+                if parent is not None and parent.kind is not NodeKind.ROOT
+            ]
+        scored = []
+        for endpoint in endpoints:
+            arrivals = [
+                timing.arrivals[node.name]
+                for node in endpoint.iter_subtree()
+                if node.is_sink and node.name in timing.arrivals
+            ]
+            if arrivals:
+                scored.append((max(arrivals), endpoint))
+        scored.sort(key=lambda item: item[0], reverse=True)
+        return [endpoint for _score, endpoint in scored]

@@ -1,0 +1,79 @@
+"""Baseline [2] (Veloso et al., IEDM 2023): latency-driven trunk flipping.
+
+The method moves *every* trunk-level net of an existing buffered clock tree
+to the back side (Fig. 2(b) of the paper), inserting nTSVs around the
+front-side buffer pins and at the boundary to the leaf nets.  It maximises
+the latency benefit of the low-RC back-side metal at the cost of the largest
+nTSV count among the baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines.backside import BacksideAssignment, assign_backside, trunk_edges
+from repro.clocktree import ClockTree, ClockTreeNode
+from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
+from repro.tech.pdk import Pdk
+
+
+@dataclass
+class BacksideOptimizationResult:
+    """Result shared by all post-CTS back-side optimizers."""
+
+    design_name: str
+    flow_name: str
+    tree: ClockTree
+    assignment: BacksideAssignment
+    metrics: ClockTreeMetrics
+    runtime: float
+
+
+class BacksideOptimizerBase:
+    """Shared driver: copy the tree, select edges, assign, evaluate."""
+
+    flow_name = "backside_base"
+
+    def __init__(self, pdk: Pdk) -> None:
+        if not pdk.has_backside:
+            raise ValueError("back-side optimisation needs a back-side enabled PDK")
+        self.pdk = pdk
+
+    def select_edges(self, tree: ClockTree) -> list[ClockTreeNode]:
+        """Return the downstream nodes of the edges to flip (overridden)."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        tree: ClockTree,
+        design_name: str = "",
+        copy: bool = True,
+    ) -> BacksideOptimizationResult:
+        """Apply the method to ``tree`` (on a copy by default) and evaluate."""
+        start = time.perf_counter()
+        work_tree = tree.copy() if copy else tree
+        selected = self.select_edges(work_tree)
+        assignment = assign_backside(work_tree, self.pdk, edges=selected)
+        runtime = time.perf_counter() - start
+        work_tree.validate()
+        metrics = evaluate_tree(
+            work_tree, self.pdk, design=design_name, flow=self.flow_name, runtime=runtime
+        )
+        return BacksideOptimizationResult(
+            design_name=design_name,
+            flow_name=self.flow_name,
+            tree=work_tree,
+            assignment=assignment,
+            metrics=metrics,
+            runtime=runtime,
+        )
+
+
+class VelosoBacksideOptimizer(BacksideOptimizerBase):
+    """[2]: flip all trunk nets above the low-level cluster centroids."""
+
+    flow_name = "veloso_2023"
+
+    def select_edges(self, tree: ClockTree) -> list[ClockTreeNode]:
+        return trunk_edges(tree)

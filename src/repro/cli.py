@@ -1,0 +1,116 @@
+"""Command line interface: run flows and comparisons from a shell.
+
+Examples::
+
+    dscts run C4 --scale 0.25                 # our flow on a scaled riscv32i
+    dscts compare C4 C5 --scale 0.2           # Table III style comparison
+    dscts dse C4 --scale 0.25 --fanout 20 100 400
+    dscts table2                              # print the benchmark statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import OpenRoadLikeCTS, VelosoBacksideOptimizer
+from repro.designs import load_design, table_ii_rows
+from repro.dse import DesignSpaceExplorer
+from repro.evaluation import ComparisonTable, format_table
+from repro.evaluation.reporting import format_metrics, format_ratio_summary
+from repro.flow import DoubleSideCTS, SingleSideCTS
+from repro.tech import asap7_backside
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale factor applied to the benchmark size (default: full size)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dscts", description="Multi-objective double-side clock tree synthesis"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the double-side CTS flow on one benchmark")
+    run.add_argument("design", help="benchmark id (C1..C5) or name (jpeg, aes, ...)")
+    _add_common(run)
+
+    compare = sub.add_parser("compare", help="compare flows on one or more benchmarks")
+    compare.add_argument("designs", nargs="+", help="benchmark ids or names")
+    _add_common(compare)
+
+    dse = sub.add_parser("dse", help="sweep the DSE fanout threshold")
+    dse.add_argument("design", help="benchmark id or name")
+    dse.add_argument(
+        "--fanout", type=int, nargs="+", default=[20, 50, 100, 200, 400, 1000]
+    )
+    _add_common(dse)
+
+    sub.add_parser("table2", help="print the Table II benchmark statistics")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    pdk = asap7_backside()
+    design = load_design(args.design, scale=args.scale, include_combinational=False)
+    result = DoubleSideCTS(pdk).run(design)
+    print(format_metrics(result.metrics))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    pdk = asap7_backside()
+    table = ComparisonTable(reference_flow="ours")
+    for identifier in args.designs:
+        design = load_design(identifier, scale=args.scale, include_combinational=False)
+        ours = DoubleSideCTS(pdk).run(design)
+        openroad = OpenRoadLikeCTS(pdk).run(design)
+        veloso = VelosoBacksideOptimizer(pdk).run(
+            openroad.tree, design_name=design.name
+        )
+        single = SingleSideCTS(pdk).run(design)
+        for metrics in (ours.metrics, openroad.metrics, veloso.metrics, single.metrics):
+            table.add(metrics)
+    print(format_table(table.rows()))
+    print()
+    print(format_ratio_summary(table.summary()))
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    pdk = asap7_backside()
+    design = load_design(args.design, scale=args.scale, include_combinational=False)
+    explorer = DesignSpaceExplorer(pdk)
+    result = explorer.explore(design, fanout_thresholds=args.fanout)
+    print(format_table(result.rows()))
+    pareto = result.pareto()
+    print(f"\nPareto-optimal configurations: {[p.parameter for p in pareto]}")
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    print(format_table(table_ii_rows()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``dscts`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "dse": _cmd_dse,
+        "table2": _cmd_table2,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""The :class:`ClockTree` container and its structural operations."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.geometry import Point
+from repro.tech.layers import Side
+from repro.clocktree.node import ClockTreeNode, NodeKind
+
+
+class ConnectivityError(RuntimeError):
+    """Raised when a tree violates the double-side connectivity constraint."""
+
+
+class ClockTree:
+    """A rooted clock tree with helpers for traversal, metrics, and editing.
+
+    The tree owns a name counter so that flows can create uniquely named
+    buffers, nTSVs, and Steiner points without coordinating with each other.
+    """
+
+    def __init__(self, root: ClockTreeNode, name: str = "clk") -> None:
+        if root.parent is not None:
+            raise ValueError("the root of a clock tree must not have a parent")
+        if root.kind is not NodeKind.ROOT:
+            raise ValueError("the tree root must be a ROOT node")
+        self.name = name
+        self.root = root
+        self._counter = 0
+
+    # ------------------------------------------------------------- traversal
+    def nodes(self) -> Iterator[ClockTreeNode]:
+        """Yield every node in pre-order (root first)."""
+        return self.root.iter_subtree()
+
+    def nodes_bottom_up(self) -> list[ClockTreeNode]:
+        """Return every node ordered so children precede their parents."""
+        order: list[ClockTreeNode] = []
+        queue: deque[ClockTreeNode] = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            queue.extend(node.children)
+        order.reverse()
+        return order
+
+    def sinks(self) -> list[ClockTreeNode]:
+        """All sink nodes."""
+        return [n for n in self.nodes() if n.is_sink]
+
+    def buffers(self) -> list[ClockTreeNode]:
+        """All inserted buffer nodes."""
+        return [n for n in self.nodes() if n.is_buffer]
+
+    def ntsvs(self) -> list[ClockTreeNode]:
+        """All inserted nTSV nodes."""
+        return [n for n in self.nodes() if n.is_ntsv]
+
+    def edges(self) -> list[tuple[ClockTreeNode, ClockTreeNode]]:
+        """All (parent, child) edges."""
+        return [(n.parent, n) for n in self.nodes() if n.parent is not None]
+
+    def find(self, name: str) -> ClockTreeNode:
+        """Find a node by name (raises ``KeyError`` when absent)."""
+        for node in self.nodes():
+            if node.name == name:
+                return node
+        raise KeyError(f"clock tree {self.name}: no node named {name!r}")
+
+    # -------------------------------------------------------------- metrics
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def buffer_count(self) -> int:
+        return len(self.buffers())
+
+    def ntsv_count(self) -> int:
+        return len(self.ntsvs())
+
+    def sink_count(self) -> int:
+        return len(self.sinks())
+
+    def wirelength(self, side: Side | None = None) -> float:
+        """Total Manhattan wirelength (um), optionally restricted to one side."""
+        total = 0.0
+        for node in self.nodes():
+            if node.parent is None:
+                continue
+            if side is not None and node.wire_side is not side:
+                continue
+            total += node.edge_length()
+        return total
+
+    def max_depth(self) -> int:
+        """Longest root-to-leaf path length in edges."""
+        best = 0
+        for node in self.nodes():
+            if node.is_leaf:
+                best = max(best, node.depth())
+        return best
+
+    # -------------------------------------------------------------- editing
+    def new_name(self, prefix: str) -> str:
+        """Return a fresh unique node name with the given prefix."""
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def insert_on_edge(
+        self,
+        child: ClockTreeNode,
+        kind: NodeKind,
+        location: Point,
+        side: Side = Side.FRONT,
+        capacitance: float = 0.0,
+        wire_side: Side | None = None,
+        name: str | None = None,
+    ) -> ClockTreeNode:
+        """Insert a new node on the edge between ``child`` and its parent.
+
+        The new node becomes the parent of ``child``.  ``wire_side`` sets the
+        side of the *upper* wire (new node to old parent); the lower wire
+        keeps ``child.wire_side`` unless the caller changes it afterwards.
+        """
+        parent = child.parent
+        if parent is None:
+            raise ValueError(f"cannot insert above the root node {child.name!r}")
+        node = ClockTreeNode(
+            name=name or self.new_name(kind.value),
+            kind=kind,
+            location=location,
+            side=side,
+            capacitance=capacitance,
+            wire_side=wire_side if wire_side is not None else child.wire_side,
+        )
+        parent.children.remove(child)
+        child.parent = None
+        parent.add_child(node)
+        node.add_child(child)
+        return node
+
+    def add_buffer(
+        self,
+        child: ClockTreeNode,
+        location: Point,
+        input_capacitance: float,
+        name: str | None = None,
+    ) -> ClockTreeNode:
+        """Insert a clock buffer on the edge above ``child`` (front side)."""
+        return self.insert_on_edge(
+            child,
+            NodeKind.BUFFER,
+            location,
+            side=Side.FRONT,
+            capacitance=input_capacitance,
+            wire_side=Side.FRONT,
+            name=name,
+        )
+
+    def add_ntsv(
+        self,
+        child: ClockTreeNode,
+        location: Point,
+        capacitance: float,
+        upstream_side: Side,
+        name: str | None = None,
+    ) -> ClockTreeNode:
+        """Insert an nTSV on the edge above ``child``.
+
+        ``upstream_side`` is the side of the wire toward the root; the wire
+        toward ``child`` keeps its existing side.
+        """
+        return self.insert_on_edge(
+            child,
+            NodeKind.NTSV,
+            location,
+            side=upstream_side,
+            capacitance=capacitance,
+            wire_side=upstream_side,
+            name=name,
+        )
+
+    # ----------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check structural and double-side connectivity invariants.
+
+        Raises :class:`ConnectivityError` when:
+
+        * a non-nTSV node touches a wire on the opposite side (the paper's
+          "shared vertex of any two edges must have the same side type"),
+        * a buffer sits on the back side,
+        * a sink is not on the front side,
+        * the parent/child links are inconsistent or contain a cycle.
+        """
+        seen: set[int] = set()
+        for node in self.nodes():
+            if id(node) in seen:
+                raise ConnectivityError(f"cycle detected at node {node.name!r}")
+            seen.add(id(node))
+            for child in node.children:
+                if child.parent is not node:
+                    raise ConnectivityError(
+                        f"broken parent link: {child.name!r} does not point to {node.name!r}"
+                    )
+            if node.is_buffer and node.side is not Side.FRONT:
+                raise ConnectivityError(f"buffer {node.name!r} is on the back side")
+            if node.is_sink and node.side is not Side.FRONT:
+                raise ConnectivityError(f"sink {node.name!r} is on the back side")
+            self._check_side_consistency(node)
+
+    def _check_side_consistency(self, node: ClockTreeNode) -> None:
+        """Verify every wire touching ``node`` is compatible with its side."""
+        incident_sides: list[Side] = []
+        if node.parent is not None:
+            incident_sides.append(node.wire_side)
+        incident_sides.extend(child.wire_side for child in node.children)
+        if node.is_ntsv:
+            # An nTSV spans both sides: the upstream wire must match the
+            # stored (upstream) side and downstream wires the opposite side.
+            if node.parent is not None and node.wire_side is not node.side:
+                raise ConnectivityError(
+                    f"nTSV {node.name!r}: upstream wire on {node.wire_side.value}, "
+                    f"expected {node.side.value}"
+                )
+            for child in node.children:
+                if child.wire_side is not node.side.opposite:
+                    raise ConnectivityError(
+                        f"nTSV {node.name!r}: downstream wire on "
+                        f"{child.wire_side.value}, expected {node.side.opposite.value}"
+                    )
+            return
+        for side in incident_sides:
+            if side is not node.side:
+                raise ConnectivityError(
+                    f"node {node.name!r} ({node.kind.value}) on side {node.side.value} "
+                    f"touches a wire on side {side.value}"
+                )
+
+    # ------------------------------------------------------------------ misc
+    def apply(self, visitor: Callable[[ClockTreeNode], None]) -> None:
+        """Apply ``visitor`` to every node (pre-order)."""
+        for node in self.nodes():
+            visitor(node)
+
+    def copy(self) -> "ClockTree":
+        """Deep-copy the tree (nodes are duplicated, locations shared)."""
+        mapping: dict[int, ClockTreeNode] = {}
+        new_root: ClockTreeNode | None = None
+        for node in self.nodes():
+            clone = ClockTreeNode(
+                name=node.name,
+                kind=node.kind,
+                location=node.location,
+                side=node.side,
+                capacitance=node.capacitance,
+                wire_side=node.wire_side,
+            )
+            mapping[id(node)] = clone
+            if node.parent is None:
+                new_root = clone
+            else:
+                mapping[id(node.parent)].add_child(clone)
+        assert new_root is not None
+        tree = ClockTree(new_root, name=self.name)
+        tree._counter = self._counter
+        return tree
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClockTree(name={self.name!r}, nodes={self.node_count()}, "
+            f"sinks={self.sink_count()}, buffers={self.buffer_count()}, "
+            f"ntsvs={self.ntsv_count()})"
+        )

@@ -1,0 +1,184 @@
+"""A small, deterministic K-means implementation on top of numpy.
+
+The clustering quality requirements of clock routing are modest (the paper
+uses vanilla K-means), but determinism matters for reproducible benchmarks,
+so the implementation seeds its own random generator and uses K-means++
+initialisation.  An optional capacity balancing pass caps the maximum cluster
+size, which keeps low-level clusters close to the target size ``Lc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Result of a K-means run.
+
+    Attributes:
+        labels: array of shape (n,) with the cluster index of every point.
+        centroids: array of shape (k, 2) with the final cluster centroids.
+        inertia: sum of squared distances of points to their centroid.
+        iterations: number of Lloyd iterations executed.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def cluster_count(self) -> int:
+        return int(self.centroids.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Return the number of points assigned to each cluster."""
+        return np.bincount(self.labels, minlength=self.cluster_count)
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of the points assigned to ``cluster``."""
+        return np.flatnonzero(self.labels == cluster)
+
+
+class KMeans:
+    """Lloyd's algorithm with K-means++ seeding and optional size capping."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iterations: int = 50,
+        seed: int = 2025,
+        max_cluster_size: int | None = None,
+        tolerance: float = 1e-4,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.max_cluster_size = max_cluster_size
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        """Cluster ``points`` of shape (n, 2) and return a :class:`KMeansResult`."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        n = pts.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster an empty point set")
+        k = min(self.n_clusters, n)
+
+        rng = np.random.default_rng(self.seed)
+        centroids = self._kmeanspp_init(pts, k, rng)
+
+        labels = np.zeros(n, dtype=int)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = self._distances(pts, centroids)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(k):
+                members = pts[labels == cluster]
+                if len(members) > 0:
+                    new_centroids[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the point farthest from its centroid.
+                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    new_centroids[cluster] = pts[farthest]
+            shift = float(np.max(np.abs(new_centroids - centroids)))
+            centroids = new_centroids
+            if shift < self.tolerance:
+                break
+
+        if self.max_cluster_size is not None:
+            labels = self._balance(pts, centroids, labels, self.max_cluster_size)
+            centroids = self._recompute_centroids(pts, labels, k, centroids)
+
+        inertia = float(
+            np.sum((pts - centroids[labels]) ** 2)
+        )
+        return KMeansResult(
+            labels=labels, centroids=centroids, inertia=inertia, iterations=iterations
+        )
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Squared Euclidean distances, shape (n, k)."""
+        diff = points[:, None, :] - centroids[None, :, :]
+        return np.sum(diff * diff, axis=2)
+
+    @staticmethod
+    def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """K-means++ initial centroid selection."""
+        n = points.shape[0]
+        centroids = np.empty((k, 2), dtype=float)
+        first = int(rng.integers(n))
+        centroids[0] = points[first]
+        closest = np.sum((points - centroids[0]) ** 2, axis=1)
+        for i in range(1, k):
+            total = float(closest.sum())
+            if total <= 0:
+                centroids[i:] = points[int(rng.integers(n))]
+                break
+            probs = closest / total
+            choice = int(rng.choice(n, p=probs))
+            centroids[i] = points[choice]
+            closest = np.minimum(closest, np.sum((points - centroids[i]) ** 2, axis=1))
+        return centroids
+
+    @staticmethod
+    def _recompute_centroids(
+        points: np.ndarray, labels: np.ndarray, k: int, fallback: np.ndarray
+    ) -> np.ndarray:
+        centroids = fallback.copy()
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members) > 0:
+                centroids[cluster] = members.mean(axis=0)
+        return centroids
+
+    @staticmethod
+    def _balance(
+        points: np.ndarray,
+        centroids: np.ndarray,
+        labels: np.ndarray,
+        max_size: int,
+    ) -> np.ndarray:
+        """Greedy reassignment so that no cluster exceeds ``max_size`` points.
+
+        Overfull clusters evict their farthest members, which move to the
+        nearest cluster that still has room.  Guaranteed to terminate because
+        ``max_size * k >= n`` is enforced by the caller.
+        """
+        k = centroids.shape[0]
+        n = points.shape[0]
+        if max_size * k < n:
+            raise ValueError(
+                f"cannot balance {n} points into {k} clusters of at most {max_size}"
+            )
+        labels = labels.copy()
+        sizes = np.bincount(labels, minlength=k)
+        distances = KMeans._distances(points, centroids)
+        order = np.argsort(distances[np.arange(n), labels])[::-1]
+        for idx in order:
+            cluster = labels[idx]
+            if sizes[cluster] <= max_size:
+                continue
+            # Move to the nearest non-full cluster.
+            for candidate in np.argsort(distances[idx]):
+                if candidate == cluster:
+                    continue
+                if sizes[candidate] < max_size:
+                    labels[idx] = candidate
+                    sizes[cluster] -= 1
+                    sizes[candidate] += 1
+                    break
+        return labels

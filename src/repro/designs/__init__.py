@@ -1,0 +1,25 @@
+"""Benchmark designs (Table II) and the synthetic placement generator.
+
+The paper's benchmarks are OpenROAD designs placed with the ASAP7 flow; the
+post-place DEF files are not redistributable, so this package generates
+placed designs with the same statistics (#cells, #FFs, utilisation) and
+realistic, non-uniform sink distributions.  Real DEF files can be used
+instead through :mod:`repro.lefdef`.
+"""
+
+from repro.designs.generator import PlacementGenerator, PlacementSpec
+from repro.designs.suite import (
+    BENCHMARK_SPECS,
+    benchmark_suite,
+    load_design,
+    table_ii_rows,
+)
+
+__all__ = [
+    "PlacementGenerator",
+    "PlacementSpec",
+    "BENCHMARK_SPECS",
+    "benchmark_suite",
+    "load_design",
+    "table_ii_rows",
+]

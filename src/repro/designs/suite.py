@@ -1,0 +1,94 @@
+"""The Table II benchmark suite (C1..C5)."""
+
+from __future__ import annotations
+
+from repro.designs.generator import PlacementGenerator, PlacementSpec
+from repro.netlist.design import Design
+
+#: Table II of the paper: OpenROAD designs placed with the ASAP7 flow.
+BENCHMARK_SPECS: dict[str, PlacementSpec] = {
+    "C1": PlacementSpec(
+        name="jpeg", cell_count=54973, ff_count=4380, utilization=0.50, seed=11
+    ),
+    "C2": PlacementSpec(
+        name="swerv_wrapper",
+        cell_count=148407,
+        ff_count=14338,
+        utilization=0.40,
+        macro_count=4,
+        seed=12,
+    ),
+    "C3": PlacementSpec(
+        name="ethmac",
+        cell_count=56851,
+        ff_count=10018,
+        utilization=0.40,
+        macro_count=2,
+        seed=13,
+    ),
+    "C4": PlacementSpec(
+        name="riscv32i", cell_count=11579, ff_count=1056, utilization=0.50, seed=14
+    ),
+    "C5": PlacementSpec(
+        name="aes", cell_count=29306, ff_count=2072, utilization=0.50, seed=15
+    ),
+}
+
+#: Reverse lookup from design name to benchmark id.
+_NAME_TO_ID = {spec.name: bench_id for bench_id, spec in BENCHMARK_SPECS.items()}
+
+
+def load_design(
+    identifier: str,
+    scale: float = 1.0,
+    include_combinational: bool = True,
+) -> Design:
+    """Generate one benchmark design by id ("C3") or name ("ethmac").
+
+    ``scale`` proportionally shrinks the cell and flip-flop counts (used by
+    tests and quick examples); ``include_combinational=False`` skips the
+    non-clocked cells, which CTS never looks at, for faster generation.
+    """
+    bench_id = identifier if identifier in BENCHMARK_SPECS else _NAME_TO_ID.get(identifier)
+    if bench_id is None:
+        raise KeyError(
+            f"unknown benchmark {identifier!r}; choose from "
+            f"{sorted(BENCHMARK_SPECS)} or {sorted(_NAME_TO_ID)}"
+        )
+    spec = BENCHMARK_SPECS[bench_id]
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    generator = PlacementGenerator(include_combinational=include_combinational)
+    return generator.generate(spec)
+
+
+def benchmark_suite(
+    scale: float = 1.0,
+    include_combinational: bool = True,
+    only: list[str] | None = None,
+) -> dict[str, Design]:
+    """Generate the whole C1..C5 suite (optionally scaled / filtered)."""
+    ids = only if only is not None else list(BENCHMARK_SPECS)
+    return {
+        bench_id: load_design(
+            bench_id, scale=scale, include_combinational=include_combinational
+        )
+        for bench_id in ids
+    }
+
+
+def table_ii_rows(scale: float = 1.0) -> list[dict[str, float | int | str]]:
+    """Return Table II as data rows (id, design, #cells, #FFs, utilisation)."""
+    rows = []
+    for bench_id, spec in BENCHMARK_SPECS.items():
+        effective = spec if scale == 1.0 else spec.scaled(scale)
+        rows.append(
+            {
+                "id": bench_id,
+                "design": effective.name,
+                "cells": effective.cell_count,
+                "ffs": effective.ff_count,
+                "utilization": effective.utilization,
+            }
+        )
+    return rows

@@ -1,0 +1,19 @@
+"""Design space exploration of double-side CTS (Section III-E, Fig. 9/12).
+
+The explorer sweeps the fanout threshold that controls the per-node insertion
+modes of the DP tree, producing a family of clock trees that trade latency
+and skew against buffer and nTSV count.  Equivalent sweeps of the baseline
+knobs ([7]'s fanout threshold, [6]'s critical fraction) are provided so that
+the Fig. 12 comparison can be regenerated.
+"""
+
+from repro.dse.pareto import pareto_front, is_dominated
+from repro.dse.explorer import DesignSpaceExplorer, DsePoint, DseResult
+
+__all__ = [
+    "pareto_front",
+    "is_dominated",
+    "DesignSpaceExplorer",
+    "DsePoint",
+    "DseResult",
+]

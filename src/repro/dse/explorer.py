@@ -1,0 +1,192 @@
+"""The DSE flow: sweeping insertion modes to trace the Pareto frontier.
+
+The clock routing does not depend on the insertion modes, so the explorer
+routes the design once and then replays the concurrent insertion (plus skew
+refinement) on a fresh copy of the routed tree for every configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.baselines.fanout import FanoutBacksideOptimizer
+from repro.baselines.timing_critical import TimingCriticalBacksideOptimizer
+from repro.baselines.veloso import VelosoBacksideOptimizer
+from repro.clocktree import ClockTree
+from repro.dse.pareto import pareto_front
+from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
+from repro.flow.config import CtsConfig
+from repro.flow.cts import DoubleSideCTS
+from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig
+from repro.netlist.clock import ClockNet
+from repro.netlist.design import Design
+from repro.refinement.skew_refinement import SkewRefiner
+from repro.routing.hierarchical import HierarchicalClockRouter
+from repro.tech.pdk import Pdk
+
+
+@dataclass
+class DsePoint:
+    """One explored configuration and the clock tree quality it reached."""
+
+    configuration: str
+    parameter: float
+    metrics: ClockTreeMetrics
+
+    @property
+    def objectives(self) -> tuple[float, float, float]:
+        """(latency, skew, buffers + nTSVs) — the axes of Fig. 12."""
+        return (self.metrics.latency, self.metrics.skew, float(self.metrics.resource_count))
+
+    def as_row(self) -> dict[str, float | int | str]:
+        row = self.metrics.as_row()
+        row["configuration"] = self.configuration
+        row["parameter"] = self.parameter
+        row["resources"] = self.metrics.resource_count
+        return row
+
+
+@dataclass
+class DseResult:
+    """All explored points of one sweep."""
+
+    design_name: str
+    points: list[DsePoint] = field(default_factory=list)
+
+    def pareto(self) -> list[DsePoint]:
+        """The non-dominated points over (latency, skew, resources)."""
+        return pareto_front(self.points, lambda p: p.objectives)
+
+    def best_latency(self) -> DsePoint:
+        return min(self.points, key=lambda p: p.metrics.latency)
+
+    def best_skew(self) -> DsePoint:
+        return min(self.points, key=lambda p: p.metrics.skew)
+
+    def rows(self) -> list[dict[str, float | int | str]]:
+        return [p.as_row() for p in self.points]
+
+
+class DesignSpaceExplorer:
+    """Sweeps the DSE knobs of our flow and of the baselines."""
+
+    def __init__(self, pdk: Pdk, config: CtsConfig | None = None) -> None:
+        self.pdk = pdk
+        self.config = config if config is not None else CtsConfig()
+
+    # --------------------------------------------------------------- our flow
+    def explore(
+        self,
+        design: Design | ClockNet,
+        fanout_thresholds: Iterable[int],
+        design_name: str | None = None,
+    ) -> DseResult:
+        """Sweep the fanout threshold of the heterogeneous DP tree.
+
+        Small thresholds force most DP nodes into intra-side mode (few
+        nTSVs); large thresholds approach the all-full-mode Table III
+        configuration.
+        """
+        clock_net, name = DoubleSideCTS._resolve_input(design, design_name)
+        router = HierarchicalClockRouter(
+            self.pdk,
+            high_cluster_size=self.config.high_cluster_size,
+            low_cluster_size=self.config.low_cluster_size,
+            seed=self.config.seed,
+            hierarchical=self.config.hierarchical_routing,
+        )
+        routing = router.route(clock_net)
+        result = DseResult(design_name=name)
+        for threshold in fanout_thresholds:
+            start = time.perf_counter()
+            tree = routing.tree.copy()
+            self._insert_and_refine(tree, fanout_threshold=int(threshold))
+            runtime = time.perf_counter() - start
+            metrics = evaluate_tree(
+                tree,
+                self.pdk,
+                design=name,
+                flow=f"ours_dse_fo{int(threshold)}",
+                runtime=runtime,
+            )
+            result.points.append(
+                DsePoint(
+                    configuration="ours_dse",
+                    parameter=float(threshold),
+                    metrics=metrics,
+                )
+            )
+        return result
+
+    def _insert_and_refine(self, tree: ClockTree, fanout_threshold: int | None) -> None:
+        inserter = ConcurrentInserter(
+            self.pdk,
+            InsertionConfig(
+                weights=self.config.moes_weights,
+                selection=self.config.selection,
+                max_segment_length=self.config.max_segment_length,
+                keep_resource_diversity=self.config.keep_resource_diversity,
+                max_candidates_per_side=self.config.max_candidates_per_side,
+                default_mode=self.config.default_mode,
+            ),
+        )
+        inserter.run(tree, fanout_threshold=fanout_threshold)
+        if self.config.enable_skew_refinement:
+            SkewRefiner(
+                self.pdk,
+                skew_trigger_fraction=self.config.skew_trigger_fraction,
+                max_endpoints=self.config.max_refined_endpoints,
+                strategy=self.config.skew_strategy,
+            ).refine(tree)
+
+    # -------------------------------------------------------------- baselines
+    def sweep_fanout_baseline(
+        self,
+        buffered_tree: ClockTree,
+        thresholds: Iterable[int],
+        design_name: str = "",
+    ) -> DseResult:
+        """Sweep [7]'s fanout threshold on a fixed buffered clock tree."""
+        result = DseResult(design_name=design_name)
+        for threshold in thresholds:
+            optimizer = FanoutBacksideOptimizer(self.pdk, fanout_threshold=int(threshold))
+            run = optimizer.run(buffered_tree, design_name=design_name, copy=True)
+            result.points.append(
+                DsePoint(
+                    configuration="bethur_fanout_2023",
+                    parameter=float(threshold),
+                    metrics=run.metrics,
+                )
+            )
+        return result
+
+    def sweep_critical_baseline(
+        self,
+        buffered_tree: ClockTree,
+        fractions: Iterable[float],
+        design_name: str = "",
+    ) -> DseResult:
+        """Sweep [6]'s critical-path fraction on a fixed buffered clock tree."""
+        result = DseResult(design_name=design_name)
+        for fraction in fractions:
+            optimizer = TimingCriticalBacksideOptimizer(
+                self.pdk, critical_fraction=float(fraction)
+            )
+            run = optimizer.run(buffered_tree, design_name=design_name, copy=True)
+            result.points.append(
+                DsePoint(
+                    configuration="bethur_gnn_2024",
+                    parameter=float(fraction),
+                    metrics=run.metrics,
+                )
+            )
+        return result
+
+    def veloso_point(self, buffered_tree: ClockTree, design_name: str = "") -> DsePoint:
+        """The single configuration of [2] on a fixed buffered clock tree."""
+        run = VelosoBacksideOptimizer(self.pdk).run(
+            buffered_tree, design_name=design_name, copy=True
+        )
+        return DsePoint(configuration="veloso_2023", parameter=0.0, metrics=run.metrics)

@@ -1,0 +1,45 @@
+"""Generic Pareto-front utilities for multi-objective comparison."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def is_dominated(
+    candidate: Sequence[float], others: Sequence[Sequence[float]], tol: float = 1e-12
+) -> bool:
+    """True when some other objective vector dominates ``candidate``.
+
+    All objectives are minimised.  A vector dominates another when it is no
+    worse in every objective and strictly better in at least one.
+    """
+    for other in others:
+        if other is candidate:
+            continue
+        if len(other) != len(candidate):
+            raise ValueError("objective vectors must have equal length")
+        no_worse = all(o <= c + tol for o, c in zip(other, candidate))
+        strictly_better = any(o < c - tol for o, c in zip(other, candidate))
+        if no_worse and strictly_better:
+            return True
+    return False
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Return the items whose objective vectors are not dominated.
+
+    Args:
+        items: the candidate solutions (e.g. DSE points).
+        objectives: maps an item to its objective vector (all minimised).
+    """
+    vectors = [tuple(objectives(item)) for item in items]
+    front = []
+    for item, vector in zip(items, vectors):
+        if not is_dominated(vector, vectors):
+            front.append(item)
+    return front

@@ -1,0 +1,21 @@
+"""Evaluation: clock tree metrics, comparison tables, and reporting.
+
+Provides the consistent evaluation used by all flows and baselines (latency,
+skew, buffer count, nTSV count, clock wirelength, runtime), the Table III
+style comparison harness, and plain-text table rendering for benchmarks and
+examples.
+"""
+
+from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
+from repro.evaluation.comparison import ComparisonRow, ComparisonTable, geometric_mean_ratio
+from repro.evaluation.reporting import format_table, format_metrics
+
+__all__ = [
+    "ClockTreeMetrics",
+    "evaluate_tree",
+    "ComparisonRow",
+    "ComparisonTable",
+    "geometric_mean_ratio",
+    "format_table",
+    "format_metrics",
+]

@@ -1,0 +1,106 @@
+"""Comparison tables in the style of Table III.
+
+A :class:`ComparisonTable` collects :class:`ClockTreeMetrics` per design and
+per flow and computes the normalised "Ratio" row that the paper reports
+(every flow divided by the reference flow, geometric-mean across designs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.evaluation.metrics import ClockTreeMetrics
+
+
+@dataclass
+class ComparisonRow:
+    """All flows' metrics for one design."""
+
+    design: str
+    metrics: dict[str, ClockTreeMetrics] = field(default_factory=dict)
+
+    def add(self, metrics: ClockTreeMetrics) -> None:
+        if metrics.flow in self.metrics:
+            raise ValueError(f"duplicate flow {metrics.flow!r} for design {self.design!r}")
+        self.metrics[metrics.flow] = metrics
+
+
+def geometric_mean_ratio(values: list[float]) -> float:
+    """Geometric mean of positive ratios; zero/inf entries are skipped."""
+    usable = [v for v in values if v > 0 and math.isfinite(v)]
+    if not usable:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in usable) / len(usable))
+
+
+class ComparisonTable:
+    """Collects metrics per (design, flow) and renders Table III style data."""
+
+    def __init__(self, reference_flow: str) -> None:
+        self.reference_flow = reference_flow
+        self._rows: dict[str, ComparisonRow] = {}
+
+    def add(self, metrics: ClockTreeMetrics) -> None:
+        """Add one flow's metrics for one design."""
+        row = self._rows.setdefault(metrics.design, ComparisonRow(design=metrics.design))
+        row.add(metrics)
+
+    @property
+    def designs(self) -> list[str]:
+        return list(self._rows)
+
+    @property
+    def flows(self) -> list[str]:
+        flows: list[str] = []
+        for row in self._rows.values():
+            for flow in row.metrics:
+                if flow not in flows:
+                    flows.append(flow)
+        return flows
+
+    def metrics_for(self, design: str, flow: str) -> ClockTreeMetrics:
+        return self._rows[design].metrics[flow]
+
+    def ratio_row(self, flow: str) -> dict[str, float]:
+        """Geometric-mean ratios of ``flow`` against the reference flow.
+
+        Values above 1.0 mean the reference flow is better by that factor,
+        matching the paper's "Ratio" rows (e.g. latency 2.223x for
+        OpenROAD + [2] against Ours).
+        """
+        per_metric: dict[str, list[float]] = {
+            "latency": [],
+            "skew": [],
+            "buffers": [],
+            "ntsvs": [],
+            "wirelength": [],
+            "runtime": [],
+        }
+        for row in self._rows.values():
+            if flow not in row.metrics or self.reference_flow not in row.metrics:
+                continue
+            reference = row.metrics[self.reference_flow]
+            other = row.metrics[flow]
+            ratios = reference.ratio_to(other)
+            for key in per_metric:
+                per_metric[key].append(ratios[key])
+        return {key: geometric_mean_ratio(vals) for key, vals in per_metric.items()}
+
+    def rows(self) -> list[dict[str, float | int | str]]:
+        """Flat per-(design, flow) rows for rendering."""
+        output: list[dict[str, float | int | str]] = []
+        for design in self.designs:
+            for flow in self.flows:
+                row = self._rows[design]
+                if flow in row.metrics:
+                    output.append(row.metrics[flow].as_row())
+        return output
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Ratio rows for every non-reference flow."""
+        return {
+            flow: self.ratio_row(flow)
+            for flow in self.flows
+            if flow != self.reference_flow
+        }

@@ -1,0 +1,114 @@
+"""Clock tree quality metrics (the columns of Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocktree import ClockTree
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+from repro.timing import ElmoreTimingEngine
+
+
+@dataclass(frozen=True)
+class ClockTreeMetrics:
+    """The paper's evaluation metrics for one synthesised clock tree.
+
+    Attributes:
+        design: design name the tree belongs to.
+        flow: name of the flow that produced the tree (for comparison tables).
+        latency: maximum source-to-sink delay (ps).
+        skew: maximum minus minimum sink arrival (ps).
+        buffers: number of inserted clock buffers.
+        ntsvs: number of inserted nTSVs.
+        wirelength: total clock wirelength (um).
+        front_wirelength / back_wirelength: per-side split of the wirelength.
+        runtime: flow runtime in seconds (0 when not measured).
+        sinks: number of clock sinks.
+    """
+
+    design: str
+    flow: str
+    latency: float
+    skew: float
+    buffers: int
+    ntsvs: int
+    wirelength: float
+    front_wirelength: float
+    back_wirelength: float
+    runtime: float
+    sinks: int
+
+    @property
+    def resource_count(self) -> int:
+        """Buffers + nTSVs (the x-axis of Fig. 12)."""
+        return self.buffers + self.ntsvs
+
+    @property
+    def backside_fraction(self) -> float:
+        """Fraction of the clock wirelength routed on the back side."""
+        if self.wirelength == 0:
+            return 0.0
+        return self.back_wirelength / self.wirelength
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Flat dictionary used by tables and benchmark output."""
+        return {
+            "design": self.design,
+            "flow": self.flow,
+            "latency_ps": round(self.latency, 3),
+            "skew_ps": round(self.skew, 3),
+            "buffers": self.buffers,
+            "ntsvs": self.ntsvs,
+            "wirelength_um": round(self.wirelength, 1),
+            "back_wl_um": round(self.back_wirelength, 1),
+            "runtime_s": round(self.runtime, 3),
+        }
+
+    def ratio_to(self, reference: "ClockTreeMetrics") -> dict[str, float]:
+        """Return ``reference / self`` ratios (how much better *self* is).
+
+        This matches the paper's convention in Table III, where the "Ratio"
+        row normalises every method against "Ours" (so 2.223x means the other
+        method's latency is 2.223 times larger).
+        """
+        def _ratio(a: float, b: float) -> float:
+            if b == 0:
+                return float("inf") if a > 0 else 1.0
+            return a / b
+
+        return {
+            "latency": _ratio(reference.latency, self.latency),
+            "skew": _ratio(reference.skew, self.skew),
+            "buffers": _ratio(reference.buffers, self.buffers),
+            "ntsvs": _ratio(reference.ntsvs, self.ntsvs),
+            "wirelength": _ratio(reference.wirelength, self.wirelength),
+            "runtime": _ratio(reference.runtime, self.runtime),
+        }
+
+
+def evaluate_tree(
+    tree: ClockTree,
+    pdk: Pdk,
+    design: str = "",
+    flow: str = "",
+    runtime: float = 0.0,
+) -> ClockTreeMetrics:
+    """Run the consistent evaluation of the paper on a synthesised tree."""
+    engine = ElmoreTimingEngine(pdk)
+    timing = engine.analyze(tree)
+    front_wl = tree.wirelength(Side.FRONT)
+    back_wl = tree.wirelength(Side.BACK)
+    return ClockTreeMetrics(
+        design=design,
+        flow=flow,
+        latency=timing.latency,
+        skew=timing.skew,
+        buffers=tree.buffer_count(),
+        ntsvs=tree.ntsv_count(),
+        wirelength=front_wl + back_wl,
+        front_wirelength=front_wl,
+        back_wirelength=back_wl,
+        runtime=runtime,
+        sinks=tree.sink_count(),
+    )

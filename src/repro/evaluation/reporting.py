@@ -1,0 +1,57 @@
+"""Plain-text rendering of metric tables for benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.metrics import ClockTreeMetrics
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_precision: int = 3,
+) -> str:
+    """Render a list of dictionaries as an aligned fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_precision}f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_metrics(metrics: ClockTreeMetrics) -> str:
+    """One-line human readable summary of a clock tree's quality."""
+    return (
+        f"[{metrics.design}/{metrics.flow}] latency={metrics.latency:.2f}ps "
+        f"skew={metrics.skew:.2f}ps buffers={metrics.buffers} "
+        f"ntsvs={metrics.ntsvs} wl={metrics.wirelength:.0f}um "
+        f"(back {metrics.backside_fraction * 100:.0f}%) "
+        f"runtime={metrics.runtime:.3f}s"
+    )
+
+
+def format_ratio_summary(summary: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the Table III style ratio rows (flow -> metric ratios)."""
+    rows = []
+    for flow, ratios in summary.items():
+        row: dict[str, object] = {"flow": flow}
+        row.update({key: round(value, 3) for key, value in ratios.items()})
+        rows.append(row)
+    return format_table(rows)

@@ -1,0 +1,14 @@
+"""End-to-end CTS flows (Fig. 4 of the paper).
+
+* :class:`DoubleSideCTS` — the paper's flow: hierarchical clock routing,
+  concurrent buffer and nTSV insertion, and skew refinement ("Ours").
+* :class:`SingleSideCTS` — the same flow on a front-side-only technology
+  ("Our Buffered Clock Tree"), used as the substrate for the post-CTS
+  baselines and the Fig. 10 / Fig. 12 comparisons.
+"""
+
+from repro.flow.config import CtsConfig
+from repro.flow.cts import DoubleSideCTS, CtsRunResult
+from repro.flow.single_side import SingleSideCTS
+
+__all__ = ["CtsConfig", "DoubleSideCTS", "CtsRunResult", "SingleSideCTS"]

@@ -1,0 +1,58 @@
+"""Configuration of the end-to-end CTS flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.insertion.moes import MoesWeights
+from repro.insertion.patterns import InsertionMode
+
+
+@dataclass(frozen=True)
+class CtsConfig:
+    """All tunables of the double-side CTS flow, with the paper's defaults.
+
+    Attributes:
+        high_cluster_size: ``Hc`` of the dual-level clustering (3000).
+        low_cluster_size: ``Lc`` of the dual-level clustering (30).
+        seed: RNG seed for clustering determinism.
+        hierarchical_routing: use the hierarchical DME (True) or the flat
+            matching DME of Fig. 5(c) (False, for the ablation).
+        moes_weights: (alpha, beta, gamma) of Eq. (3); the paper uses (1,10,1).
+        selection: root-candidate selection, ``"moes"`` or ``"min_latency"``.
+        max_segment_length: maximum trunk edge length (um) before splitting.
+        keep_resource_diversity / max_candidates_per_side: DP pruning knobs.
+        default_mode: insertion mode of every DP node unless a fanout
+            threshold is supplied; the Table III "Ours" rows use full mode.
+        fanout_threshold: the DSE knob — nodes with fewer downstream sinks
+            than the threshold are full mode, the rest intra-side; ``None``
+            leaves every node in ``default_mode``.
+        skew_trigger_fraction: ``p%`` of the skew refinement trigger (0.23).
+        max_refined_endpoints: ``m`` of the skew refinement (33).
+        skew_strategy: ``"pad_fast"`` (Fig. 11 behaviour) or ``"shield_slow"``.
+        enable_skew_refinement: disable to reproduce the "w/o SR" bars.
+    """
+
+    high_cluster_size: int = 3000
+    low_cluster_size: int = 30
+    seed: int = 2025
+    hierarchical_routing: bool = True
+    moes_weights: MoesWeights = field(default_factory=MoesWeights)
+    selection: str = "moes"
+    max_segment_length: float | None = 200.0
+    keep_resource_diversity: bool = False
+    max_candidates_per_side: int | None = 16
+    default_mode: InsertionMode = InsertionMode.FULL
+    fanout_threshold: int | None = None
+    skew_trigger_fraction: float = 0.23
+    max_refined_endpoints: int = 33
+    skew_strategy: str = "pad_fast"
+    enable_skew_refinement: bool = True
+
+    def with_updates(self, **kwargs) -> "CtsConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def single_side(self) -> "CtsConfig":
+        """Configuration for the front-side-only flow (no nTSV patterns)."""
+        return self.with_updates(fanout_threshold=None)

@@ -1,0 +1,139 @@
+"""The systematic multi-objective double-side CTS flow ("Ours" in Table III).
+
+The flow follows Fig. 4 of the paper:
+
+    placed design  ->  hierarchical clock routing
+                   ->  concurrent buffer & nTSV insertion (multi-objective DP)
+                   ->  skew refinement
+                   ->  legal double-side clock tree + metrics
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.clocktree import ClockTree
+from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
+from repro.flow.config import CtsConfig
+from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig, InsertionResult
+from repro.netlist.clock import ClockNet
+from repro.netlist.design import Design
+from repro.refinement.skew_refinement import SkewRefiner, SkewRefinementReport
+from repro.routing.hierarchical import HierarchicalClockRouter, HierarchicalRoutingResult
+from repro.tech.pdk import Pdk
+
+
+@dataclass
+class CtsRunResult:
+    """Everything a flow run produces."""
+
+    design_name: str
+    flow_name: str
+    tree: ClockTree
+    routing: HierarchicalRoutingResult
+    insertion: InsertionResult
+    skew_report: SkewRefinementReport | None
+    metrics: ClockTreeMetrics
+    runtime: float
+
+    @property
+    def latency(self) -> float:
+        return self.metrics.latency
+
+    @property
+    def skew(self) -> float:
+        return self.metrics.skew
+
+    def summary(self) -> dict[str, float | int | str]:
+        return self.metrics.as_row()
+
+
+class DoubleSideCTS:
+    """The paper's systematic double-side CTS flow."""
+
+    flow_name = "ours"
+
+    def __init__(self, pdk: Pdk, config: CtsConfig | None = None) -> None:
+        if not pdk.has_backside:
+            raise ValueError(
+                "DoubleSideCTS needs a back-side enabled PDK; "
+                "use SingleSideCTS for front-side-only technologies"
+            )
+        self.pdk = pdk
+        self.config = config if config is not None else CtsConfig()
+
+    # ----------------------------------------------------------------- public
+    def run(self, design: Design | ClockNet, design_name: str | None = None) -> CtsRunResult:
+        """Synthesise the clock tree of ``design`` and return the run result."""
+        clock_net, name = self._resolve_input(design, design_name)
+        start = time.perf_counter()
+
+        routing = self._route(clock_net)
+        insertion = self._insert(routing.tree)
+        skew_report = self._refine(routing.tree)
+
+        runtime = time.perf_counter() - start
+        routing.tree.validate()
+        metrics = evaluate_tree(
+            routing.tree, self.pdk, design=name, flow=self.flow_name, runtime=runtime
+        )
+        return CtsRunResult(
+            design_name=name,
+            flow_name=self.flow_name,
+            tree=routing.tree,
+            routing=routing,
+            insertion=insertion,
+            skew_report=skew_report,
+            metrics=metrics,
+            runtime=runtime,
+        )
+
+    # ------------------------------------------------------------------ steps
+    def _route(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
+        router = HierarchicalClockRouter(
+            self.pdk,
+            high_cluster_size=self.config.high_cluster_size,
+            low_cluster_size=self.config.low_cluster_size,
+            seed=self.config.seed,
+            hierarchical=self.config.hierarchical_routing,
+        )
+        return router.route(clock_net)
+
+    def _insert(self, tree: ClockTree) -> InsertionResult:
+        inserter = ConcurrentInserter(self.pdk, self._insertion_config())
+        return inserter.run(tree, fanout_threshold=self.config.fanout_threshold)
+
+    def _refine(self, tree: ClockTree) -> SkewRefinementReport | None:
+        if not self.config.enable_skew_refinement:
+            return None
+        refiner = SkewRefiner(
+            self.pdk,
+            skew_trigger_fraction=self.config.skew_trigger_fraction,
+            max_endpoints=self.config.max_refined_endpoints,
+            strategy=self.config.skew_strategy,
+        )
+        return refiner.refine(tree)
+
+    def _insertion_config(self) -> InsertionConfig:
+        return InsertionConfig(
+            weights=self.config.moes_weights,
+            selection=self.config.selection,
+            max_segment_length=self.config.max_segment_length,
+            keep_resource_diversity=self.config.keep_resource_diversity,
+            max_candidates_per_side=self.config.max_candidates_per_side,
+            default_mode=self.config.default_mode,
+        )
+
+    # ------------------------------------------------------------------ input
+    @staticmethod
+    def _resolve_input(
+        design: Design | ClockNet, design_name: str | None
+    ) -> tuple[ClockNet, str]:
+        if isinstance(design, Design):
+            return design.require_clock_net(), design_name or design.name
+        if isinstance(design, ClockNet):
+            return design, design_name or design.name
+        raise TypeError(
+            f"expected a Design or ClockNet, got {type(design).__name__}"
+        )

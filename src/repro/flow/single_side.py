@@ -1,0 +1,32 @@
+"""The single-side (front-only) variant of the flow: "Our Buffered Clock Tree".
+
+The paper generates its own single-side comparison point by running the same
+three steps — hierarchical clock routing, buffer insertion, skew refinement —
+without any back-side resources.  This is also the substrate handed to the
+post-CTS baselines [2], [6], [7] in the bottom half of Table III.
+"""
+
+from __future__ import annotations
+
+from repro.flow.config import CtsConfig
+from repro.flow.cts import CtsRunResult, DoubleSideCTS
+from repro.tech.pdk import Pdk
+
+
+class SingleSideCTS(DoubleSideCTS):
+    """Hierarchical routing + buffer-only insertion + skew refinement."""
+
+    flow_name = "our_buffered_tree"
+
+    def __init__(self, pdk: Pdk, config: CtsConfig | None = None) -> None:
+        front_only = pdk.front_side_only() if pdk.has_backside else pdk
+        # Bypass the DoubleSideCTS back-side requirement: the whole point of
+        # this flow is running the identical machinery without a back side.
+        self.pdk = front_only
+        self.config = (config if config is not None else CtsConfig()).single_side()
+
+    def run(self, design, design_name: str | None = None) -> CtsRunResult:
+        result = super().run(design, design_name)
+        if result.metrics.ntsvs != 0:  # pragma: no cover - structural guarantee
+            raise RuntimeError("single-side CTS produced nTSVs")
+        return result

@@ -1,0 +1,28 @@
+"""Manhattan-plane geometry primitives used throughout the CTS flow.
+
+The clock-routing algorithms (Section III-B of the paper) operate in the
+Manhattan (L1) metric.  This package provides:
+
+* :class:`Point` — an immutable 2-D point with Manhattan distance helpers.
+* :class:`Rect` — an axis-aligned rectangle (die area, placement rows,
+  bounding boxes).
+* :class:`TiltedRect` — a 45-degree tilted rectangle represented in the
+  rotated (Chebyshev) coordinate system; the building block of
+  deferred-merge-embedding (DME) merging regions and tilted rectangular
+  regions (TRRs).
+"""
+
+from repro.geometry.point import Point, manhattan, midpoint, centroid
+from repro.geometry.rect import Rect, bounding_box
+from repro.geometry.trr import TiltedRect, merging_region
+
+__all__ = [
+    "Point",
+    "manhattan",
+    "midpoint",
+    "centroid",
+    "Rect",
+    "bounding_box",
+    "TiltedRect",
+    "merging_region",
+]

@@ -1,0 +1,100 @@
+"""Immutable 2-D points in the Manhattan plane.
+
+All physical coordinates in this library are expressed in micrometres (um),
+matching the unit convention of LEF/DEF after division by the database unit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A 2-D point with float coordinates in micrometres.
+
+    The class is immutable and hashable so points can be used as dictionary
+    keys (e.g. to deduplicate Steiner points during routing).
+    """
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Return the Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Return the Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def snapped(self, grid: float) -> "Point":
+        """Return the point snapped to a routing grid of pitch ``grid``."""
+        if grid <= 0:
+            raise ValueError(f"grid pitch must be positive, got {grid}")
+        return Point(round(self.x / grid) * grid, round(self.y / grid) * grid)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """Return True when both coordinates match within ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x:.3f}, {self.y:.3f})"
+
+
+def manhattan(a: Point | Sequence[float], b: Point | Sequence[float]) -> float:
+    """Manhattan distance between two points or ``(x, y)`` sequences."""
+    ax, ay = (a.x, a.y) if isinstance(a, Point) else (a[0], a[1])
+    bx, by = (b.x, b.y) if isinstance(b, Point) else (b[0], b[1])
+    return abs(ax - bx) + abs(ay - by)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Return the Euclidean midpoint of ``a`` and ``b``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Return the arithmetic centroid of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of an empty point collection is undefined")
+    sx = sum(p.x for p in pts)
+    sy = sum(p.y for p in pts)
+    return Point(sx / len(pts), sy / len(pts))
+
+
+def point_toward(origin: Point, target: Point, distance: float) -> Point:
+    """Return a point at Manhattan ``distance`` from ``origin`` toward ``target``.
+
+    The point is obtained by walking along an L-shaped (x-first) Manhattan
+    path from ``origin`` to ``target``.  When ``distance`` exceeds the full
+    Manhattan separation the target itself is returned.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    total = origin.manhattan(target)
+    if distance >= total:
+        return target
+    dx = target.x - origin.x
+    if distance <= abs(dx):
+        step = math.copysign(distance, dx) if dx != 0 else 0.0
+        return Point(origin.x + step, origin.y)
+    remaining = distance - abs(dx)
+    dy = target.y - origin.y
+    step = math.copysign(remaining, dy) if dy != 0 else 0.0
+    return Point(target.x, origin.y + step)

@@ -1,0 +1,121 @@
+"""Axis-aligned rectangles (die areas, bounding boxes, cluster extents)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(
+                f"degenerate rectangle: ({self.xlo}, {self.ylo}) .. ({self.xhi}, {self.yhi})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    @property
+    def half_perimeter(self) -> float:
+        """Half-perimeter wirelength (HPWL) of the rectangle."""
+        return self.width + self.height
+
+    def contains(self, point: Point, tol: float = 1e-9) -> bool:
+        """Return True when ``point`` lies inside or on the boundary."""
+        return (
+            self.xlo - tol <= point.x <= self.xhi + tol
+            and self.ylo - tol <= point.y <= self.yhi + tol
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Return the point inside the rectangle closest to ``point``."""
+        return Point(
+            min(max(point.x, self.xlo), self.xhi),
+            min(max(point.y, self.ylo), self.yhi),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True when the two rectangles share at least one point."""
+        return not (
+            self.xhi < other.xlo
+            or other.xhi < self.xlo
+            or self.yhi < other.ylo
+            or other.yhi < self.ylo
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the intersection rectangle, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return the rectangle grown by ``margin`` on every side."""
+        if margin < 0 and (2 * -margin > self.width or 2 * -margin > self.height):
+            raise ValueError("negative margin larger than rectangle extent")
+        return Rect(
+            self.xlo - margin, self.ylo - margin, self.xhi + margin, self.yhi + margin
+        )
+
+    def quadrants(self) -> tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into four equal quadrants (SW, SE, NW, NE)."""
+        cx, cy = self.center.x, self.center.y
+        return (
+            Rect(self.xlo, self.ylo, cx, cy),
+            Rect(cx, self.ylo, self.xhi, cy),
+            Rect(self.xlo, cy, cx, self.yhi),
+            Rect(cx, cy, self.xhi, self.yhi),
+        )
+
+    def halves(self, vertical_cut: bool) -> tuple["Rect", "Rect"]:
+        """Split into two halves; ``vertical_cut`` cuts along x = center.x."""
+        if vertical_cut:
+            cx = self.center.x
+            return (
+                Rect(self.xlo, self.ylo, cx, self.yhi),
+                Rect(cx, self.ylo, self.xhi, self.yhi),
+            )
+        cy = self.center.y
+        return (
+            Rect(self.xlo, self.ylo, self.xhi, cy),
+            Rect(self.xlo, cy, self.xhi, self.yhi),
+        )
+
+
+def bounding_box(points: Iterable[Point]) -> Rect:
+    """Return the axis-aligned bounding box of a non-empty point collection."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding box of an empty point collection is undefined")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Rect(min(xs), min(ys), max(xs), max(ys))

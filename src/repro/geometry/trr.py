@@ -1,0 +1,161 @@
+"""Tilted rectangular regions (TRRs) for deferred-merge embedding.
+
+DME reasons about loci of points that are at a fixed Manhattan distance from
+a *merging segment*.  In the Manhattan metric those loci are rectangles tilted
+by 45 degrees.  The standard trick is to work in the rotated coordinate system
+
+    u = x + y,    v = x - y
+
+where the Manhattan metric becomes the Chebyshev (L-infinity) metric, tilted
+rectangles become axis-aligned rectangles, and "inflate by radius r" becomes
+"grow by r on every side".  This module implements that representation.
+
+The merging *segments* produced by exact DME are always degenerate tilted
+rectangles (zero extent in one rotated axis).  We keep the general rectangle
+form because detour cases and numerically-inexact radii can otherwise produce
+empty intersections; the embedding step simply picks the nearest point of the
+region, which is exact for true segments and a high-quality approximation for
+thin rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+def to_rotated(p: Point) -> tuple[float, float]:
+    """Map a point to rotated (u, v) = (x + y, x - y) coordinates."""
+    return (p.x + p.y, p.x - p.y)
+
+
+def from_rotated(u: float, v: float) -> Point:
+    """Map rotated (u, v) coordinates back to a Manhattan-plane point."""
+    return Point((u + v) / 2.0, (u - v) / 2.0)
+
+
+@dataclass(frozen=True, slots=True)
+class TiltedRect:
+    """A 45-degree tilted rectangle stored as an axis-aligned box in (u, v).
+
+    ``ulo <= uhi`` and ``vlo <= vhi`` always hold.  A point corresponds to
+    ``ulo == uhi and vlo == vhi``; a classic DME merging segment has exactly
+    one degenerate axis.
+    """
+
+    ulo: float
+    vlo: float
+    uhi: float
+    vhi: float
+
+    def __post_init__(self) -> None:
+        if self.uhi < self.ulo or self.vhi < self.vlo:
+            raise ValueError("degenerate tilted rectangle with negative extent")
+
+    @classmethod
+    def from_point(cls, p: Point) -> "TiltedRect":
+        u, v = to_rotated(p)
+        return cls(u, v, u, v)
+
+    @classmethod
+    def from_segment(cls, a: Point, b: Point, tol: float = 1e-6) -> "TiltedRect":
+        """Build the region spanned by a Manhattan arc between ``a`` and ``b``.
+
+        The two endpoints must lie on a common +/-45-degree line (within
+        ``tol``); otherwise the bounding tilted rectangle of the two points is
+        returned, which is the conservative superset used by approximate DME.
+        """
+        ua, va = to_rotated(a)
+        ub, vb = to_rotated(b)
+        return cls(min(ua, ub), min(va, vb), max(ua, ub), max(va, vb))
+
+    @property
+    def is_point(self) -> bool:
+        return self.ulo == self.uhi and self.vlo == self.vhi
+
+    @property
+    def is_segment(self) -> bool:
+        return (self.ulo == self.uhi) != (self.vlo == self.vhi)
+
+    def corners(self) -> list[Point]:
+        """Return the (up to four) corners in the Manhattan plane."""
+        rotated = {
+            (self.ulo, self.vlo),
+            (self.ulo, self.vhi),
+            (self.uhi, self.vlo),
+            (self.uhi, self.vhi),
+        }
+        return [from_rotated(u, v) for u, v in sorted(rotated)]
+
+    def center(self) -> Point:
+        return from_rotated((self.ulo + self.uhi) / 2.0, (self.vlo + self.vhi) / 2.0)
+
+    def inflated(self, radius: float) -> "TiltedRect":
+        """Return the region of points within Manhattan ``radius`` of this one."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        return TiltedRect(
+            self.ulo - radius, self.vlo - radius, self.uhi + radius, self.vhi + radius
+        )
+
+    def distance_to(self, other: "TiltedRect") -> float:
+        """Minimum Manhattan distance between the two regions (0 if overlapping)."""
+        du = max(0.0, max(self.ulo, other.ulo) - min(self.uhi, other.uhi))
+        dv = max(0.0, max(self.vlo, other.vlo) - min(self.vhi, other.vhi))
+        return max(du, dv)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum Manhattan distance from the region to a point."""
+        return self.distance_to(TiltedRect.from_point(p))
+
+    def intersection(self, other: "TiltedRect") -> "TiltedRect | None":
+        """Return the intersection region, or None when disjoint."""
+        ulo = max(self.ulo, other.ulo)
+        vlo = max(self.vlo, other.vlo)
+        uhi = min(self.uhi, other.uhi)
+        vhi = min(self.vhi, other.vhi)
+        if uhi < ulo or vhi < vlo:
+            return None
+        return TiltedRect(ulo, vlo, uhi, vhi)
+
+    def nearest_point_to(self, p: Point) -> Point:
+        """Return the point of the region closest (Manhattan) to ``p``."""
+        u, v = to_rotated(p)
+        cu = min(max(u, self.ulo), self.uhi)
+        cv = min(max(v, self.vlo), self.vhi)
+        # The clamped rotated point is only a valid Manhattan point when
+        # (cu + cv) and (cu - cv) are both realisable; any (u, v) pair maps
+        # back to a real point, so no extra care is required.
+        return from_rotated(cu, cv)
+
+
+def merging_region(
+    region_a: TiltedRect,
+    region_b: TiltedRect,
+    extra_a: float,
+    extra_b: float,
+) -> TiltedRect:
+    """Compute the merging region of two child regions.
+
+    ``extra_a`` and ``extra_b`` are the wire lengths allotted to the edges
+    from the merge point down to child ``a`` and child ``b`` respectively.
+    The merging region is the intersection of the two inflated regions; when
+    the allotted lengths are (numerically) insufficient the midpoint locus is
+    approximated by the intersection obtained after inflating both regions to
+    half of the residual gap, which keeps the construction total.
+    """
+    if extra_a < 0 or extra_b < 0:
+        raise ValueError("edge lengths must be non-negative")
+    inflated_a = region_a.inflated(extra_a)
+    inflated_b = region_b.inflated(extra_b)
+    inter = inflated_a.intersection(inflated_b)
+    if inter is not None:
+        return inter
+    gap = inflated_a.distance_to(inflated_b)
+    # Numerical slack: grow both by half the residual gap (plus epsilon).
+    slack = gap / 2.0 + 1e-9
+    inter = inflated_a.inflated(slack).intersection(inflated_b.inflated(slack))
+    if inter is None:  # pragma: no cover - defensive, cannot happen after slack
+        raise RuntimeError("merging region construction failed")
+    return inter

@@ -1,0 +1,129 @@
+"""DP candidate solutions.
+
+A candidate describes one way of implementing the *whole subtree* hanging
+below (and including) a DP node's edge.  It records everything the DP needs
+to keep going upward (side at the upstream end, effective capacitance, path
+delays) and everything the multi-objective selection needs (buffer and nTSV
+counts), together with back-pointers for the top-down decision step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.tech.layers import Side
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.insertion.patterns import EdgePattern
+
+
+@dataclass
+class CandidateSolution:
+    """One candidate implementation of a DP subtree.
+
+    Attributes:
+        up_side: side type of the edge's upstream (root-facing) end-point.
+        capacitance: effective capacitance (fF) seen looking down into the
+            edge from the upstream end-point.
+        max_delay: worst path delay (ps) from the upstream end-point to any
+            sink in the subtree.
+        min_delay: best (smallest) such path delay; tracked so that skew can
+            be estimated for every candidate.
+        buffer_count: buffers used by the whole subtree under this candidate.
+        ntsv_count: nTSVs used by the whole subtree under this candidate.
+        pattern: pattern chosen for this DP node's edge (None for the virtual
+            base solution of a leaf DP node before its first insertion).
+        children: the predecessor-node candidates this one was merged from;
+            recorded dependencies for the top-down decision (Step 4).
+    """
+
+    up_side: Side
+    capacitance: float
+    max_delay: float
+    min_delay: float
+    buffer_count: int = 0
+    ntsv_count: int = 0
+    pattern: Optional["EdgePattern"] = None
+    children: tuple["CandidateSolution", ...] = field(default=(), repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError("candidate capacitance must be non-negative")
+        if self.min_delay > self.max_delay + 1e-9:
+            raise ValueError("candidate min delay exceeds max delay")
+        if self.buffer_count < 0 or self.ntsv_count < 0:
+            raise ValueError("candidate resource counts must be non-negative")
+
+    @property
+    def skew(self) -> float:
+        """Skew (ps) within the subtree covered by this candidate."""
+        return self.max_delay - self.min_delay
+
+    @property
+    def resource_count(self) -> int:
+        """Total inserted cells (buffers + nTSVs)."""
+        return self.buffer_count + self.ntsv_count
+
+    def dominates(self, other: "CandidateSolution", tol: float = 1e-9) -> bool:
+        """Van Ginneken dominance on (capacitance, max delay).
+
+        A candidate dominates another when it is no worse in both effective
+        capacitance and worst path delay (and the two share the same upstream
+        side, which the caller is responsible for grouping by).
+        """
+        return (
+            self.capacitance <= other.capacitance + tol
+            and self.max_delay <= other.max_delay + tol
+        )
+
+    def strictly_dominates(self, other: "CandidateSolution", tol: float = 1e-9) -> bool:
+        """Dominates *and* is strictly better in at least one dimension."""
+        return self.dominates(other, tol) and (
+            self.capacitance < other.capacitance - tol
+            or self.max_delay < other.max_delay - tol
+        )
+
+    def with_pattern(
+        self,
+        pattern: "EdgePattern",
+        capacitance: float,
+        max_delay: float,
+        min_delay: float,
+        added_buffers: int,
+        added_ntsvs: int,
+    ) -> "CandidateSolution":
+        """Return a new candidate obtained by applying ``pattern`` above this one."""
+        return CandidateSolution(
+            up_side=pattern.up_side,
+            capacitance=capacitance,
+            max_delay=max_delay,
+            min_delay=min_delay,
+            buffer_count=self.buffer_count + added_buffers,
+            ntsv_count=self.ntsv_count + added_ntsvs,
+            pattern=pattern,
+            children=(self,),
+        )
+
+    @staticmethod
+    def merge(a: "CandidateSolution", b: "CandidateSolution") -> "CandidateSolution":
+        """Merge two predecessor candidates at a shared vertex.
+
+        The merge is only legal when both upstream sides agree (the paper's
+        connectivity constraint); the caller must enforce that before calling.
+        """
+        if a.up_side is not b.up_side:
+            raise ValueError(
+                "cannot merge candidates with different upstream sides "
+                f"({a.up_side.value} vs {b.up_side.value})"
+            )
+        return CandidateSolution(
+            up_side=a.up_side,
+            capacitance=a.capacitance + b.capacitance,
+            max_delay=max(a.max_delay, b.max_delay),
+            min_delay=min(a.min_delay, b.min_delay),
+            buffer_count=a.buffer_count + b.buffer_count,
+            ntsv_count=a.ntsv_count + b.ntsv_count,
+            pattern=None,
+            children=(a, b),
+        )

@@ -1,0 +1,508 @@
+"""The multi-objective dynamic program for concurrent buffer and nTSV insertion.
+
+Implements the four steps of Section III-C.2 and Fig. 7:
+
+1. **Build heterogeneous DP tree** — delegated to
+   :func:`repro.insertion.dp_tree.build_dp_tree`; per-node insertion modes
+   make the tree heterogeneous.
+2. **Bottom-up generation** — leaf DP nodes start from the lumped leaf-net
+   load with the sink-facing end forced to the front side; every node merges
+   the candidate sets of its predecessors (only combinations whose shared
+   vertex has a consistent side are legal) and then applies every allowed
+   edge pattern, with per-side inferior-solution pruning and the maximum
+   driven-capacitance filter.
+3. **Multi-objective selection** — the root candidate set is scored with the
+   MOES (Eq. (3)) or, optionally, by pure minimum latency.
+4. **Top-down decision** — the recorded dependencies are retraced and the
+   chosen pattern of every DP node is realised on the clock tree (buffer and
+   nTSV nodes are inserted, wire sides assigned), producing a legal
+   double-side clock tree without any extra legalisation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.clocktree import ClockTree
+from repro.geometry.point import point_toward
+from repro.insertion.candidate import CandidateSolution
+from repro.insertion.dp_tree import DpNode, DpTree, build_dp_tree
+from repro.insertion.moes import MoesWeights, select_by_moes, select_min_latency
+from repro.insertion.patterns import EdgePattern, InsertionMode, patterns_for
+from repro.insertion.pruning import prune_per_side
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+from repro.timing import ElmoreTimingEngine, TimingResult
+
+
+@dataclass
+class InsertionConfig:
+    """Tuning knobs of the concurrent insertion DP.
+
+    Attributes:
+        weights: MOES weights (alpha, beta, gamma); the paper uses (1, 10, 1).
+        selection: ``"moes"`` (default) or ``"min_latency"``; the latter is
+            the "w/o MOES" variant compared in Fig. 10.
+        max_segment_length: trunk edges longer than this (um) are subdivided
+            before the DP; ``None`` keeps the routed edges untouched.
+        keep_resource_diversity: keep cheaper-but-slower candidates alongside
+            the (cap, delay) Pareto staircase so the root set stays diverse.
+        max_candidates_per_side: beam width per side and DP node; bounds the
+            quadratic merge cost.
+        default_mode: insertion mode applied to every DP node unless a
+            mode assignment callable or fanout threshold overrides it.
+        root_resistance: drive resistance (kOhm) of the clock source, used to
+            translate root candidates into latency estimates.
+    """
+
+    weights: MoesWeights = field(default_factory=MoesWeights)
+    selection: str = "moes"
+    max_segment_length: float | None = 200.0
+    keep_resource_diversity: bool = False
+    max_candidates_per_side: int | None = 16
+    default_mode: InsertionMode = InsertionMode.FULL
+    root_resistance: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.selection not in ("moes", "min_latency"):
+            raise ValueError(f"unknown selection strategy {self.selection!r}")
+
+
+@dataclass
+class InsertionResult:
+    """Outcome of the concurrent buffer and nTSV insertion."""
+
+    tree: ClockTree
+    dp_tree: DpTree
+    selected: CandidateSolution
+    root_candidates: list[CandidateSolution]
+    timing: TimingResult
+    inserted_buffers: int
+    inserted_ntsvs: int
+
+    @property
+    def latency(self) -> float:
+        return self.timing.latency
+
+    @property
+    def skew(self) -> float:
+        return self.timing.skew
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "latency_ps": round(self.timing.latency, 3),
+            "skew_ps": round(self.timing.skew, 3),
+            "buffers": self.inserted_buffers,
+            "ntsvs": self.inserted_ntsvs,
+            "root_candidates": len(self.root_candidates),
+        }
+
+
+class ConcurrentInserter:
+    """Concurrent buffer and nTSV insertion by multi-objective DP."""
+
+    def __init__(self, pdk: Pdk, config: InsertionConfig | None = None) -> None:
+        self.pdk = pdk
+        self.config = config if config is not None else InsertionConfig()
+        self._engine = ElmoreTimingEngine(pdk)
+
+    # ----------------------------------------------------------------- public
+    def run(
+        self,
+        tree: ClockTree,
+        dp_tree: DpTree | None = None,
+        mode_of: Callable[[DpNode], InsertionMode] | None = None,
+        fanout_threshold: int | None = None,
+    ) -> InsertionResult:
+        """Insert buffers and nTSVs into ``tree`` (modified in place).
+
+        Args:
+            tree: the routed, unbuffered clock tree.
+            dp_tree: a pre-built DP tree; built from ``tree`` when omitted.
+            mode_of: optional per-node mode assignment (overrides the default).
+            fanout_threshold: the DSE heuristic — nodes with fewer downstream
+                sinks than the threshold use full mode, others intra-side.
+        """
+        if dp_tree is None:
+            dp_tree = build_dp_tree(
+                tree,
+                self.pdk,
+                max_segment_length=self.config.max_segment_length,
+                default_mode=self.config.default_mode,
+            )
+        if mode_of is not None:
+            dp_tree.configure_modes(mode_of)
+        if fanout_threshold is not None:
+            dp_tree.configure_fanout_threshold(fanout_threshold)
+
+        candidates = self._bottom_up(dp_tree)
+        root_candidates = self._root_candidates(dp_tree, candidates)
+        selected = self._select(root_candidates)
+        self._top_down(dp_tree, candidates, selected)
+
+        timing = self._engine.analyze(tree)
+        return InsertionResult(
+            tree=tree,
+            dp_tree=dp_tree,
+            selected=selected,
+            root_candidates=root_candidates,
+            timing=timing,
+            inserted_buffers=tree.buffer_count(),
+            inserted_ntsvs=tree.ntsv_count(),
+        )
+
+    # ------------------------------------------------------- step 2: bottom-up
+    def _bottom_up(self, dp_tree: DpTree) -> dict[int, list[CandidateSolution]]:
+        """Generate pruned candidate sets for every DP node, bottom-up."""
+        candidates: dict[int, list[CandidateSolution]] = {}
+        for dp_node in dp_tree.nodes:
+            merged = self._merge(dp_node, candidates)
+            inserted = self._insert(dp_node, merged)
+            pruned = prune_per_side(
+                inserted,
+                max_capacitance=self.pdk.max_capacitance,
+                keep_resource_diversity=self.config.keep_resource_diversity,
+                max_candidates_per_side=self.config.max_candidates_per_side,
+            )
+            if not pruned:
+                # Every candidate violates the maximum load (e.g. an oversized
+                # leaf net that even a buffer cannot legalise).  Keep the DP
+                # total by retaining the unchecked candidates; the violation
+                # then shows up in the evaluation instead of aborting the run.
+                relaxed = self._insert(dp_node, merged, enforce_driver_load=False)
+                pruned = prune_per_side(
+                    relaxed,
+                    max_capacitance=None,
+                    keep_resource_diversity=self.config.keep_resource_diversity,
+                    max_candidates_per_side=self.config.max_candidates_per_side,
+                )
+            if not pruned:  # pragma: no cover - relaxed insertion is always non-empty
+                raise RuntimeError(
+                    f"DP node {dp_node.name} has no feasible candidate solutions"
+                )
+            candidates[dp_node.index] = pruned
+        return candidates
+
+    def _merge(
+        self,
+        dp_node: DpNode,
+        candidates: dict[int, list[CandidateSolution]],
+    ) -> list[CandidateSolution]:
+        """Merge predecessor candidates at the downstream vertex of ``dp_node``.
+
+        Leaf DP nodes start from the lumped leaf-net load with the vertex
+        forced to the front side.  The merged candidate's ``children`` tuple
+        lists one candidate per predecessor, in predecessor order, which is
+        what the top-down decision retraces.
+        """
+        if dp_node.is_leaf:
+            return [
+                CandidateSolution(
+                    up_side=Side.FRONT,
+                    capacitance=dp_node.base_capacitance,
+                    max_delay=dp_node.base_max_delay,
+                    min_delay=dp_node.base_min_delay,
+                )
+            ]
+
+        combos: list[CandidateSolution] = []
+        first = True
+        for pred in dp_node.predecessors:
+            pred_cands = candidates[pred.index]
+            if first:
+                combos = [
+                    CandidateSolution(
+                        up_side=c.up_side,
+                        capacitance=c.capacitance,
+                        max_delay=c.max_delay,
+                        min_delay=c.min_delay,
+                        buffer_count=c.buffer_count,
+                        ntsv_count=c.ntsv_count,
+                        children=(c,),
+                    )
+                    for c in pred_cands
+                ]
+                first = False
+                continue
+            next_combos: list[CandidateSolution] = []
+            for combo in combos:
+                for cand in pred_cands:
+                    if cand.up_side is not combo.up_side:
+                        continue  # connectivity constraint at the shared vertex
+                    next_combos.append(
+                        CandidateSolution(
+                            up_side=combo.up_side,
+                            capacitance=combo.capacitance + cand.capacitance,
+                            max_delay=max(combo.max_delay, cand.max_delay),
+                            min_delay=min(combo.min_delay, cand.min_delay),
+                            buffer_count=combo.buffer_count + cand.buffer_count,
+                            ntsv_count=combo.ntsv_count + cand.ntsv_count,
+                            children=combo.children + (cand,),
+                        )
+                    )
+            combos = next_combos
+            if not combos:
+                raise RuntimeError(
+                    f"DP node {dp_node.name}: predecessors have no side-compatible "
+                    "candidate combination"
+                )
+
+        # Add the static load at the vertex (pin cap + direct leaf net).
+        finalized: list[CandidateSolution] = []
+        for combo in combos:
+            max_delay = combo.max_delay
+            min_delay = combo.min_delay
+            if dp_node.has_direct_sinks:
+                if combo.up_side is not Side.FRONT:
+                    continue  # leaf nets are front-side: the vertex must be front
+                max_delay = max(max_delay, dp_node.base_max_delay)
+                min_delay = min(min_delay, dp_node.base_min_delay)
+            finalized.append(
+                CandidateSolution(
+                    up_side=combo.up_side,
+                    capacitance=combo.capacitance + dp_node.base_capacitance,
+                    max_delay=max_delay,
+                    min_delay=min_delay,
+                    buffer_count=combo.buffer_count,
+                    ntsv_count=combo.ntsv_count,
+                    children=combo.children,
+                )
+            )
+        if not finalized:
+            raise RuntimeError(
+                f"DP node {dp_node.name}: no merged candidate satisfies the "
+                "front-side leaf-net constraint"
+            )
+        return prune_per_side(
+            finalized,
+            max_capacitance=None,
+            keep_resource_diversity=self.config.keep_resource_diversity,
+            max_candidates_per_side=self.config.max_candidates_per_side,
+        )
+
+    def _insert(
+        self,
+        dp_node: DpNode,
+        merged: Sequence[CandidateSolution],
+        enforce_driver_load: bool = True,
+    ) -> list[CandidateSolution]:
+        """Apply every allowed pattern of ``dp_node`` to every merged candidate."""
+        results: list[CandidateSolution] = []
+        for base in merged:
+            allowed = patterns_for(
+                dp_node.mode,
+                self.pdk.has_backside,
+                required_down_side=base.up_side,
+            )
+            for pattern in allowed:
+                candidate = self._apply_pattern(
+                    pattern,
+                    dp_node.length,
+                    base,
+                    enforce_driver_load=enforce_driver_load,
+                )
+                if candidate is not None:
+                    results.append(candidate)
+        return results
+
+    def _apply_pattern(
+        self,
+        pattern: EdgePattern,
+        length: float,
+        base: CandidateSolution,
+        enforce_driver_load: bool = True,
+    ) -> CandidateSolution | None:
+        """Electrical effect of implementing one edge with ``pattern``.
+
+        Matches the realisation in :meth:`_realize_pattern` and therefore the
+        Elmore engine exactly (Eq. (1) / Eq. (2) of the paper).  Returns None
+        when the pattern would make an inserted buffer drive more than the
+        PDK's maximum load (and ``enforce_driver_load`` is set).
+        """
+        front = self.pdk.front_layer
+        back = self.pdk.back_layer if self.pdk.has_backside else None
+        buffer = self.pdk.buffer
+        cap = base.capacitance
+        delay = 0.0
+
+        if pattern.name == "P2_Wiring_F":
+            delay += front.wire_delay(length, cap)
+            cap += front.wire_capacitance(length)
+        elif pattern.name == "P3_Wiring_B":
+            assert back is not None
+            delay += back.wire_delay(length, cap)
+            cap += back.wire_capacitance(length)
+        elif pattern.name == "P1_Buffer":
+            half = length / 2.0
+            delay += front.wire_delay(half, cap)
+            cap += front.wire_capacitance(half)
+            if enforce_driver_load and cap > self.pdk.max_capacitance + 1e-9:
+                return None
+            delay += buffer.delay(cap)
+            cap = buffer.input_capacitance
+            delay += front.wire_delay(half, cap)
+            cap += front.wire_capacitance(half)
+        elif pattern.name == "P4_nTSV1":
+            assert back is not None and self.pdk.ntsv is not None
+            ntsv = self.pdk.ntsv
+            delay += ntsv.delay(cap)
+            cap += ntsv.capacitance
+            delay += back.wire_delay(length, cap)
+            cap += back.wire_capacitance(length)
+            delay += ntsv.delay(cap)
+            cap += ntsv.capacitance
+        elif pattern.name == "P5_nTSV2":
+            assert back is not None and self.pdk.ntsv is not None
+            ntsv = self.pdk.ntsv
+            delay += ntsv.delay(cap)
+            cap += ntsv.capacitance
+            delay += back.wire_delay(length, cap)
+            cap += back.wire_capacitance(length)
+        elif pattern.name == "P6_nTSV3":
+            assert back is not None and self.pdk.ntsv is not None
+            ntsv = self.pdk.ntsv
+            delay += back.wire_delay(length, cap)
+            cap += back.wire_capacitance(length)
+            delay += ntsv.delay(cap)
+            cap += ntsv.capacitance
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown pattern {pattern.name!r}")
+
+        return base.with_pattern(
+            pattern,
+            capacitance=cap,
+            max_delay=base.max_delay + delay,
+            min_delay=base.min_delay + delay,
+            added_buffers=pattern.buffer_count,
+            added_ntsvs=pattern.ntsv_count,
+        )
+
+    # -------------------------------------------------------- step 3: selection
+    def _root_candidates(
+        self,
+        dp_tree: DpTree,
+        candidates: dict[int, list[CandidateSolution]],
+    ) -> list[CandidateSolution]:
+        """Combine the root DP nodes at the clock source (front side only)."""
+        combos: list[CandidateSolution] = []
+        first = True
+        for root_dp in dp_tree.root_nodes:
+            cands = [
+                c for c in candidates[root_dp.index] if c.up_side is Side.FRONT
+            ]
+            if not cands:
+                raise RuntimeError(
+                    f"root DP node {root_dp.name} has no front-side candidate"
+                )
+            if first:
+                combos = [
+                    CandidateSolution(
+                        up_side=Side.FRONT,
+                        capacitance=c.capacitance,
+                        max_delay=c.max_delay,
+                        min_delay=c.min_delay,
+                        buffer_count=c.buffer_count,
+                        ntsv_count=c.ntsv_count,
+                        children=(c,),
+                    )
+                    for c in cands
+                ]
+                first = False
+                continue
+            combos = [
+                CandidateSolution(
+                    up_side=Side.FRONT,
+                    capacitance=combo.capacitance + cand.capacitance,
+                    max_delay=max(combo.max_delay, cand.max_delay),
+                    min_delay=min(combo.min_delay, cand.min_delay),
+                    buffer_count=combo.buffer_count + cand.buffer_count,
+                    ntsv_count=combo.ntsv_count + cand.ntsv_count,
+                    children=combo.children + (cand,),
+                )
+                for combo in combos
+                for cand in cands
+            ]
+        # Account for the clock source driving the root load.
+        final = []
+        for combo in combos:
+            source_delay = self.config.root_resistance * combo.capacitance
+            final.append(
+                CandidateSolution(
+                    up_side=Side.FRONT,
+                    capacitance=combo.capacitance,
+                    max_delay=combo.max_delay + source_delay,
+                    min_delay=combo.min_delay + source_delay,
+                    buffer_count=combo.buffer_count,
+                    ntsv_count=combo.ntsv_count,
+                    children=combo.children,
+                )
+            )
+        return final
+
+    def _select(self, root_candidates: list[CandidateSolution]) -> CandidateSolution:
+        if self.config.selection == "min_latency":
+            return select_min_latency(root_candidates)
+        return select_by_moes(root_candidates, self.config.weights)
+
+    # -------------------------------------------------------- step 4: top-down
+    def _top_down(
+        self,
+        dp_tree: DpTree,
+        candidates: dict[int, list[CandidateSolution]],
+        selected: CandidateSolution,
+    ) -> None:
+        """Retrace the recorded dependencies and realise the chosen patterns."""
+        stack: list[tuple[DpNode, CandidateSolution]] = list(
+            zip(dp_tree.root_nodes, selected.children)
+        )
+        while stack:
+            dp_node, cand = stack.pop()
+            if cand.pattern is None:
+                raise RuntimeError(
+                    f"top-down decision reached {dp_node.name} without a pattern"
+                )
+            self._realize_pattern(dp_tree.clock_tree, dp_node, cand.pattern)
+            merged = cand.children[0]
+            stack.extend(zip(dp_node.predecessors, merged.children))
+
+    def _realize_pattern(
+        self, tree: ClockTree, dp_node: DpNode, pattern: EdgePattern
+    ) -> None:
+        """Insert the devices and assign wire sides for one decided edge."""
+        child = dp_node.tree_child
+        parent = child.parent
+        if parent is None:  # pragma: no cover - root edges always have a parent
+            raise RuntimeError(f"DP node {dp_node.name} has no parent edge")
+        ntsv = self.pdk.ntsv
+        length = dp_node.length
+
+        if pattern.name == "P2_Wiring_F":
+            child.wire_side = Side.FRONT
+            child.side = Side.FRONT if not child.is_ntsv else child.side
+        elif pattern.name == "P3_Wiring_B":
+            child.wire_side = Side.BACK
+            child.side = Side.BACK
+        elif pattern.name == "P1_Buffer":
+            child.wire_side = Side.FRONT
+            child.side = Side.FRONT
+            midpoint = point_toward(child.location, parent.location, length / 2.0)
+            tree.add_buffer(child, midpoint, self.pdk.buffer.input_capacitance)
+        elif pattern.name == "P4_nTSV1":
+            assert ntsv is not None
+            child.wire_side = Side.FRONT
+            child.side = Side.FRONT
+            low = tree.add_ntsv(child, child.location, ntsv.capacitance, Side.BACK)
+            tree.add_ntsv(low, parent.location, ntsv.capacitance, Side.FRONT)
+        elif pattern.name == "P5_nTSV2":
+            assert ntsv is not None
+            child.wire_side = Side.FRONT
+            child.side = Side.FRONT
+            tree.add_ntsv(child, child.location, ntsv.capacitance, Side.BACK)
+        elif pattern.name == "P6_nTSV3":
+            assert ntsv is not None
+            child.wire_side = Side.BACK
+            child.side = Side.BACK
+            tree.add_ntsv(child, parent.location, ntsv.capacitance, Side.FRONT)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown pattern {pattern.name!r}")

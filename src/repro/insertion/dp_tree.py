@@ -1,0 +1,233 @@
+"""Building the heterogeneous DP tree from a routed clock tree (Step 1).
+
+Every *trunk* edge of the clock tree (an edge whose downstream node is not a
+sink) becomes one DP node.  Two adjacent trunk edges are linked in the DP
+tree, which is therefore rooted at the edge leaving the clock root.  Each DP
+node carries an insertion mode (full / intra-side), which is how the DSE flow
+of Section III-E makes the DP tree *heterogeneous*.
+
+Long trunk edges are optionally subdivided into chains of shorter segments
+before the DP, so that more than one buffer/nTSV pattern can be placed along
+a physically long route (part of the double-side design space formulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.geometry.point import point_toward
+from repro.insertion.patterns import InsertionMode
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+
+
+@dataclass
+class DpNode:
+    """A DP node: one trunk edge of the (segmented) clock tree.
+
+    Attributes:
+        index: position in the bottom-up evaluation order.
+        tree_child: the clock-tree node at the downstream (sink-facing) end
+            of the edge; the upstream end is ``tree_child.parent``.
+        length: Manhattan length of the edge (um).
+        predecessors: DP nodes of the trunk edges directly below this one.
+        mode: insertion mode restricting the selectable patterns.
+        fanout: number of sinks in the subtree below the edge (used by the
+            DSE fanout threshold).
+        base_capacitance: static load at the downstream vertex that is not
+            covered by predecessor DP nodes: the vertex's own pin capacitance
+            plus the leaf-net wire and sink-pin capacitance of direct sink
+            children (the leaf net stays on the front side).
+        base_max_delay / base_min_delay: worst / best delay (ps) from the
+            downstream vertex through the leaf net to its direct sinks.
+    """
+
+    index: int
+    tree_child: ClockTreeNode
+    length: float
+    predecessors: list["DpNode"] = field(default_factory=list)
+    mode: InsertionMode = InsertionMode.FULL
+    fanout: int = 0
+    base_capacitance: float = 0.0
+    base_max_delay: float = 0.0
+    base_min_delay: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the DP node has no trunk-edge predecessors."""
+        return not self.predecessors
+
+    @property
+    def has_direct_sinks(self) -> bool:
+        """True when the downstream vertex drives a leaf net directly."""
+        return any(child.is_sink for child in self.tree_child.children)
+
+    @property
+    def name(self) -> str:
+        return f"dp[{self.tree_child.name}]"
+
+
+@dataclass
+class DpTree:
+    """The full DP tree: all DP nodes in bottom-up order plus the roots."""
+
+    nodes: list[DpNode]
+    root_nodes: list[DpNode]
+    clock_tree: ClockTree
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def leaves(self) -> list[DpNode]:
+        return [n for n in self.nodes if n.is_leaf]
+
+    def configure_modes(
+        self, mode_of: Callable[[DpNode], InsertionMode]
+    ) -> None:
+        """Assign an insertion mode to every DP node (the DSE control knob)."""
+        for node in self.nodes:
+            node.mode = mode_of(node)
+
+    def configure_fanout_threshold(self, threshold: int) -> None:
+        """The paper's DSE heuristic: full mode below the fanout threshold.
+
+        Nodes whose downstream sink count is lower than ``threshold`` are set
+        to full mode (flexible nTSV); nodes at or above the threshold are set
+        to intra-side mode (nTSV forbidden).
+        """
+        if threshold < 0:
+            raise ValueError("fanout threshold must be non-negative")
+        self.configure_modes(
+            lambda node: InsertionMode.FULL
+            if node.fanout < threshold
+            else InsertionMode.INTRA_SIDE
+        )
+
+    def mode_histogram(self) -> dict[InsertionMode, int]:
+        """Count DP nodes per insertion mode (used by DSE reporting)."""
+        histogram = {InsertionMode.FULL: 0, InsertionMode.INTRA_SIDE: 0}
+        for node in self.nodes:
+            histogram[node.mode] += 1
+        return histogram
+
+
+def segment_long_edges(tree: ClockTree, max_segment_length: float) -> int:
+    """Split trunk edges longer than ``max_segment_length`` into segments.
+
+    New Steiner nodes are inserted along an L-shaped Manhattan path between
+    the two end-points.  Returns the number of Steiner nodes added.
+    """
+    if max_segment_length <= 0:
+        raise ValueError("max segment length must be positive")
+    added = 0
+    # Snapshot the edges first: we mutate the tree while iterating.
+    trunk_children = [
+        node
+        for node in tree.nodes()
+        if node.parent is not None and not node.is_sink
+    ]
+    for child in trunk_children:
+        parent = child.parent
+        length = child.edge_length()
+        if length <= max_segment_length:
+            continue
+        segments = int(length // max_segment_length)
+        if length % max_segment_length == 0:
+            segments -= 1
+        # Pre-compute the split points from the original child location, then
+        # insert them nearest-to-child first so repeated insert_on_edge calls
+        # stack correctly (each new Steiner point becomes the parent of the
+        # previous one, walking toward the original parent).
+        locations = [
+            point_toward(child.location, parent.location, (length * i) / (segments + 1))
+            for i in range(1, segments + 1)
+        ]
+        current = child
+        for location in locations:
+            tree.insert_on_edge(
+                current,
+                NodeKind.STEINER,
+                location,
+                side=Side.FRONT,
+                wire_side=current.wire_side,
+            )
+            current = current.parent  # the freshly inserted node
+            added += 1
+    return added
+
+
+def build_dp_tree(
+    tree: ClockTree,
+    pdk: Pdk,
+    max_segment_length: float | None = 200.0,
+    default_mode: InsertionMode = InsertionMode.FULL,
+) -> DpTree:
+    """Build the DP tree over the trunk edges of ``tree``.
+
+    Args:
+        tree: the routed clock tree (modified in place when segmentation
+            splits long edges).
+        pdk: technology used to evaluate leaf-net loads and delays.
+        max_segment_length: maximum trunk edge length (um) before the edge is
+            subdivided; ``None`` disables segmentation.
+        default_mode: initial insertion mode of every DP node.
+
+    Returns:
+        The :class:`DpTree` with nodes listed in bottom-up (children before
+        parents) order.
+    """
+    if max_segment_length is not None:
+        segment_long_edges(tree, max_segment_length)
+
+    front_layer = pdk.front_layer
+    dp_by_tree_node: dict[int, DpNode] = {}
+    nodes: list[DpNode] = []
+
+    for tree_node in tree.nodes_bottom_up():
+        if tree_node.parent is None or tree_node.is_sink:
+            continue
+        predecessors = [
+            dp_by_tree_node[id(child)]
+            for child in tree_node.children
+            if not child.is_sink and id(child) in dp_by_tree_node
+        ]
+        base_cap = tree_node.capacitance
+        base_max = 0.0
+        base_min = float("inf")
+        has_sink_child = False
+        for child in tree_node.children:
+            if not child.is_sink:
+                continue
+            has_sink_child = True
+            length = child.edge_length()
+            base_cap += front_layer.wire_capacitance(length) + child.capacitance
+            delay = front_layer.wire_delay(length, child.capacitance)
+            base_max = max(base_max, delay)
+            base_min = min(base_min, delay)
+        if not has_sink_child:
+            base_min = 0.0
+        dp_node = DpNode(
+            index=len(nodes),
+            tree_child=tree_node,
+            length=tree_node.edge_length(),
+            predecessors=predecessors,
+            mode=default_mode,
+            fanout=tree_node.sink_count(),
+            base_capacitance=base_cap,
+            base_max_delay=base_max,
+            base_min_delay=base_min,
+        )
+        dp_by_tree_node[id(tree_node)] = dp_node
+        nodes.append(dp_node)
+
+    root_nodes = [
+        dp_by_tree_node[id(child)]
+        for child in tree.root.children
+        if id(child) in dp_by_tree_node
+    ]
+    if not root_nodes:
+        raise ValueError("the clock tree has no trunk edges to optimise")
+    return DpTree(nodes=nodes, root_nodes=root_nodes, clock_tree=tree)

@@ -1,0 +1,98 @@
+"""Multi-objective enhancement score (MOES) and root-solution selection.
+
+Step 3 of the DP (Eq. (3) of the paper): the root candidate set ``S_root``
+contains many combinations of latency, buffer count, and nTSV count; the
+final solution is the candidate minimising
+
+    MOES = alpha * latency + beta * #buffers + gamma * #nTSVs
+
+with the paper's defaults alpha=1, beta=10, gamma=1.  A pure minimum-latency
+selector is also provided for the Fig. 10 comparison (w/ vs w/o MOES).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.insertion.candidate import CandidateSolution
+
+
+@dataclass(frozen=True, slots=True)
+class MoesWeights:
+    """Weights of the multi-objective enhancement score.
+
+    ``alpha`` weights latency (ps), ``beta`` the buffer count, and ``gamma``
+    the nTSV count.  The paper uses (1, 10, 1).
+    """
+
+    alpha: float = 1.0
+    beta: float = 10.0
+    gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise ValueError("MOES weights must be non-negative")
+        if self.alpha == self.beta == self.gamma == 0:
+            raise ValueError("at least one MOES weight must be positive")
+
+    def score(self, candidate: CandidateSolution) -> float:
+        """Evaluate Eq. (3) for a root candidate."""
+        return (
+            self.alpha * candidate.max_delay
+            + self.beta * candidate.buffer_count
+            + self.gamma * candidate.ntsv_count
+        )
+
+
+def select_by_moes(
+    candidates: Sequence[CandidateSolution],
+    weights: MoesWeights | None = None,
+) -> CandidateSolution:
+    """Return the root candidate minimising the MOES."""
+    if not candidates:
+        raise ValueError("cannot select from an empty candidate set")
+    w = weights if weights is not None else MoesWeights()
+    return min(candidates, key=w.score)
+
+
+def select_min_latency(candidates: Sequence[CandidateSolution]) -> CandidateSolution:
+    """Return the root candidate with the smallest worst-path delay.
+
+    Ties are broken by fewer resources, which mirrors how a latency-only
+    objective would still prefer cheaper implementations.
+    """
+    if not candidates:
+        raise ValueError("cannot select from an empty candidate set")
+    return min(candidates, key=lambda c: (c.max_delay, c.resource_count, c.capacitance))
+
+
+def pareto_front(
+    candidates: Sequence[CandidateSolution],
+) -> list[CandidateSolution]:
+    """Return the candidates not dominated on (latency, buffers, nTSVs).
+
+    Used by the DSE reporting to show the shape of the root candidate set
+    (Fig. 10 plots the full set together with the two selections).
+    """
+    front: list[CandidateSolution] = []
+    for cand in candidates:
+        dominated = False
+        for other in candidates:
+            if other is cand:
+                continue
+            if (
+                other.max_delay <= cand.max_delay
+                and other.buffer_count <= cand.buffer_count
+                and other.ntsv_count <= cand.ntsv_count
+                and (
+                    other.max_delay < cand.max_delay
+                    or other.buffer_count < cand.buffer_count
+                    or other.ntsv_count < cand.ntsv_count
+                )
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(cand)
+    return front

@@ -1,0 +1,130 @@
+"""The six edge patterns of the double-side design space (Fig. 6).
+
+Each pattern describes how one trunk edge of the clock tree is implemented:
+which side the wire runs on, whether a buffer is inserted at the middle of
+the edge, and whether nTSVs are inserted at its end-points.  The *down* end
+of an edge faces the sinks, the *up* end faces the clock root.
+
+===========  =========  =======  ==========  =======  ======
+pattern      down side  up side  wire side   buffers  nTSVs
+===========  =========  =======  ==========  =======  ======
+P1 Buffer      front     front    front         1       0
+P2 Wiring_F    front     front    front         0       0
+P3 Wiring_B    back      back     back          0       0
+P4 nTSV1       front     front    back          0       2
+P5 nTSV2       front     back     back          0       1
+P6 nTSV3       back      front    back          0       1
+===========  =========  =======  ==========  =======  ======
+
+The buffer pins live on the front side, hence every buffered pattern is
+front/front; nTSVs flip the side, hence P4 (two vias) returns to the front
+while P5/P6 (one via) change side across the edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.tech.layers import Side
+
+
+class InsertionMode(enum.Enum):
+    """Per-DP-node insertion mode (the heterogeneity of the DP tree).
+
+    ``FULL`` allows all six patterns (flexible nTSV); ``INTRA_SIDE`` forbids
+    nTSVs, leaving only P1..P3.  The DSE flow of Section III-E controls these
+    modes through a fanout threshold.
+    """
+
+    FULL = "full"
+    INTRA_SIDE = "intra_side"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgePattern:
+    """One of the six candidate implementations of a trunk edge."""
+
+    name: str
+    down_side: Side
+    up_side: Side
+    wire_side: Side
+    buffer_count: int
+    ntsv_count: int
+
+    @property
+    def uses_backside(self) -> bool:
+        """True when the pattern needs back-side routing resources."""
+        return (
+            self.wire_side is Side.BACK
+            or self.down_side is Side.BACK
+            or self.up_side is Side.BACK
+        )
+
+    @property
+    def has_buffer(self) -> bool:
+        return self.buffer_count > 0
+
+    @property
+    def has_ntsv(self) -> bool:
+        return self.ntsv_count > 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+P_BUFFER = EdgePattern("P1_Buffer", Side.FRONT, Side.FRONT, Side.FRONT, 1, 0)
+P_WIRING_F = EdgePattern("P2_Wiring_F", Side.FRONT, Side.FRONT, Side.FRONT, 0, 0)
+P_WIRING_B = EdgePattern("P3_Wiring_B", Side.BACK, Side.BACK, Side.BACK, 0, 0)
+P_NTSV1 = EdgePattern("P4_nTSV1", Side.FRONT, Side.FRONT, Side.BACK, 0, 2)
+P_NTSV2 = EdgePattern("P5_nTSV2", Side.FRONT, Side.BACK, Side.BACK, 0, 1)
+P_NTSV3 = EdgePattern("P6_nTSV3", Side.BACK, Side.FRONT, Side.BACK, 0, 1)
+
+#: The pattern set "P" of the paper, in P1..P6 order.
+PATTERNS: tuple[EdgePattern, ...] = (
+    P_BUFFER,
+    P_WIRING_F,
+    P_WIRING_B,
+    P_NTSV1,
+    P_NTSV2,
+    P_NTSV3,
+)
+
+#: Patterns allowed under the intra-side (nTSV-forbidden) mode.
+INTRA_SIDE_PATTERNS: tuple[EdgePattern, ...] = (P_BUFFER, P_WIRING_F, P_WIRING_B)
+
+#: Patterns available when the PDK has no back-side resources at all.
+FRONT_ONLY_PATTERNS: tuple[EdgePattern, ...] = (P_BUFFER, P_WIRING_F)
+
+#: Patterns allowed on leaf DP nodes (the sink-facing end must be front-side).
+LEAF_COMPATIBLE_PATTERNS: tuple[EdgePattern, ...] = (
+    P_BUFFER,
+    P_WIRING_F,
+    P_NTSV1,
+    P_NTSV2,
+)
+
+
+def patterns_for(
+    mode: InsertionMode,
+    has_backside: bool,
+    required_down_side: Side | None = None,
+) -> tuple[EdgePattern, ...]:
+    """Return the patterns selectable for a DP node.
+
+    Args:
+        mode: the node's insertion mode (full or intra-side).
+        has_backside: whether the PDK offers back-side routing at all.
+        required_down_side: when given, only patterns whose sink-facing end
+            matches this side are returned (the connectivity constraint with
+            the already-decided downstream solution).
+    """
+    if not has_backside:
+        base = FRONT_ONLY_PATTERNS
+    elif mode is InsertionMode.INTRA_SIDE:
+        base = INTRA_SIDE_PATTERNS
+    else:
+        base = PATTERNS
+    if required_down_side is None:
+        return base
+    return tuple(p for p in base if p.down_side is required_down_side)

@@ -1,0 +1,116 @@
+"""Candidate pruning rules for the multi-objective DP.
+
+The paper extends van Ginneken's inferior-solution rule to the double-side
+scenario by pruning candidates *per side*: a candidate whose effective
+capacitance and worst path delay are both no better than another candidate
+on the same side can never be part of an optimal-latency solution and is
+dropped.  A separate filter removes candidates violating the maximum
+driven-capacitance constraint.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.insertion.candidate import CandidateSolution
+from repro.tech.layers import Side
+
+
+def filter_max_cap(
+    candidates: Iterable[CandidateSolution], max_capacitance: float
+) -> list[CandidateSolution]:
+    """Drop candidates whose effective capacitance exceeds the PDK limit."""
+    if max_capacitance <= 0:
+        raise ValueError("max capacitance must be positive")
+    return [c for c in candidates if c.capacitance <= max_capacitance + 1e-9]
+
+
+def prune_dominated(
+    candidates: Sequence[CandidateSolution],
+    keep_resource_diversity: bool = False,
+    tol: float = 1e-9,
+) -> list[CandidateSolution]:
+    """Remove candidates dominated on (capacitance, max delay).
+
+    With ``keep_resource_diversity`` a dominated candidate survives when it
+    uses strictly fewer buffers+nTSVs than its dominator, which preserves a
+    richer Pareto set for the multi-objective selection at the root (at the
+    cost of larger candidate sets).
+    """
+    if not candidates:
+        return []
+    # Sort by capacitance, then delay: a sweep keeps the lower-left staircase.
+    ordered = sorted(candidates, key=lambda c: (c.capacitance, c.max_delay, c.resource_count))
+    kept: list[CandidateSolution] = []
+    best_delay = float("inf")
+    best_resources = float("inf")
+    for cand in ordered:
+        dominated = cand.max_delay >= best_delay - tol
+        if dominated and keep_resource_diversity:
+            dominated = cand.resource_count >= best_resources
+        if not dominated:
+            kept.append(cand)
+            best_delay = min(best_delay, cand.max_delay)
+            best_resources = min(best_resources, cand.resource_count)
+        elif keep_resource_diversity and cand.resource_count < best_resources:
+            kept.append(cand)
+            best_resources = cand.resource_count
+    return kept
+
+
+def prune_per_side(
+    candidates: Sequence[CandidateSolution],
+    max_capacitance: float | None = None,
+    keep_resource_diversity: bool = False,
+    max_candidates_per_side: int | None = None,
+) -> list[CandidateSolution]:
+    """The paper's pruning: dominance applied separately per upstream side.
+
+    Args:
+        candidates: candidate set of one DP node.
+        max_capacitance: when given, candidates above this load are removed
+            first (maximum driven-capacitance constraint).
+        keep_resource_diversity: see :func:`prune_dominated`.
+        max_candidates_per_side: optional hard cap (beam width) per side; the
+            candidates kept are those with the smallest delays, preserving
+            the latency-optimality of the DP in practice while bounding the
+            O(k^2) merge cost.
+
+    Returns:
+        The pruned candidate list, front-side candidates first.
+    """
+    pool = list(candidates)
+    if max_capacitance is not None:
+        pool = filter_max_cap(pool, max_capacitance)
+    by_side: dict[Side, list[CandidateSolution]] = defaultdict(list)
+    for cand in pool:
+        by_side[cand.up_side].append(cand)
+    result: list[CandidateSolution] = []
+    for side in (Side.FRONT, Side.BACK):
+        pruned = prune_dominated(
+            by_side.get(side, []), keep_resource_diversity=keep_resource_diversity
+        )
+        if max_candidates_per_side is not None and len(pruned) > max_candidates_per_side:
+            pruned = _beam_select(pruned, max_candidates_per_side)
+        result.extend(pruned)
+    return result
+
+
+def _beam_select(
+    candidates: list[CandidateSolution], beam_width: int
+) -> list[CandidateSolution]:
+    """Keep ``beam_width`` candidates spread across the (cap, delay) staircase.
+
+    Keeping only the lowest-delay candidates would bias the beam toward
+    high-capacitance solutions that leave no head-room for the wires above
+    them, so the beam samples the staircase evenly: the lowest-capacitance
+    and the lowest-delay candidates are always retained and the rest are
+    taken at even intervals in between.
+    """
+    ordered = sorted(candidates, key=lambda c: (c.capacitance, c.max_delay))
+    if beam_width <= 1:
+        return [min(ordered, key=lambda c: c.max_delay)]
+    last = len(ordered) - 1
+    indices = {round(i * last / (beam_width - 1)) for i in range(beam_width)}
+    return [ordered[i] for i in sorted(indices)]

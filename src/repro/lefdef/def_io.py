@@ -1,0 +1,120 @@
+"""Reading and writing the DEF subset needed by clock tree synthesis.
+
+Supported constructs:
+
+* ``VERSION``, ``DESIGN``, ``UNITS DISTANCE MICRONS``, ``DIEAREA``
+* ``COMPONENTS`` with ``+ PLACED ( x y ) <orient>`` or ``+ FIXED ...``
+* ``END DESIGN``
+
+Everything else (nets, pins, rows, tracks…) is skipped gracefully, which is
+enough to ingest an OpenROAD post-place DEF and run CTS on it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.geometry import Point, Rect
+from repro.netlist.cell import Cell, CellKind
+from repro.netlist.design import Design
+
+#: Substrings of master names that identify sequential (clock sink) cells.
+DEFAULT_FF_MASTER_HINTS: tuple[str, ...] = ("DFF", "SDFF", "DLL", "LATCH", "ICG")
+
+_DIEAREA_RE = re.compile(
+    r"DIEAREA\s*\(\s*(-?\d+)\s+(-?\d+)\s*\)\s*\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+)
+_COMPONENT_RE = re.compile(
+    r"-\s+(?P<name>\S+)\s+(?P<master>\S+)"
+    r".*?\+\s*(?:PLACED|FIXED)\s*\(\s*(?P<x>-?\d+)\s+(?P<y>-?\d+)\s*\)",
+    re.DOTALL,
+)
+
+
+class DefParseError(ValueError):
+    """Raised when a DEF file cannot be interpreted."""
+
+
+def read_def(
+    text: str,
+    ff_master_hints: Iterable[str] | None = None,
+    default_ff_clock_cap: float = 0.8,
+) -> Design:
+    """Parse a placed DEF document into a :class:`Design`.
+
+    Args:
+        text: the DEF file contents.
+        ff_master_hints: substrings identifying flip-flop masters; defaults
+            to common liberty naming conventions (DFF/SDFF/…).
+        default_ff_clock_cap: clock pin capacitance (fF) assigned to sinks.
+    """
+    hints = tuple(ff_master_hints) if ff_master_hints is not None else DEFAULT_FF_MASTER_HINTS
+
+    design_match = re.search(r"DESIGN\s+(\S+)\s*;", text)
+    if design_match is None:
+        raise DefParseError("missing DESIGN statement")
+    name = design_match.group(1)
+
+    units_match = re.search(r"UNITS\s+DISTANCE\s+MICRONS\s+(\d+)", text)
+    dbu = int(units_match.group(1)) if units_match else 1000
+
+    die_match = _DIEAREA_RE.search(text)
+    if die_match is None:
+        raise DefParseError("missing DIEAREA statement")
+    xlo, ylo, xhi, yhi = (int(v) / dbu for v in die_match.groups())
+    design = Design(name=name, die_area=Rect(xlo, ylo, xhi, yhi))
+
+    components_match = re.search(
+        r"COMPONENTS\s+\d+\s*;(?P<body>.*?)END\s+COMPONENTS", text, re.DOTALL
+    )
+    if components_match is not None:
+        body = components_match.group("body")
+        for statement in body.split(";"):
+            statement = statement.strip()
+            if not statement:
+                continue
+            match = _COMPONENT_RE.search(statement)
+            if match is None:
+                continue
+            master = match.group("master")
+            is_ff = any(hint in master.upper() for hint in hints)
+            kind = CellKind.FLIP_FLOP if is_ff else CellKind.COMBINATIONAL
+            location = Point(int(match.group("x")) / dbu, int(match.group("y")) / dbu)
+            design.add_cell(
+                Cell(
+                    name=match.group("name"),
+                    master=master,
+                    kind=kind,
+                    location=design.die_area.clamp(location),
+                    clock_pin_capacitance=default_ff_clock_cap if is_ff else 0.0,
+                )
+            )
+    return design
+
+
+def write_def(design: Design, dbu: int = 1000) -> str:
+    """Serialise a :class:`Design` back to a minimal placed DEF document."""
+    lines = [
+        "VERSION 5.8 ;",
+        "DIVIDERCHAR \"/\" ;",
+        "BUSBITCHARS \"[]\" ;",
+        f"DESIGN {design.name} ;",
+        f"UNITS DISTANCE MICRONS {dbu} ;",
+        "DIEAREA ( {:d} {:d} ) ( {:d} {:d} ) ;".format(
+            int(design.die_area.xlo * dbu),
+            int(design.die_area.ylo * dbu),
+            int(design.die_area.xhi * dbu),
+            int(design.die_area.yhi * dbu),
+        ),
+        f"COMPONENTS {design.cell_count} ;",
+    ]
+    for cell in design.cells.values():
+        keyword = "FIXED" if cell.fixed else "PLACED"
+        lines.append(
+            f"- {cell.name} {cell.master} + {keyword} "
+            f"( {int(cell.location.x * dbu)} {int(cell.location.y * dbu)} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,61 @@
+"""A tiny LEF macro reader/writer (cell footprints and pin uses)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LefMacro:
+    """One LEF MACRO: its footprint and whether it has a clock input pin."""
+
+    name: str
+    width: float
+    height: float
+    is_sequential: bool = False
+
+
+_MACRO_RE = re.compile(
+    r"MACRO\s+(?P<name>\S+)\s+(?P<body>.*?)END\s+(?P=name)", re.DOTALL
+)
+_SIZE_RE = re.compile(r"SIZE\s+([\d.]+)\s+BY\s+([\d.]+)")
+_CLOCK_PIN_RE = re.compile(r"USE\s+CLOCK|PIN\s+CLK\b", re.IGNORECASE)
+
+
+def read_lef(text: str) -> dict[str, LefMacro]:
+    """Parse LEF text and return ``macro name -> LefMacro``."""
+    macros: dict[str, LefMacro] = {}
+    for match in _MACRO_RE.finditer(text):
+        name = match.group("name")
+        body = match.group("body")
+        size_match = _SIZE_RE.search(body)
+        if size_match is None:
+            continue
+        width, height = float(size_match.group(1)), float(size_match.group(2))
+        macros[name] = LefMacro(
+            name=name,
+            width=width,
+            height=height,
+            is_sequential=bool(_CLOCK_PIN_RE.search(body)),
+        )
+    return macros
+
+
+def write_lef(macros: dict[str, LefMacro] | list[LefMacro]) -> str:
+    """Serialise macros back to LEF text."""
+    items = macros.values() if isinstance(macros, dict) else macros
+    lines = ["VERSION 5.8 ;", "BUSBITCHARS \"[]\" ;", "DIVIDERCHAR \"/\" ;", ""]
+    for macro in items:
+        lines.append(f"MACRO {macro.name}")
+        lines.append("  CLASS CORE ;")
+        lines.append(f"  SIZE {macro.width:.4f} BY {macro.height:.4f} ;")
+        if macro.is_sequential:
+            lines.append("  PIN CLK")
+            lines.append("    DIRECTION INPUT ;")
+            lines.append("    USE CLOCK ;")
+            lines.append("  END CLK")
+        lines.append(f"END {macro.name}")
+        lines.append("")
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,86 @@
+"""Serialising synthesised clock trees (JSON round-trip and DEF snippet)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.geometry import Point
+from repro.tech.layers import Side
+
+
+def tree_to_json(tree: ClockTree) -> str:
+    """Serialise a clock tree to a JSON document (structure + attributes)."""
+
+    def encode(node: ClockTreeNode) -> dict:
+        return {
+            "name": node.name,
+            "kind": node.kind.value,
+            "x": node.location.x,
+            "y": node.location.y,
+            "side": node.side.value,
+            "wire_side": node.wire_side.value,
+            "capacitance": node.capacitance,
+            "children": [encode(child) for child in node.children],
+        }
+
+    return json.dumps({"name": tree.name, "root": encode(tree.root)}, indent=2)
+
+
+def tree_from_json(text: str) -> ClockTree:
+    """Rebuild a clock tree from :func:`tree_to_json` output."""
+    payload = json.loads(text)
+
+    def decode(data: dict) -> ClockTreeNode:
+        node = ClockTreeNode(
+            name=data["name"],
+            kind=NodeKind(data["kind"]),
+            location=Point(data["x"], data["y"]),
+            side=Side(data["side"]),
+            capacitance=data["capacitance"],
+            wire_side=Side(data["wire_side"]),
+        )
+        for child_data in data["children"]:
+            node.add_child(decode(child_data))
+        return node
+
+    root = decode(payload["root"])
+    return ClockTree(root, name=payload["name"])
+
+
+def tree_to_def_snippet(
+    tree: ClockTree,
+    buffer_master: str = "BUFx4_ASAP7_75t_R",
+    ntsv_master: str = "NTSV_ASAP7_BS",
+    dbu: int = 1000,
+) -> str:
+    """Render the inserted cells and the clock net as a DEF-style snippet.
+
+    The snippet contains a COMPONENTS section for every inserted buffer and
+    nTSV and a NETS section describing the clock net connectivity, which is
+    the information a post-CTS DEF adds on top of the placed DEF.
+    """
+    buffers = tree.buffers()
+    ntsvs = tree.ntsvs()
+    lines = [f"COMPONENTS {len(buffers) + len(ntsvs)} ;"]
+    for node in buffers:
+        lines.append(
+            f"- {node.name} {buffer_master} + PLACED "
+            f"( {int(node.location.x * dbu)} {int(node.location.y * dbu)} ) N ;"
+        )
+    for node in ntsvs:
+        lines.append(
+            f"- {node.name} {ntsv_master} + PLACED "
+            f"( {int(node.location.x * dbu)} {int(node.location.y * dbu)} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("NETS 1 ;")
+    lines.append(f"- {tree.name} ( PIN {tree.root.name} )")
+    for node in tree.nodes():
+        if node.is_sink:
+            lines.append(f"  ( {node.name} CLK )")
+        elif node.is_buffer:
+            lines.append(f"  ( {node.name} A )")
+    lines.append("  + USE CLOCK ;")
+    lines.append("END NETS")
+    return "\n".join(lines) + "\n"

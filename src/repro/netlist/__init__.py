@@ -1,0 +1,26 @@
+"""Netlist / physical design database.
+
+A *placed design* is the input to clock tree synthesis: standard cells and
+macros with legalised locations, a clock net with a source (clock root or
+port) and a set of sinks (flip-flop clock pins), and the die area.  This
+package models exactly that — it is the in-memory form a placed DEF parses
+into and the structure the synthetic benchmark generator produces.
+"""
+
+from repro.netlist.pin import Pin, PinDirection
+from repro.netlist.cell import Cell, CellKind
+from repro.netlist.net import Net
+from repro.netlist.clock import ClockSink, ClockSource, ClockNet
+from repro.netlist.design import Design
+
+__all__ = [
+    "Pin",
+    "PinDirection",
+    "Cell",
+    "CellKind",
+    "Net",
+    "ClockSink",
+    "ClockSource",
+    "ClockNet",
+    "Design",
+]

@@ -1,0 +1,88 @@
+"""Placed cell instances (standard cells, flip-flops, macros)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+
+
+class CellKind(enum.Enum):
+    """Coarse classification of a cell instance for CTS purposes."""
+
+    COMBINATIONAL = "comb"
+    FLIP_FLOP = "ff"
+    MACRO = "macro"
+    CLOCK_BUFFER = "clock_buffer"
+    NTSV = "ntsv"
+
+
+@dataclass
+class Cell:
+    """A placed cell instance.
+
+    Attributes:
+        name: instance name, unique within the design.
+        master: library cell name (e.g. ``"DFFHQNx1_ASAP7_75t_R"``).
+        kind: coarse classification used by CTS (flip-flops are clock sinks).
+        location: lower-left placement location in micrometres.
+        width / height: footprint in micrometres.
+        clock_pin_capacitance: input capacitance of the clock pin (fF), only
+            meaningful for flip-flops and clock buffers.
+        fixed: True for macros and pre-placed cells that CTS must not move.
+    """
+
+    name: str
+    master: str
+    kind: CellKind
+    location: Point
+    width: float = 0.27
+    height: float = 0.27
+    clock_pin_capacitance: float = 0.0
+    fixed: bool = False
+    properties: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"cell {self.name}: non-positive footprint")
+        if self.clock_pin_capacitance < 0:
+            raise ValueError(f"cell {self.name}: negative clock pin capacitance")
+
+    @property
+    def is_sink(self) -> bool:
+        """True when the cell is a clock sink (i.e. a flip-flop)."""
+        return self.kind is CellKind.FLIP_FLOP
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def bbox(self) -> Rect:
+        return Rect(
+            self.location.x,
+            self.location.y,
+            self.location.x + self.width,
+            self.location.y + self.height,
+        )
+
+    @property
+    def center(self) -> Point:
+        return self.bbox.center
+
+    def moved_to(self, location: Point) -> "Cell":
+        """Return a copy of the cell placed at ``location``."""
+        if self.fixed:
+            raise ValueError(f"cell {self.name} is fixed and cannot be moved")
+        return Cell(
+            name=self.name,
+            master=self.master,
+            kind=self.kind,
+            location=location,
+            width=self.width,
+            height=self.height,
+            clock_pin_capacitance=self.clock_pin_capacitance,
+            fixed=self.fixed,
+            properties=dict(self.properties),
+        )

@@ -1,0 +1,72 @@
+"""Clock-specific netlist views: sinks, source, and the clock net."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, bounding_box
+
+
+@dataclass(frozen=True, slots=True)
+class ClockSink:
+    """A clock sink: the clock pin of a flip-flop (or a macro clock pin).
+
+    Attributes:
+        name: name of the sink instance (the flip-flop).
+        location: absolute location of the clock pin in micrometres.
+        capacitance: clock pin input capacitance in fF.
+    """
+
+    name: str
+    location: Point
+    capacitance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError(f"sink {self.name}: capacitance must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class ClockSource:
+    """The clock root: a top-level port or the output of a clock generator."""
+
+    name: str
+    location: Point
+    drive_resistance: float = 0.1  # kOhm, source driver strength
+    output_slew: float = 10.0  # ps, slew at the root
+
+
+@dataclass
+class ClockNet:
+    """The clock net to be synthesised: one source, many sinks."""
+
+    name: str
+    source: ClockSource
+    sinks: list[ClockSink] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.sinks]
+        if len(names) != len(set(names)):
+            raise ValueError(f"clock net {self.name}: duplicate sink names")
+
+    @property
+    def sink_count(self) -> int:
+        return len(self.sinks)
+
+    @property
+    def total_sink_capacitance(self) -> float:
+        """Sum of all sink pin capacitances (fF)."""
+        return sum(s.capacitance for s in self.sinks)
+
+    def sink_locations(self) -> list[Point]:
+        return [s.location for s in self.sinks]
+
+    def bounding_box(self):
+        """Bounding box of all sinks and the source."""
+        return bounding_box([self.source.location] + self.sink_locations())
+
+    def sink_by_name(self, name: str) -> ClockSink:
+        for sink in self.sinks:
+            if sink.name == name:
+                return sink
+        raise KeyError(f"clock net {self.name}: no sink named {name!r}")

@@ -1,0 +1,136 @@
+"""The top-level :class:`Design` container (a placed design)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+from repro.netlist.cell import Cell, CellKind
+from repro.netlist.clock import ClockNet, ClockSink, ClockSource
+from repro.netlist.net import Net
+
+
+@dataclass
+class Design:
+    """A placed design: die area, cells, nets, and the clock net.
+
+    This is the structure produced by the DEF reader and by the synthetic
+    benchmark generator, and consumed by every CTS flow in the library.
+    """
+
+    name: str
+    die_area: Rect
+    cells: dict[str, Cell] = field(default_factory=dict)
+    nets: dict[str, Net] = field(default_factory=dict)
+    clock_net: ClockNet | None = None
+
+    # ------------------------------------------------------------------ cells
+    def add_cell(self, cell: Cell) -> None:
+        """Register a placed cell; the name must be unique and inside the die."""
+        if cell.name in self.cells:
+            raise ValueError(f"design {self.name}: duplicate cell {cell.name!r}")
+        if not self.die_area.contains(cell.location, tol=1e-6):
+            raise ValueError(
+                f"design {self.name}: cell {cell.name!r} placed outside the die area"
+            )
+        self.cells[cell.name] = cell
+
+    def add_net(self, net: Net) -> None:
+        """Register a logical net."""
+        if net.name in self.nets:
+            raise ValueError(f"design {self.name}: duplicate net {net.name!r}")
+        self.nets[net.name] = net
+
+    def flip_flops(self) -> list[Cell]:
+        """Return all flip-flop instances (the clock sinks)."""
+        return [c for c in self.cells.values() if c.kind is CellKind.FLIP_FLOP]
+
+    def macros(self) -> list[Cell]:
+        """Return all macro instances (placement blockages for CTS cells)."""
+        return [c for c in self.cells.values() if c.kind is CellKind.MACRO]
+
+    # ------------------------------------------------------------ clock setup
+    def build_clock_net(
+        self,
+        name: str = "clk",
+        source_location: Point | None = None,
+        default_sink_capacitance: float = 1.0,
+    ) -> ClockNet:
+        """Derive the clock net from the placed flip-flops.
+
+        The clock source defaults to the middle of the bottom die edge (the
+        usual location of a clock port).  Flip-flops whose
+        ``clock_pin_capacitance`` is zero get ``default_sink_capacitance``.
+        """
+        ffs = self.flip_flops()
+        if not ffs:
+            raise ValueError(f"design {self.name}: no flip-flops, nothing to synthesise")
+        if source_location is None:
+            source_location = Point(self.die_area.center.x, self.die_area.ylo)
+        sinks = [
+            ClockSink(
+                name=ff.name,
+                location=ff.center,
+                capacitance=ff.clock_pin_capacitance or default_sink_capacitance,
+            )
+            for ff in ffs
+        ]
+        self.clock_net = ClockNet(
+            name=name,
+            source=ClockSource(name=f"{name}_root", location=source_location),
+            sinks=sinks,
+        )
+        return self.clock_net
+
+    def require_clock_net(self) -> ClockNet:
+        """Return the clock net, building it with defaults if necessary."""
+        if self.clock_net is None:
+            return self.build_clock_net()
+        return self.clock_net
+
+    # -------------------------------------------------------------- statistics
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    @property
+    def flip_flop_count(self) -> int:
+        return len(self.flip_flops())
+
+    def placement_utilization(self) -> float:
+        """Total placed cell area divided by die area."""
+        if self.die_area.area == 0:
+            return 0.0
+        used = sum(c.area for c in self.cells.values())
+        return used / self.die_area.area
+
+    def statistics(self) -> dict[str, float | int | str]:
+        """Return the Table II style statistics for this design."""
+        return {
+            "design": self.name,
+            "cells": self.cell_count,
+            "ffs": self.flip_flop_count,
+            "utilization": round(self.placement_utilization(), 3),
+            "die_width_um": round(self.die_area.width, 2),
+            "die_height_um": round(self.die_area.height, 2),
+        }
+
+    # ------------------------------------------------------------------ misc
+    def cell(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError as exc:
+            raise KeyError(f"design {self.name}: no cell named {name!r}") from exc
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError as exc:
+            raise KeyError(f"design {self.name}: no net named {name!r}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Design(name={self.name!r}, cells={self.cell_count}, "
+            f"ffs={self.flip_flop_count}, die={self.die_area.width:.0f}x"
+            f"{self.die_area.height:.0f}um)"
+        )

@@ -1,0 +1,61 @@
+"""Logical nets connecting pins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import bounding_box
+from repro.netlist.pin import Pin, PinDirection
+
+
+@dataclass
+class Net:
+    """A signal net: one driver pin and a set of load pins.
+
+    CTS only cares about the clock net, but the design database keeps all
+    nets so that utilisation statistics and DEF round-tripping work.
+    """
+
+    name: str
+    driver: Pin | None = None
+    loads: list[Pin] = field(default_factory=list)
+    is_clock: bool = False
+
+    def add_load(self, pin: Pin) -> None:
+        """Attach a load pin to the net."""
+        if pin.direction is PinDirection.OUTPUT:
+            raise ValueError(f"net {self.name}: load pin {pin.full_name} is an output")
+        self.loads.append(pin)
+
+    def set_driver(self, pin: Pin) -> None:
+        """Set the driver pin of the net."""
+        if pin.direction is PinDirection.INPUT:
+            raise ValueError(f"net {self.name}: driver pin {pin.full_name} is an input")
+        if self.driver is not None:
+            raise ValueError(f"net {self.name}: already has driver {self.driver.full_name}")
+        self.driver = pin
+
+    @property
+    def fanout(self) -> int:
+        """Number of load pins."""
+        return len(self.loads)
+
+    @property
+    def pins(self) -> list[Pin]:
+        """All pins on the net (driver first when present)."""
+        result = []
+        if self.driver is not None:
+            result.append(self.driver)
+        result.extend(self.loads)
+        return result
+
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength estimate of the net (um)."""
+        pins = self.pins
+        if len(pins) < 2:
+            return 0.0
+        return bounding_box(p.location for p in pins).half_perimeter
+
+    def total_load_capacitance(self) -> float:
+        """Sum of all load pin capacitances (fF)."""
+        return sum(p.capacitance for p in self.loads)

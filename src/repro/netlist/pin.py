@@ -1,0 +1,51 @@
+"""Pins: named connection points on cells or the die boundary."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Point
+
+
+class PinDirection(enum.Enum):
+    """Signal direction of a pin as seen from its owning cell."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+@dataclass(frozen=True, slots=True)
+class Pin:
+    """A pin instance with an absolute location.
+
+    Attributes:
+        name: pin name, unique within its owner (e.g. ``"CLK"``).
+        owner: name of the owning cell, or ``"PIN"`` for a top-level port.
+        direction: signal direction.
+        location: absolute placement location in micrometres.
+        capacitance: input pin capacitance in fF (0 for outputs).
+    """
+
+    name: str
+    owner: str
+    direction: PinDirection
+    location: Point
+    capacitance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError(f"pin {self.full_name}: capacitance must be non-negative")
+
+    @property
+    def full_name(self) -> str:
+        """Hierarchical name ``owner/name`` (or just ``name`` for ports)."""
+        if self.owner == "PIN":
+            return self.name
+        return f"{self.owner}/{self.name}"
+
+    @property
+    def is_port(self) -> bool:
+        """True when this is a top-level port rather than a cell pin."""
+        return self.owner == "PIN"

@@ -1,0 +1,17 @@
+"""Skew refinement (Section III-D of the paper).
+
+After the latency-driven DP, skew may degrade.  The resource-aware end-point
+buffer insertion picks a small number of end-points (low-level cluster
+centroids) and inserts one buffer at each, which equalises sink arrivals with
+negligible latency and buffer cost (Fig. 11).
+"""
+
+from repro.refinement.adaptive import adaptive_scale_factor, refined_endpoint_count
+from repro.refinement.skew_refinement import SkewRefiner, SkewRefinementReport
+
+__all__ = [
+    "adaptive_scale_factor",
+    "refined_endpoint_count",
+    "SkewRefiner",
+    "SkewRefinementReport",
+]

@@ -1,0 +1,47 @@
+"""The adaptive scale factor of Fig. 8 and the refined end-point budget.
+
+The number of end-points refined by skew refinement is
+
+    n = min(N * t, m)
+
+where ``N`` is the sink count, ``m`` the hard cap (33 in the paper), and
+``t`` the adaptive factor plotted in Fig. 8: ``t = 0.1`` for small designs
+(``N / 10000 <= 0.6``), decreasing linearly to ``t = 0.06`` at
+``N / 10000 >= 1.0``.  Larger designs therefore refine a smaller *fraction*
+of their sinks, keeping the refinement cost bounded.
+"""
+
+from __future__ import annotations
+
+#: Fig. 8 break-points: (N / 10000, t).
+_LOW_X = 0.6
+_HIGH_X = 1.0
+_HIGH_T = 0.1
+_LOW_T = 0.06
+
+
+def adaptive_scale_factor(sink_count: int) -> float:
+    """Return the adaptive factor ``t`` for a design with ``sink_count`` sinks.
+
+    Piecewise-linear reproduction of Fig. 8: constant 0.1 below
+    ``N = 6000``, constant 0.06 above ``N = 10000``, linear in between.
+    """
+    if sink_count < 0:
+        raise ValueError("sink count must be non-negative")
+    x = sink_count / 10_000.0
+    if x <= _LOW_X:
+        return _HIGH_T
+    if x >= _HIGH_X:
+        return _LOW_T
+    fraction = (x - _LOW_X) / (_HIGH_X - _LOW_X)
+    return _HIGH_T + fraction * (_LOW_T - _HIGH_T)
+
+
+def refined_endpoint_count(sink_count: int, max_endpoints: int = 33) -> int:
+    """Number of end-points to refine: ``n = min(N * t, m)`` (at least 1)."""
+    if max_endpoints < 1:
+        raise ValueError("the maximum end-point count must be at least 1")
+    if sink_count <= 0:
+        return 0
+    budget = int(sink_count * adaptive_scale_factor(sink_count))
+    return max(1, min(budget, max_endpoints))

@@ -1,0 +1,288 @@
+"""Resource-aware end-point buffer insertion for skew refinement.
+
+The refinement is triggered when the tree's skew exceeds ``p%`` of its
+maximum latency (``p = 23`` in the paper).  It then refines
+``n = min(N * t, m)`` end-points — low-level cluster centroids (tap nodes) —
+by inserting one buffer at each centroid, which shifts the arrival times of
+that cluster's sinks without touching the trunk.
+
+Two orderings are provided (see DESIGN.md, "Interpretation notes"):
+
+* ``pad_fast`` (default): refine the end-points whose sinks arrive earliest.
+  The inserted buffer delays the whole cluster, closing the gap to the
+  slowest sink and reducing skew while leaving latency untouched — this is
+  the behaviour shown in Fig. 11.
+* ``shield_slow``: refine the end-points whose sinks arrive latest.  The
+  buffer decouples the leaf-net load from the trunk, which can reduce the
+  slow paths when the shielding gain exceeds the buffer delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.refinement.adaptive import refined_endpoint_count
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+from repro.timing import ElmoreTimingEngine, TimingResult
+
+
+@dataclass
+class SkewRefinementReport:
+    """Before/after record of one skew refinement run."""
+
+    triggered: bool
+    refined_endpoints: int
+    added_buffers: int
+    before: TimingResult
+    after: TimingResult
+
+    @property
+    def skew_reduction(self) -> float:
+        """Absolute skew improvement (ps); positive when skew decreased."""
+        return self.before.skew - self.after.skew
+
+    @property
+    def latency_increase(self) -> float:
+        """Latency change (ps); small positive values are expected."""
+        return self.after.latency - self.before.latency
+
+    def summary(self) -> dict[str, float | int | bool]:
+        return {
+            "triggered": self.triggered,
+            "refined_endpoints": self.refined_endpoints,
+            "added_buffers": self.added_buffers,
+            "skew_before_ps": round(self.before.skew, 3),
+            "skew_after_ps": round(self.after.skew, 3),
+            "latency_before_ps": round(self.before.latency, 3),
+            "latency_after_ps": round(self.after.latency, 3),
+        }
+
+
+class SkewRefiner:
+    """Implements the paper's Section III-D post-processing step."""
+
+    def __init__(
+        self,
+        pdk: Pdk,
+        skew_trigger_fraction: float = 0.23,
+        max_endpoints: int = 33,
+        strategy: str = "pad_fast",
+        force: bool = False,
+    ) -> None:
+        if not 0 < skew_trigger_fraction <= 1:
+            raise ValueError("the skew trigger fraction must be in (0, 1]")
+        if strategy not in ("pad_fast", "shield_slow"):
+            raise ValueError(f"unknown refinement strategy {strategy!r}")
+        self.pdk = pdk
+        self.skew_trigger_fraction = skew_trigger_fraction
+        self.max_endpoints = max_endpoints
+        self.strategy = strategy
+        self.force = force
+        self._engine = ElmoreTimingEngine(pdk)
+
+    # ----------------------------------------------------------------- public
+    def refine(self, tree: ClockTree) -> SkewRefinementReport:
+        """Refine ``tree`` in place and return the before/after report."""
+        before = self._engine.analyze(tree)
+        if not self.force and not before.skew_violates(self.skew_trigger_fraction):
+            return SkewRefinementReport(
+                triggered=False,
+                refined_endpoints=0,
+                added_buffers=0,
+                before=before,
+                after=before,
+            )
+
+        endpoints = self._end_points(tree)
+        sink_count = tree.sink_count()
+        budget = refined_endpoint_count(sink_count, self.max_endpoints)
+        ranked = self._rank_endpoints(tree, endpoints, before)[:budget]
+
+        added, after = self._refine_batch(tree, ranked, before)
+        if added == 0:
+            added, after = self._refine_greedy(tree, ranked, before)
+        return SkewRefinementReport(
+            triggered=True,
+            refined_endpoints=len(ranked),
+            added_buffers=added,
+            before=before,
+            after=after,
+        )
+
+    def _refine_batch(
+        self,
+        tree: ClockTree,
+        ranked: list[ClockTreeNode],
+        before: TimingResult,
+    ) -> tuple[int, TimingResult]:
+        """Refine all budgeted end-points at once.
+
+        The end-point buffers interact through the shared trunk (shielding a
+        leaf net speeds up every sibling path), so refining them together
+        lets those interactions cancel; the batch is accepted only when it
+        improves skew without degrading latency.
+        """
+        inserted: list[tuple[ClockTreeNode, ClockTreeNode]] = []
+        for endpoint in ranked:
+            buffer_node = self._insert_endpoint_buffer(tree, endpoint, before)
+            if buffer_node is not None:
+                inserted.append((endpoint, buffer_node))
+        if not inserted:
+            return 0, before
+        after = self._engine.analyze(tree)
+        accepted = (
+            after.skew < before.skew - 1e-9
+            and after.latency <= before.latency + 1e-6
+        )
+        if not accepted:
+            for endpoint, buffer_node in inserted:
+                self._remove_endpoint_buffer(endpoint, buffer_node)
+            return 0, before
+        return len(inserted), after
+
+    def _refine_greedy(
+        self,
+        tree: ClockTree,
+        ranked: list[ClockTreeNode],
+        before: TimingResult,
+    ) -> tuple[int, TimingResult]:
+        """Refine end-points one at a time, keeping only improving insertions."""
+        added = 0
+        current = before
+        for endpoint in ranked:
+            if not self.force and not current.skew_violates(self.skew_trigger_fraction):
+                break
+            buffer_node = self._insert_endpoint_buffer(tree, endpoint, current)
+            if buffer_node is None:
+                continue
+            trial = self._engine.analyze(tree)
+            improves = (
+                trial.skew < current.skew - 1e-9
+                and trial.latency <= current.latency + 1e-6
+            )
+            if improves:
+                current = trial
+                added += 1
+            else:
+                self._remove_endpoint_buffer(endpoint, buffer_node)
+        return added, current
+
+    # --------------------------------------------------------------- internals
+    @staticmethod
+    def _end_points(tree: ClockTree) -> list[ClockTreeNode]:
+        """End-points eligible for refinement: tap nodes (low centroids).
+
+        Trees built without dual-level clustering (e.g. the flat DME
+        ablation) have no taps; the parents of sinks act as end-points then.
+        """
+        taps = [n for n in tree.nodes() if n.kind is NodeKind.TAP]
+        if taps:
+            return taps
+        parents = {id(n.parent): n.parent for n in tree.sinks() if n.parent is not None}
+        return [p for p in parents.values() if p.kind is not NodeKind.ROOT]
+
+    def _rank_endpoints(
+        self,
+        tree: ClockTree,
+        endpoints: list[ClockTreeNode],
+        timing: TimingResult,
+    ) -> list[ClockTreeNode]:
+        """Order end-points by refinement priority according to the strategy.
+
+        ``pad_fast`` processes the clusters whose sinks arrive earliest (they
+        define the minimum arrival and therefore the skew); ``shield_slow``
+        processes the clusters whose sinks arrive latest.
+        """
+        scored: list[tuple[float, ClockTreeNode]] = []
+        for endpoint in endpoints:
+            arrivals = self._sink_arrivals(endpoint, timing)
+            if not arrivals:
+                continue
+            key = min(arrivals) if self.strategy == "pad_fast" else max(arrivals)
+            scored.append((key, endpoint))
+        reverse = self.strategy == "shield_slow"
+        scored.sort(key=lambda item: item[0], reverse=reverse)
+        return [endpoint for _score, endpoint in scored]
+
+    @staticmethod
+    def _sink_arrivals(
+        endpoint: ClockTreeNode, timing: TimingResult
+    ) -> list[float]:
+        return [
+            timing.arrivals[node.name]
+            for node in endpoint.iter_subtree()
+            if node.is_sink and node.name in timing.arrivals
+        ]
+
+    def _padded_sinks(
+        self, endpoint: ClockTreeNode, timing: TimingResult
+    ) -> list[ClockTreeNode]:
+        """Select the sinks of the cluster that the end-point buffer will drive.
+
+        ``pad_fast`` must not increase latency (Fig. 11), so only the sinks
+        that remain below the tree latency after gaining the buffer delay are
+        moved behind the new buffer; slower sinks stay directly on the tap.
+        ``shield_slow`` moves the whole leaf net behind the buffer so the
+        trunk is shielded from its load.
+        """
+        sink_children = [c for c in endpoint.children if c.is_sink]
+        if not sink_children:
+            return []
+        if self.strategy == "shield_slow":
+            return sink_children
+        latency = timing.latency
+        layer = self.pdk.front_layer
+        selected = sink_children
+        # Two fixed-point passes: the buffer delay depends on the selected load.
+        for _ in range(2):
+            load = sum(
+                layer.wire_capacitance(endpoint.location.manhattan(c.location))
+                + c.capacitance
+                for c in selected
+            )
+            added_delay = self.pdk.buffer.delay(load)
+            selected = [
+                c
+                for c in sink_children
+                if timing.arrivals.get(c.name, latency) + added_delay <= latency + 1e-9
+            ]
+            if not selected:
+                return []
+        return selected
+
+    def _insert_endpoint_buffer(
+        self, tree: ClockTree, endpoint: ClockTreeNode, timing: TimingResult
+    ) -> ClockTreeNode | None:
+        """Insert one buffer at the end-point, re-parenting (part of) its leaf net.
+
+        Returns the inserted buffer node, or None when no sink of the cluster
+        can profit from the buffer.
+        """
+        padded = self._padded_sinks(endpoint, timing)
+        if not padded:
+            return None
+        buffer_node = ClockTreeNode(
+            name=tree.new_name("sr_buf"),
+            kind=NodeKind.BUFFER,
+            location=endpoint.location,
+            side=Side.FRONT,
+            capacitance=self.pdk.buffer.input_capacitance,
+            wire_side=Side.FRONT,
+        )
+        endpoint.add_child(buffer_node)
+        for sink in padded:
+            sink.detach()
+            buffer_node.add_child(sink)
+        return buffer_node
+
+    @staticmethod
+    def _remove_endpoint_buffer(
+        endpoint: ClockTreeNode, buffer_node: ClockTreeNode
+    ) -> None:
+        """Undo :meth:`_insert_endpoint_buffer` (used when a trial is rejected)."""
+        for sink in list(buffer_node.children):
+            sink.detach()
+            endpoint.add_child(sink)
+        buffer_node.detach()

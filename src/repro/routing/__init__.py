@@ -1,0 +1,28 @@
+"""Clock routing: topology generation and deferred-merge embedding (DME).
+
+Implements Section III-B of the paper:
+
+* :mod:`repro.routing.topology` — abstract binary topologies over terminals
+  and the greedy nearest-neighbour *matching* topology generator (Fig. 5(c)).
+* :mod:`repro.routing.dme` — the DME router: bottom-up merging-region
+  construction with Elmore-balanced edge allotment, then top-down embedding
+  that minimises wirelength.
+* :mod:`repro.routing.hierarchical` — the paper's hierarchical clock routing:
+  dual-level clustering + per-cluster DME + top-level DME, producing the
+  initial (unbuffered) :class:`~repro.clocktree.ClockTree`.
+"""
+
+from repro.routing.topology import TopologyNode, matching_topology, balanced_bipartition_topology
+from repro.routing.dme import DmeRouter, DmeTerminal, EmbeddedNode
+from repro.routing.hierarchical import HierarchicalClockRouter, HierarchicalRoutingResult
+
+__all__ = [
+    "TopologyNode",
+    "matching_topology",
+    "balanced_bipartition_topology",
+    "DmeRouter",
+    "DmeTerminal",
+    "EmbeddedNode",
+    "HierarchicalClockRouter",
+    "HierarchicalRoutingResult",
+]

@@ -1,0 +1,297 @@
+"""Deferred-merge embedding (DME) clock routing.
+
+The router takes a set of terminals (each with a location, a lumped
+downstream capacitance, and a downstream delay), an optional abstract binary
+topology, and produces an embedded routing tree:
+
+1. **Bottom-up phase** — for every internal topology node, compute a merging
+   region (a tilted rectangle in the Manhattan plane) together with the edge
+   lengths allotted to its two children such that the Elmore delays of the
+   two subtrees are balanced (adding wire detour when one side is much
+   faster).
+2. **Top-down phase** — embed the root at the point of its merging region
+   nearest to the clock source, then embed every child at the point of its
+   region nearest to its parent's embedding, which minimises wirelength.
+
+The router is metal-layer aware (it balances delays with the unit RC of the
+layer it is given) but side-agnostic: the initial routed tree produced for
+the paper's flow is all front-side; the concurrent buffer and nTSV insertion
+afterwards decides which edges move to the back side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, TiltedRect, merging_region
+from repro.tech.layers import LayerRC
+from repro.routing.topology import TopologyNode, matching_topology
+
+
+@dataclass(frozen=True)
+class DmeTerminal:
+    """A leaf terminal of the DME problem.
+
+    Attributes:
+        name: terminal name (propagated to the embedded tree).
+        location: terminal location (um).
+        capacitance: lumped capacitance looking into the terminal (fF).
+        delay: delay already accumulated below the terminal (ps); non-zero
+            when the terminal is itself the root of a routed subtree (e.g. a
+            low-level cluster centroid driving its leaf net).
+    """
+
+    name: str
+    location: Point
+    capacitance: float = 1.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0 or self.delay < 0:
+            raise ValueError(f"terminal {self.name}: negative capacitance or delay")
+
+
+@dataclass
+class EmbeddedNode:
+    """A node of the embedded routing tree produced by DME."""
+
+    location: Point
+    terminal: DmeTerminal | None = None
+    children: list["EmbeddedNode"] = field(default_factory=list)
+    planned_edge_length: float = 0.0  # length allotted during the bottom-up phase
+    subtree_capacitance: float = 0.0
+    subtree_delay: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.terminal is not None
+
+    def wirelength(self) -> float:
+        """Total embedded Manhattan wirelength of the subtree (um)."""
+        total = 0.0
+        for child in self.children:
+            total += self.location.manhattan(child.location)
+            total += child.wirelength()
+        return total
+
+    def leaves(self) -> list["EmbeddedNode"]:
+        if self.is_leaf:
+            return [self]
+        result = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+
+@dataclass
+class _MergeRecord:
+    """Bookkeeping of the bottom-up phase for one topology node."""
+
+    region: TiltedRect
+    capacitance: float
+    delay: float
+    edge_to_left: float = 0.0
+    edge_to_right: float = 0.0
+
+
+class DmeRouter:
+    """Elmore-balanced DME router over a single metal layer."""
+
+    def __init__(self, layer: LayerRC, detour_allowed: bool = True) -> None:
+        self.layer = layer
+        self.detour_allowed = detour_allowed
+
+    # -------------------------------------------------------------- public
+    def route(
+        self,
+        terminals: list[DmeTerminal],
+        root_location: Point | None = None,
+        topology: TopologyNode | None = None,
+    ) -> EmbeddedNode:
+        """Route the terminals and return the embedded tree.
+
+        Args:
+            terminals: the DME leaves.
+            root_location: when given, the tree root is embedded at the point
+                of the root merging region closest to this location (the
+                clock source); otherwise the region centre is used.
+            topology: abstract binary topology; defaults to greedy matching.
+        """
+        if not terminals:
+            raise ValueError("DME needs at least one terminal")
+        if len(terminals) == 1:
+            term = terminals[0]
+            return EmbeddedNode(
+                location=term.location,
+                terminal=term,
+                subtree_capacitance=term.capacitance,
+                subtree_delay=term.delay,
+            )
+        if topology is None:
+            topology = matching_topology([t.location for t in terminals])
+        records: dict[int, _MergeRecord] = {}
+        self._bottom_up(topology, terminals, records)
+        return self._top_down(topology, terminals, records, root_location)
+
+    # ----------------------------------------------------------- bottom-up
+    def _bottom_up(
+        self,
+        node: TopologyNode,
+        terminals: list[DmeTerminal],
+        records: dict[int, _MergeRecord],
+    ) -> _MergeRecord:
+        if node.is_leaf:
+            term = terminals[node.terminal_index]
+            record = _MergeRecord(
+                region=TiltedRect.from_point(term.location),
+                capacitance=term.capacitance,
+                delay=term.delay,
+            )
+            records[id(node)] = record
+            return record
+        left = self._bottom_up(node.children[0], terminals, records)
+        right = self._bottom_up(node.children[1], terminals, records)
+        distance = left.region.distance_to(right.region)
+        e_left, e_right = self._balance_edges(left, right, distance)
+        region = merging_region(left.region, right.region, e_left, e_right)
+        unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
+        merged_delay = max(
+            left.delay + unit_r * e_left * (unit_c * e_left + left.capacitance),
+            right.delay + unit_r * e_right * (unit_c * e_right + right.capacitance),
+        )
+        merged_cap = (
+            left.capacitance + right.capacitance + unit_c * (e_left + e_right)
+        )
+        record = _MergeRecord(
+            region=region,
+            capacitance=merged_cap,
+            delay=merged_delay,
+            edge_to_left=e_left,
+            edge_to_right=e_right,
+        )
+        records[id(node)] = record
+        return record
+
+    def _balance_edges(
+        self, left: _MergeRecord, right: _MergeRecord, distance: float
+    ) -> tuple[float, float]:
+        """Split ``distance`` into the two edge lengths that balance delay.
+
+        Solves ``d_l + R(e_l)(C(e_l) + c_l) = d_r + R(e_r)(C(e_r) + c_r)``
+        with ``e_l + e_r = distance``; when no split balances, the faster
+        side receives a detour (extra wirelength) if allowed, otherwise the
+        split saturates at the boundary.
+        """
+        unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
+
+        def delay_l(e: float) -> float:
+            return left.delay + unit_r * e * (unit_c * e + left.capacitance)
+
+        def delay_r(e: float) -> float:
+            return right.delay + unit_r * e * (unit_c * e + right.capacitance)
+
+        # f(e) = delay of left with e  -  delay of right with (distance - e);
+        # f is increasing in e, so bisection finds the balance point.
+        def imbalance(e: float) -> float:
+            return delay_l(e) - delay_r(distance - e)
+
+        if distance <= 0:
+            low_delay_gap = left.delay - right.delay
+            if abs(low_delay_gap) < 1e-12 or not self.detour_allowed:
+                return 0.0, 0.0
+            return self._detour(left, right)
+
+        if imbalance(0.0) > 0:
+            # Left subtree is already slower even with zero wire: detour right.
+            if not self.detour_allowed:
+                return 0.0, distance
+            extra = self._solve_detour(
+                target=left.delay, base=right.delay, cap=right.capacitance
+            )
+            return 0.0, max(distance, extra)
+        if imbalance(distance) < 0:
+            # Right subtree is slower even when it gets no wire: detour left.
+            if not self.detour_allowed:
+                return distance, 0.0
+            extra = self._solve_detour(
+                target=right.delay, base=left.delay, cap=left.capacitance
+            )
+            return max(distance, extra), 0.0
+
+        lo, hi = 0.0, distance
+        for _ in range(64):
+            mid = (lo + hi) / 2.0
+            if imbalance(mid) > 0:
+                hi = mid
+            else:
+                lo = mid
+        e_left = (lo + hi) / 2.0
+        return e_left, distance - e_left
+
+    def _detour(self, left: _MergeRecord, right: _MergeRecord) -> tuple[float, float]:
+        """Balance two co-located subtrees by snaking wire on the faster one."""
+        if left.delay > right.delay:
+            extra = self._solve_detour(left.delay, right.delay, right.capacitance)
+            return 0.0, extra
+        extra = self._solve_detour(right.delay, left.delay, left.capacitance)
+        return extra, 0.0
+
+    def _solve_detour(self, target: float, base: float, cap: float) -> float:
+        """Wire length e with ``base + R(e)(C(e) + cap) = target`` (e >= 0)."""
+        unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
+        gap = target - base
+        if gap <= 0:
+            return 0.0
+        # unit_r*unit_c*e^2 + unit_r*cap*e - gap = 0
+        a = unit_r * unit_c
+        b = unit_r * cap
+        disc = b * b + 4 * a * gap
+        return (-b + disc**0.5) / (2 * a)
+
+    # ------------------------------------------------------------ top-down
+    def _top_down(
+        self,
+        topology: TopologyNode,
+        terminals: list[DmeTerminal],
+        records: dict[int, _MergeRecord],
+        root_location: Point | None,
+    ) -> EmbeddedNode:
+        root_record = records[id(topology)]
+        if root_location is not None:
+            root_point = root_record.region.nearest_point_to(root_location)
+        else:
+            root_point = root_record.region.center()
+        return self._embed(topology, terminals, records, root_point, 0.0)
+
+    def _embed(
+        self,
+        node: TopologyNode,
+        terminals: list[DmeTerminal],
+        records: dict[int, _MergeRecord],
+        location: Point,
+        planned_length: float,
+    ) -> EmbeddedNode:
+        record = records[id(node)]
+        if node.is_leaf:
+            term = terminals[node.terminal_index]
+            return EmbeddedNode(
+                location=term.location,
+                terminal=term,
+                planned_edge_length=planned_length,
+                subtree_capacitance=record.capacitance,
+                subtree_delay=record.delay,
+            )
+        embedded = EmbeddedNode(
+            location=location,
+            planned_edge_length=planned_length,
+            subtree_capacitance=record.capacitance,
+            subtree_delay=record.delay,
+        )
+        planned = (record.edge_to_left, record.edge_to_right)
+        for child, child_planned in zip(node.children, planned):
+            child_record = records[id(child)]
+            child_point = child_record.region.nearest_point_to(location)
+            embedded.children.append(
+                self._embed(child, terminals, records, child_point, child_planned)
+            )
+        return embedded

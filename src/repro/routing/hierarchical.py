@@ -1,0 +1,301 @@
+"""Hierarchical clock routing (Section III-B of the paper).
+
+The router combines dual-level clustering with DME:
+
+1. dual-level K-means clustering of the sinks (``Hc`` / ``Lc``),
+2. per-high-cluster DME routing with the low-level centroids as leaves,
+3. a top-level DME over the high-level sub-roots toward the clock source,
+4. star-routed leaf nets from each low-level centroid (a *tap*) to its sinks.
+
+The output is an unbuffered, all-front-side :class:`~repro.clocktree.ClockTree`
+whose trunk edges are later processed by the concurrent buffer and nTSV
+insertion.  A non-hierarchical "flat matching DME" mode is also provided for
+the ablation against Fig. 5(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.clustering import Cluster, DualLevelClustering, dual_level_clustering
+from repro.geometry import Point
+from repro.netlist.clock import ClockNet
+from repro.routing.dme import DmeRouter, DmeTerminal, EmbeddedNode
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+
+
+@dataclass
+class HierarchicalRoutingResult:
+    """The routed (unbuffered) clock tree plus the clustering used to build it."""
+
+    tree: ClockTree
+    clustering: DualLevelClustering | None
+    trunk_wirelength: float
+    leaf_wirelength: float
+    tap_nodes: list[ClockTreeNode] = field(default_factory=list)
+
+    @property
+    def total_wirelength(self) -> float:
+        return self.trunk_wirelength + self.leaf_wirelength
+
+
+class HierarchicalClockRouter:
+    """Builds the initial clock tree topology of the paper's flow."""
+
+    def __init__(
+        self,
+        pdk: Pdk,
+        high_cluster_size: int = 3000,
+        low_cluster_size: int = 30,
+        seed: int = 2025,
+        hierarchical: bool = True,
+    ) -> None:
+        if high_cluster_size < low_cluster_size:
+            raise ValueError("high-level cluster size must be >= low-level size")
+        self.pdk = pdk
+        self.high_cluster_size = high_cluster_size
+        self.low_cluster_size = low_cluster_size
+        self.seed = seed
+        self.hierarchical = hierarchical
+
+    # ---------------------------------------------------------------- public
+    def route(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
+        """Route ``clock_net`` and return the initial clock tree."""
+        if clock_net.sink_count == 0:
+            raise ValueError("clock net has no sinks")
+        if self.hierarchical:
+            return self._route_hierarchical(clock_net)
+        return self._route_flat(clock_net)
+
+    # --------------------------------------------------------- hierarchical
+    def _route_hierarchical(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
+        layer = self.pdk.front_layer
+        clustering = dual_level_clustering(
+            clock_net.sinks,
+            high_size=self.high_cluster_size,
+            low_size=self.low_cluster_size,
+            seed=self.seed,
+            max_leaf_capacitance=0.9 * self.pdk.max_capacitance,
+            unit_wire_capacitance=layer.unit_capacitance,
+        )
+        router = DmeRouter(layer)
+
+        root = ClockTreeNode(
+            name="clkroot",
+            kind=NodeKind.ROOT,
+            location=clock_net.source.location,
+            side=Side.FRONT,
+        )
+        tree = ClockTree(root, name=clock_net.name)
+        tap_nodes: list[ClockTreeNode] = []
+
+        sub_roots: list[tuple[EmbeddedNode, list[Cluster]]] = []
+        for high in clustering.high_clusters:
+            lows = clustering.low_clusters_of(high.index)
+            terminals = [self._tap_terminal(low, layer) for low in lows]
+            embedded = router.route(terminals, root_location=high.centroid)
+            sub_roots.append((embedded, lows))
+
+        if len(sub_roots) == 1:
+            embedded, lows = sub_roots[0]
+            top_child = self._materialise(tree, root, embedded, lows, tap_nodes)
+        else:
+            # Top-level DME over the high-cluster sub-roots.
+            top_terminals = [
+                DmeTerminal(
+                    name=f"high_{i}",
+                    location=embedded.location,
+                    capacitance=embedded.subtree_capacitance,
+                    delay=embedded.subtree_delay,
+                )
+                for i, (embedded, _lows) in enumerate(sub_roots)
+            ]
+            top_embedded = router.route(
+                top_terminals, root_location=clock_net.source.location
+            )
+            top_child = self._materialise_top(
+                tree, root, top_embedded, sub_roots, tap_nodes
+            )
+
+        trunk_wl = tree.wirelength() - self._leaf_wirelength(tap_nodes)
+        return HierarchicalRoutingResult(
+            tree=tree,
+            clustering=clustering,
+            trunk_wirelength=trunk_wl,
+            leaf_wirelength=self._leaf_wirelength(tap_nodes),
+            tap_nodes=tap_nodes,
+        )
+
+    def _tap_terminal(self, low: Cluster, layer) -> DmeTerminal:
+        """Lump a low-level cluster (tap + star leaf net) into a DME terminal."""
+        wire_cap = sum(
+            layer.wire_capacitance(low.centroid.manhattan(s.location)) for s in low.sinks
+        )
+        sink_cap = low.total_capacitance
+        max_delay = 0.0
+        for sink in low.sinks:
+            length = low.centroid.manhattan(sink.location)
+            max_delay = max(
+                max_delay, layer.wire_delay(length, sink.capacitance)
+            )
+        return DmeTerminal(
+            name=f"tap_{low.index}",
+            location=low.centroid,
+            capacitance=wire_cap + sink_cap,
+            delay=max_delay,
+        )
+
+    # --------------------------------------------------------------- flat DME
+    def _route_flat(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
+        """Matching-based DME straight over all sinks (Fig. 5(c) baseline)."""
+        layer = self.pdk.front_layer
+        router = DmeRouter(layer)
+        terminals = [
+            DmeTerminal(name=s.name, location=s.location, capacitance=s.capacitance)
+            for s in clock_net.sinks
+        ]
+        embedded = router.route(terminals, root_location=clock_net.source.location)
+        root = ClockTreeNode(
+            name="clkroot",
+            kind=NodeKind.ROOT,
+            location=clock_net.source.location,
+            side=Side.FRONT,
+        )
+        tree = ClockTree(root, name=clock_net.name)
+        self._materialise_flat(tree, root, embedded, clock_net)
+        return HierarchicalRoutingResult(
+            tree=tree,
+            clustering=None,
+            trunk_wirelength=tree.wirelength(),
+            leaf_wirelength=0.0,
+            tap_nodes=[],
+        )
+
+    # --------------------------------------------------------- materialising
+    def _materialise(
+        self,
+        tree: ClockTree,
+        parent: ClockTreeNode,
+        embedded: EmbeddedNode,
+        lows: list[Cluster],
+        tap_nodes: list[ClockTreeNode],
+    ) -> ClockTreeNode:
+        """Convert an embedded sub-DME into clock tree nodes below ``parent``."""
+        low_by_name = {f"tap_{low.index}": low for low in lows}
+        return self._materialise_node(tree, parent, embedded, low_by_name, tap_nodes)
+
+    def _materialise_top(
+        self,
+        tree: ClockTree,
+        root: ClockTreeNode,
+        top_embedded: EmbeddedNode,
+        sub_roots: list[tuple[EmbeddedNode, list[Cluster]]],
+        tap_nodes: list[ClockTreeNode],
+    ) -> ClockTreeNode:
+        """Materialise the top-level DME; its leaves expand into sub-DMEs."""
+
+        def expand(parent: ClockTreeNode, node: EmbeddedNode) -> ClockTreeNode:
+            if node.is_leaf:
+                index = int(node.terminal.name.split("_")[1])
+                embedded, lows = sub_roots[index]
+                return self._materialise(tree, parent, embedded, lows, tap_nodes)
+            steiner = ClockTreeNode(
+                name=tree.new_name("st"),
+                kind=NodeKind.STEINER,
+                location=node.location,
+                side=Side.FRONT,
+                wire_side=Side.FRONT,
+            )
+            parent.add_child(steiner)
+            for child in node.children:
+                expand(steiner, child)
+            return steiner
+
+        return expand(root, top_embedded)
+
+    def _materialise_node(
+        self,
+        tree: ClockTree,
+        parent: ClockTreeNode,
+        embedded: EmbeddedNode,
+        low_by_name: dict[str, Cluster],
+        tap_nodes: list[ClockTreeNode],
+    ) -> ClockTreeNode:
+        if embedded.is_leaf:
+            low = low_by_name[embedded.terminal.name]
+            tap = ClockTreeNode(
+                name=embedded.terminal.name,
+                kind=NodeKind.TAP,
+                location=low.centroid,
+                side=Side.FRONT,
+                wire_side=Side.FRONT,
+            )
+            parent.add_child(tap)
+            tap_nodes.append(tap)
+            for sink in low.sinks:
+                tap.add_child(
+                    ClockTreeNode(
+                        name=sink.name,
+                        kind=NodeKind.SINK,
+                        location=sink.location,
+                        side=Side.FRONT,
+                        capacitance=sink.capacitance,
+                        wire_side=Side.FRONT,
+                    )
+                )
+            return tap
+        steiner = ClockTreeNode(
+            name=tree.new_name("st"),
+            kind=NodeKind.STEINER,
+            location=embedded.location,
+            side=Side.FRONT,
+            wire_side=Side.FRONT,
+        )
+        parent.add_child(steiner)
+        for child in embedded.children:
+            self._materialise_node(tree, steiner, child, low_by_name, tap_nodes)
+        return steiner
+
+    def _materialise_flat(
+        self,
+        tree: ClockTree,
+        parent: ClockTreeNode,
+        embedded: EmbeddedNode,
+        clock_net: ClockNet,
+    ) -> ClockTreeNode:
+        if embedded.is_leaf:
+            sink = clock_net.sink_by_name(embedded.terminal.name)
+            node = ClockTreeNode(
+                name=sink.name,
+                kind=NodeKind.SINK,
+                location=sink.location,
+                side=Side.FRONT,
+                capacitance=sink.capacitance,
+                wire_side=Side.FRONT,
+            )
+            parent.add_child(node)
+            return node
+        steiner = ClockTreeNode(
+            name=tree.new_name("st"),
+            kind=NodeKind.STEINER,
+            location=embedded.location,
+            side=Side.FRONT,
+            wire_side=Side.FRONT,
+        )
+        parent.add_child(steiner)
+        for child in embedded.children:
+            self._materialise_flat(tree, steiner, child, clock_net)
+        return steiner
+
+    # ------------------------------------------------------------------ misc
+    @staticmethod
+    def _leaf_wirelength(tap_nodes: list[ClockTreeNode]) -> float:
+        """Total wirelength of the star leaf nets below all taps (um)."""
+        total = 0.0
+        for tap in tap_nodes:
+            for child in tap.children:
+                if child.is_sink:
+                    total += tap.location.manhattan(child.location)
+        return total

@@ -1,0 +1,155 @@
+"""Abstract binary topologies over routing terminals.
+
+A topology fixes *which* terminals are merged together before DME decides
+*where* the merge points are embedded.  Two generators are provided:
+
+* :func:`matching_topology` — the classic greedy nearest-neighbour matching
+  used by Edahiro-style DME (Fig. 5(c) of the paper); pairs of closest
+  subtrees are merged level by level.
+* :func:`balanced_bipartition_topology` — recursive geometric bisection,
+  which the OpenROAD-like baseline uses to build H-tree style topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.geometry import Point
+
+
+@dataclass
+class TopologyNode:
+    """A node of an abstract binary routing topology.
+
+    Leaves carry ``terminal_index`` (an index into the caller's terminal
+    list); internal nodes have exactly two children and no terminal index.
+    ``location_hint`` caches the centroid of the subtree's terminals and is
+    used only to guide matching decisions, never as a final embedding.
+    """
+
+    terminal_index: int | None = None
+    children: list["TopologyNode"] = field(default_factory=list)
+    location_hint: Point | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.terminal_index is not None
+
+    def __post_init__(self) -> None:
+        if self.is_leaf and self.children:
+            raise ValueError("a leaf topology node cannot have children")
+
+    def leaves(self) -> list["TopologyNode"]:
+        """Return every leaf in the subtree (left-to-right order)."""
+        if self.is_leaf:
+            return [self]
+        result = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def leaf_indices(self) -> list[int]:
+        """Return the terminal indices of every leaf in the subtree."""
+        return [leaf.terminal_index for leaf in self.leaves()]  # type: ignore[misc]
+
+    def depth(self) -> int:
+        """Height of the subtree (a single leaf has depth 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def internal_count(self) -> int:
+        """Number of internal (merge) nodes in the subtree."""
+        if self.is_leaf:
+            return 0
+        return 1 + sum(child.internal_count() for child in self.children)
+
+
+def matching_topology(locations: Sequence[Point]) -> TopologyNode:
+    """Greedy nearest-neighbour matching topology (bottom-up pairing).
+
+    At every level the two mutually closest remaining subtrees are paired
+    until a single root remains.  Ties and odd counts are handled by carrying
+    the left-over subtree to the next level, which keeps the tree balanced
+    (depth O(log n)) without quadratic blow-up on typical inputs.
+    """
+    if not locations:
+        raise ValueError("cannot build a topology over zero terminals")
+    level: list[TopologyNode] = [
+        TopologyNode(terminal_index=i, location_hint=loc)
+        for i, loc in enumerate(locations)
+    ]
+    while len(level) > 1:
+        level = _pair_level(level)
+    return level[0]
+
+
+def _pair_level(nodes: list[TopologyNode]) -> list[TopologyNode]:
+    """Pair up the nodes of one level by greedy nearest-neighbour matching."""
+    remaining = list(range(len(nodes)))
+    next_level: list[TopologyNode] = []
+    used: set[int] = set()
+    # Process in order of x then y so the greedy matching is deterministic.
+    remaining.sort(key=lambda i: (nodes[i].location_hint.x, nodes[i].location_hint.y))
+    for i in remaining:
+        if i in used:
+            continue
+        best_j = None
+        best_dist = float("inf")
+        for j in remaining:
+            if j == i or j in used:
+                continue
+            dist = nodes[i].location_hint.manhattan(nodes[j].location_hint)
+            if dist < best_dist:
+                best_dist = dist
+                best_j = j
+        if best_j is None:
+            # Odd node out: promote it unchanged to the next level.
+            next_level.append(nodes[i])
+            used.add(i)
+            continue
+        used.add(i)
+        used.add(best_j)
+        a, b = nodes[i], nodes[best_j]
+        hint = Point(
+            (a.location_hint.x + b.location_hint.x) / 2.0,
+            (a.location_hint.y + b.location_hint.y) / 2.0,
+        )
+        next_level.append(TopologyNode(children=[a, b], location_hint=hint))
+    return next_level
+
+
+def balanced_bipartition_topology(locations: Sequence[Point]) -> TopologyNode:
+    """Recursive geometric bisection topology (H-tree flavoured).
+
+    The terminal set is split in half along the longer dimension of its
+    bounding box, recursively, producing a balanced binary topology whose
+    cuts alternate naturally with the point distribution.  Used by the
+    OpenROAD-style baseline CTS.
+    """
+    if not locations:
+        raise ValueError("cannot build a topology over zero terminals")
+    indices = list(range(len(locations)))
+    return _bisect(indices, list(locations))
+
+
+def _bisect(indices: list[int], locations: list[Point]) -> TopologyNode:
+    if len(indices) == 1:
+        idx = indices[0]
+        return TopologyNode(terminal_index=idx, location_hint=locations[idx])
+    xs = [locations[i].x for i in indices]
+    ys = [locations[i].y for i in indices]
+    split_on_x = (max(xs) - min(xs)) >= (max(ys) - min(ys))
+    key = (lambda i: (locations[i].x, locations[i].y)) if split_on_x else (
+        lambda i: (locations[i].y, locations[i].x)
+    )
+    ordered = sorted(indices, key=key)
+    mid = len(ordered) // 2
+    left = _bisect(ordered[:mid], locations)
+    right = _bisect(ordered[mid:], locations)
+    hint = Point(
+        (left.location_hint.x + right.location_hint.x) / 2.0,
+        (left.location_hint.y + right.location_hint.y) / 2.0,
+    )
+    return TopologyNode(children=[left, right], location_hint=hint)

@@ -1,0 +1,33 @@
+"""Technology / PDK models.
+
+This package captures everything the CTS flow needs to know about the
+process:
+
+* :mod:`repro.tech.layers` — per-layer unit resistance/capacitance for the
+  front-side metal stack (ASAP7 M1..M9) and the back-side stack (BM1..BM3),
+  reproducing Table I of the paper.
+* :mod:`repro.tech.cells` — the clock buffer (``BUFx4_ASAP7_75t_R``) and the
+  nano-TSV cell with their electrical and physical properties.
+* :mod:`repro.tech.nldm` — a small non-linear delay model (NLDM) lookup table
+  with bilinear interpolation, as used by ASAP7 liberty files.
+* :mod:`repro.tech.pdk` — the :class:`Pdk` bundle plus the
+  :func:`asap7_backside` factory that assembles the exact technology used in
+  the paper's experiments.
+"""
+
+from repro.tech.layers import LayerRC, MetalStack, Side, TABLE_I_LAYERS
+from repro.tech.cells import BufferCell, NtsvCell
+from repro.tech.nldm import NldmTable
+from repro.tech.pdk import Pdk, asap7_backside
+
+__all__ = [
+    "LayerRC",
+    "MetalStack",
+    "Side",
+    "TABLE_I_LAYERS",
+    "BufferCell",
+    "NtsvCell",
+    "NldmTable",
+    "Pdk",
+    "asap7_backside",
+]

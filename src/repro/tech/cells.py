@@ -1,0 +1,141 @@
+"""Clock buffer and nano-TSV cell models.
+
+The paper uses a single buffer (``BUFx4_ASAP7_75t_R``, 0.378 um x 0.27 um)
+and one nTSV cell (0.27 um x 0.27 um, R = 0.020 kOhm, C = 0.004 fF), relying
+on later clock-tree optimisation for sizing.  Both are modelled here with the
+electrical parameters the delay engine needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.nldm import NldmTable
+
+
+@dataclass(frozen=True)
+class BufferCell:
+    """A clock buffer characterised for delay computation.
+
+    The linear model used throughout the DP is
+
+        delay = intrinsic_delay + drive_resistance * C_load      [ps]
+
+    which matches Eq. (1) of the paper when ``C_load`` is folded into a
+    constant ``Dbuf``.  An optional NLDM table refines the delay as a function
+    of (input slew, output load); when present it is used by the NLDM timing
+    mode.
+    """
+
+    name: str
+    input_capacitance: float  # fF
+    intrinsic_delay: float  # ps
+    drive_resistance: float  # kOhm
+    max_capacitance: float  # fF, maximum load the buffer may drive
+    width: float  # um
+    height: float  # um
+    output_slew: float = 20.0  # ps, nominal slew at the buffer output
+    nldm_delay: NldmTable | None = field(default=None, compare=False)
+    nldm_slew: NldmTable | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.input_capacitance <= 0:
+            raise ValueError("buffer input capacitance must be positive")
+        if self.max_capacitance <= 0:
+            raise ValueError("buffer max capacitance must be positive")
+        if self.drive_resistance < 0 or self.intrinsic_delay < 0:
+            raise ValueError("buffer delay parameters must be non-negative")
+
+    @property
+    def area(self) -> float:
+        """Footprint area in square micrometres."""
+        return self.width * self.height
+
+    def delay(self, load_capacitance: float, input_slew: float | None = None) -> float:
+        """Return the buffer delay (ps) for a given output load (fF).
+
+        When an NLDM table is attached and an input slew is supplied, the
+        table is used; otherwise the linear model applies.
+        """
+        if load_capacitance < 0:
+            raise ValueError("load capacitance must be non-negative")
+        if self.nldm_delay is not None and input_slew is not None:
+            return self.nldm_delay.lookup(input_slew, load_capacitance)
+        return self.intrinsic_delay + self.drive_resistance * load_capacitance
+
+    def slew(self, load_capacitance: float, input_slew: float | None = None) -> float:
+        """Return the output slew (ps) for a given output load (fF)."""
+        if load_capacitance < 0:
+            raise ValueError("load capacitance must be non-negative")
+        if self.nldm_slew is not None and input_slew is not None:
+            return self.nldm_slew.lookup(input_slew, load_capacitance)
+        # First-order model: slew tracks the RC at the output stage.
+        return self.output_slew + 2.2 * self.drive_resistance * load_capacitance
+
+    def violates_max_cap(self, load_capacitance: float) -> bool:
+        """Return True when ``load_capacitance`` exceeds the library limit."""
+        return load_capacitance > self.max_capacitance
+
+
+@dataclass(frozen=True)
+class NtsvCell:
+    """A nano through-silicon via connecting the front and back sides.
+
+    Unlike a buffer, an nTSV provides no load shielding: its capacitance adds
+    to the net and its resistance is in series with the wire (Eq. (2)).
+    """
+
+    name: str
+    resistance: float  # kOhm
+    capacitance: float  # fF
+    width: float  # um
+    height: float  # um
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0 or self.capacitance < 0:
+            raise ValueError("nTSV parasitics must be non-negative")
+
+    @property
+    def area(self) -> float:
+        """Footprint area in square micrometres."""
+        return self.width * self.height
+
+    def delay(self, load_capacitance: float) -> float:
+        """Elmore delay (ps) through the via driving ``load_capacitance`` fF."""
+        if load_capacitance < 0:
+            raise ValueError("load capacitance must be non-negative")
+        return self.resistance * (self.capacitance + load_capacitance)
+
+
+def default_buffer() -> BufferCell:
+    """The BUFx4_ASAP7_75t_R model used in the paper's experiments.
+
+    Electrical values are calibrated to the ASAP7 7.5-track RVT library:
+    ~0.8 fF input pin capacitance, ~11 ps unloaded delay, ~0.25 kOhm
+    effective drive resistance and ~60 fF maximum load.
+    """
+    from repro.tech.nldm import default_buffer_delay_table, default_buffer_slew_table
+
+    return BufferCell(
+        name="BUFx4_ASAP7_75t_R",
+        input_capacitance=0.8,
+        intrinsic_delay=11.0,
+        drive_resistance=0.25,
+        max_capacitance=60.0,
+        width=0.378,
+        height=0.27,
+        output_slew=18.0,
+        nldm_delay=default_buffer_delay_table(),
+        nldm_slew=default_buffer_slew_table(),
+    )
+
+
+def default_ntsv() -> NtsvCell:
+    """The nTSV cell of the paper: 0.27 um x 0.27 um, 0.020 kOhm, 0.004 fF."""
+    return NtsvCell(
+        name="NTSV_ASAP7_BS",
+        resistance=0.020,
+        capacitance=0.004,
+        width=0.27,
+        height=0.27,
+    )

@@ -1,0 +1,174 @@
+"""Metal layer models and the Table I resistance/capacitance data.
+
+Units follow the paper: unit resistance in kilo-ohms per micrometre and unit
+capacitance in femtofarads per micrometre.  With those units the product
+``R * C`` of a wire comes out directly in picoseconds, which is the unit used
+for all delays in this library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+class Side(enum.Enum):
+    """Which face of the die a wire, pin, or tree node lives on."""
+
+    FRONT = "front"
+    BACK = "back"
+
+    @property
+    def opposite(self) -> "Side":
+        return Side.BACK if self is Side.FRONT else Side.FRONT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class LayerRC:
+    """Unit parasitics of a single routing layer.
+
+    Attributes:
+        name: layer name as it appears in the LEF (e.g. ``"M3"``).
+        unit_resistance: series resistance per micrometre, in kOhm/um.
+        unit_capacitance: ground capacitance per micrometre, in fF/um.
+        side: whether the layer belongs to the front-side or back-side stack.
+    """
+
+    name: str
+    unit_resistance: float
+    unit_capacitance: float
+    side: Side
+
+    def __post_init__(self) -> None:
+        if self.unit_resistance <= 0 or self.unit_capacitance <= 0:
+            raise ValueError(f"layer {self.name}: parasitics must be positive")
+
+    def wire_delay(self, length: float, load_capacitance: float = 0.0) -> float:
+        """Elmore delay (ps) of a wire of ``length`` um driving ``load_capacitance`` fF.
+
+        Uses the L-type lumped model of the paper (Section II-B): the wire's
+        own capacitance is lumped at the far end together with the load, i.e.
+        ``delay = R_wire * (C_wire + C_load)``.
+        """
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        resistance = self.unit_resistance * length
+        capacitance = self.unit_capacitance * length
+        return resistance * (capacitance + load_capacitance)
+
+    def wire_capacitance(self, length: float) -> float:
+        """Total wire capacitance (fF) of a segment of ``length`` um."""
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        return self.unit_capacitance * length
+
+    def wire_resistance(self, length: float) -> float:
+        """Total wire resistance (kOhm) of a segment of ``length`` um."""
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        return self.unit_resistance * length
+
+
+#: Table I of the paper: ASAP7 front-side layers M1..M9 and the back-side
+#: layers BM1..BM3 (which share a single unit R/C entry).
+TABLE_I_LAYERS: tuple[LayerRC, ...] = (
+    LayerRC("M1", 0.138890, 0.11368, Side.FRONT),
+    LayerRC("M2", 0.024222, 0.13426, Side.FRONT),
+    LayerRC("M3", 0.024222, 0.12918, Side.FRONT),
+    LayerRC("M4", 0.016778, 0.11396, Side.FRONT),
+    LayerRC("M5", 0.014677, 0.13323, Side.FRONT),
+    LayerRC("M6", 0.010371, 0.11575, Side.FRONT),
+    LayerRC("M7", 0.009672, 0.13293, Side.FRONT),
+    LayerRC("M8", 0.007431, 0.11822, Side.FRONT),
+    LayerRC("M9", 0.006874, 0.13497, Side.FRONT),
+    LayerRC("BM1", 0.000384, 0.116264, Side.BACK),
+    LayerRC("BM2", 0.000384, 0.116264, Side.BACK),
+    LayerRC("BM3", 0.000384, 0.116264, Side.BACK),
+)
+
+
+class MetalStack:
+    """The collection of routing layers available to the clock router.
+
+    The stack knows which single layer is used for front-side clock routing
+    (OpenROAD convention: M3) and which layer represents the back-side stack
+    (BM1..BM3 share identical parasitics in Table I, so one representative
+    layer is sufficient for delay evaluation).
+    """
+
+    def __init__(
+        self,
+        layers: Iterable[LayerRC],
+        front_clock_layer: str = "M3",
+        back_clock_layer: str = "BM1",
+    ) -> None:
+        self._layers: dict[str, LayerRC] = {}
+        for layer in layers:
+            if layer.name in self._layers:
+                raise ValueError(f"duplicate layer name {layer.name!r}")
+            self._layers[layer.name] = layer
+        if front_clock_layer not in self._layers:
+            raise KeyError(f"front clock layer {front_clock_layer!r} not in stack")
+        if back_clock_layer not in self._layers:
+            raise KeyError(f"back clock layer {back_clock_layer!r} not in stack")
+        if self._layers[front_clock_layer].side is not Side.FRONT:
+            raise ValueError(f"{front_clock_layer!r} is not a front-side layer")
+        if self._layers[back_clock_layer].side is not Side.BACK:
+            raise ValueError(f"{back_clock_layer!r} is not a back-side layer")
+        self._front_clock_layer = front_clock_layer
+        self._back_clock_layer = back_clock_layer
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __getitem__(self, name: str) -> LayerRC:
+        return self._layers[name]
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self):
+        return iter(self._layers.values())
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._layers)
+
+    @property
+    def front_clock_layer(self) -> LayerRC:
+        """The layer used for front-side clock wires (M3 by convention)."""
+        return self._layers[self._front_clock_layer]
+
+    @property
+    def back_clock_layer(self) -> LayerRC:
+        """The representative layer for back-side clock wires."""
+        return self._layers[self._back_clock_layer]
+
+    def clock_layer(self, side: Side) -> LayerRC:
+        """Return the clock routing layer for ``side``."""
+        return self.front_clock_layer if side is Side.FRONT else self.back_clock_layer
+
+    def layers_on(self, side: Side) -> list[LayerRC]:
+        """Return all layers belonging to ``side``, in stack order."""
+        return [layer for layer in self._layers.values() if layer.side is side]
+
+    def as_table(self) -> list[Mapping[str, float | str]]:
+        """Return the stack as Table I style rows (for reporting/benchmarks)."""
+        return [
+            {
+                "layer": layer.name,
+                "unit_resistance_kohm_per_um": layer.unit_resistance,
+                "unit_capacitance_ff_per_um": layer.unit_capacitance,
+                "side": layer.side.value,
+            }
+            for layer in self._layers.values()
+        ]
+
+    @classmethod
+    def table_i(cls) -> "MetalStack":
+        """Build the exact Table I metal stack used in the paper."""
+        return cls(TABLE_I_LAYERS)

@@ -1,0 +1,153 @@
+"""Non-linear delay model (NLDM) lookup tables.
+
+ASAP7 liberty files characterise cell delay and output slew as 2-D tables
+indexed by input slew and output load.  The paper's evaluation uses the NLDM
+for delay computation alongside the Elmore wire model; this module provides a
+small, dependency-free implementation with bilinear interpolation and
+clamped extrapolation (the behaviour of most commercial timers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NldmTable:
+    """A 2-D lookup table ``value = f(input_slew, output_capacitance)``.
+
+    Attributes:
+        slew_axis: monotonically increasing input slews (ps).
+        cap_axis: monotonically increasing output loads (fF).
+        values: table of shape ``(len(slew_axis), len(cap_axis))`` in ps.
+    """
+
+    slew_axis: tuple[float, ...]
+    cap_axis: tuple[float, ...]
+    values: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        slews = np.asarray(self.slew_axis, dtype=float)
+        caps = np.asarray(self.cap_axis, dtype=float)
+        table = np.asarray(self.values, dtype=float)
+        if slews.ndim != 1 or caps.ndim != 1:
+            raise ValueError("axes must be one-dimensional")
+        if len(slews) < 2 or len(caps) < 2:
+            raise ValueError("each axis needs at least two sample points")
+        if np.any(np.diff(slews) <= 0) or np.any(np.diff(caps) <= 0):
+            raise ValueError("axes must be strictly increasing")
+        if table.shape != (len(slews), len(caps)):
+            raise ValueError(
+                f"table shape {table.shape} does not match axes "
+                f"({len(slews)}, {len(caps)})"
+            )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        slew_axis: Sequence[float],
+        cap_axis: Sequence[float],
+        values: Sequence[Sequence[float]],
+    ) -> "NldmTable":
+        """Build a table from plain sequences (e.g. parsed liberty data)."""
+        return cls(
+            tuple(float(s) for s in slew_axis),
+            tuple(float(c) for c in cap_axis),
+            tuple(tuple(float(v) for v in row) for row in values),
+        )
+
+    @classmethod
+    def from_linear_model(
+        cls,
+        intrinsic: float,
+        resistance: float,
+        slew_sensitivity: float,
+        slew_axis: Sequence[float],
+        cap_axis: Sequence[float],
+    ) -> "NldmTable":
+        """Characterise a table from a first-order model.
+
+        ``value = intrinsic + resistance * cap + slew_sensitivity * slew`` with
+        a mild quadratic term on the load to mimic the convexity of real
+        tables.  Used to generate the default ASAP7-like buffer tables.
+        """
+        rows = []
+        for slew in slew_axis:
+            row = [
+                intrinsic
+                + resistance * cap
+                + slew_sensitivity * slew
+                + 0.0005 * resistance * cap * cap
+                for cap in cap_axis
+            ]
+            rows.append(row)
+        return cls.from_arrays(slew_axis, cap_axis, rows)
+
+    def lookup(self, input_slew: float, output_cap: float) -> float:
+        """Bilinear interpolation with clamping outside the characterised range."""
+        slews = np.asarray(self.slew_axis)
+        caps = np.asarray(self.cap_axis)
+        table = np.asarray(self.values)
+
+        slew = float(np.clip(input_slew, slews[0], slews[-1]))
+        cap = float(np.clip(output_cap, caps[0], caps[-1]))
+
+        si = int(np.searchsorted(slews, slew, side="right") - 1)
+        ci = int(np.searchsorted(caps, cap, side="right") - 1)
+        si = min(max(si, 0), len(slews) - 2)
+        ci = min(max(ci, 0), len(caps) - 2)
+
+        s0, s1 = slews[si], slews[si + 1]
+        c0, c1 = caps[ci], caps[ci + 1]
+        ts = (slew - s0) / (s1 - s0)
+        tc = (cap - c0) / (c1 - c0)
+
+        v00 = table[si, ci]
+        v01 = table[si, ci + 1]
+        v10 = table[si + 1, ci]
+        v11 = table[si + 1, ci + 1]
+        return float(
+            v00 * (1 - ts) * (1 - tc)
+            + v01 * (1 - ts) * tc
+            + v10 * ts * (1 - tc)
+            + v11 * ts * tc
+        )
+
+    def max_value(self) -> float:
+        """Largest characterised value (used by sanity checks)."""
+        return float(np.max(np.asarray(self.values)))
+
+    def min_value(self) -> float:
+        """Smallest characterised value."""
+        return float(np.min(np.asarray(self.values)))
+
+
+#: Characterisation axes shared by the default buffer tables: input slews in
+#: ps and output loads in fF, spanning the range exercised by the benchmarks.
+_DEFAULT_SLEW_AXIS: tuple[float, ...] = (5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
+_DEFAULT_CAP_AXIS: tuple[float, ...] = (0.5, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0)
+
+
+def default_buffer_delay_table() -> NldmTable:
+    """Delay table approximating BUFx4_ASAP7_75t_R (ps vs slew/load)."""
+    return NldmTable.from_linear_model(
+        intrinsic=11.0,
+        resistance=0.25,
+        slew_sensitivity=0.06,
+        slew_axis=_DEFAULT_SLEW_AXIS,
+        cap_axis=_DEFAULT_CAP_AXIS,
+    )
+
+
+def default_buffer_slew_table() -> NldmTable:
+    """Output slew table approximating BUFx4_ASAP7_75t_R (ps vs slew/load)."""
+    return NldmTable.from_linear_model(
+        intrinsic=18.0,
+        resistance=0.55,
+        slew_sensitivity=0.10,
+        slew_axis=_DEFAULT_SLEW_AXIS,
+        cap_axis=_DEFAULT_CAP_AXIS,
+    )

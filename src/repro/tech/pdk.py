@@ -1,0 +1,125 @@
+"""The :class:`Pdk` bundle: metal stack, cells, and design constraints.
+
+``asap7_backside()`` reproduces the exact technology setup of the paper's
+experiments: ASAP7 front-side layers, the IMEC back-side layer parameters of
+Table I, the BUFx4 clock buffer, and the nTSV cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.tech.cells import BufferCell, NtsvCell, default_buffer, default_ntsv
+from repro.tech.layers import LayerRC, MetalStack, Side
+
+
+@dataclass(frozen=True)
+class Pdk:
+    """Everything the CTS flow needs to know about the process.
+
+    Attributes:
+        name: human-readable PDK name.
+        stack: the metal stack with front/back clock layers selected.
+        buffer: the clock buffer cell available for insertion.
+        ntsv: the nano-TSV cell available for side changes.
+        max_capacitance: maximum load (fF) any driver may see; defaults to the
+            buffer's library limit.
+        max_slew: maximum transition time (ps) allowed on clock nets.
+        has_backside: whether back-side routing resources exist at all.  A
+            front-side-only PDK (``has_backside=False``) lets the same flow be
+            used for conventional single-side CTS.
+    """
+
+    name: str
+    stack: MetalStack
+    buffer: BufferCell
+    ntsv: NtsvCell | None
+    max_capacitance: float
+    max_slew: float = 150.0
+    has_backside: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_capacitance <= 0:
+            raise ValueError("max capacitance must be positive")
+        if self.max_slew <= 0:
+            raise ValueError("max slew must be positive")
+        if self.has_backside and self.ntsv is None:
+            raise ValueError("a back-side enabled PDK needs an nTSV cell")
+
+    def clock_layer(self, side: Side) -> LayerRC:
+        """Return the clock routing layer used on ``side``."""
+        if side is Side.BACK and not self.has_backside:
+            raise ValueError(f"PDK {self.name!r} has no back-side routing resources")
+        return self.stack.clock_layer(side)
+
+    @property
+    def front_layer(self) -> LayerRC:
+        return self.stack.front_clock_layer
+
+    @property
+    def back_layer(self) -> LayerRC:
+        if not self.has_backside:
+            raise ValueError(f"PDK {self.name!r} has no back-side routing resources")
+        return self.stack.back_clock_layer
+
+    def front_side_only(self) -> "Pdk":
+        """Return a copy of this PDK with back-side resources disabled.
+
+        Used to run the identical flow in single-side mode (the "Our Buffered
+        Clock Tree" rows of Table III).
+        """
+        return replace(self, name=f"{self.name}-front-only", has_backside=False)
+
+    def with_buffer(self, buffer: BufferCell) -> "Pdk":
+        """Return a copy using a different clock buffer."""
+        return replace(
+            self, buffer=buffer, max_capacitance=min(self.max_capacitance, buffer.max_capacitance)
+        )
+
+    def with_ntsv(self, ntsv: NtsvCell) -> "Pdk":
+        """Return a copy using a different nTSV cell."""
+        return replace(self, ntsv=ntsv)
+
+    def describe(self) -> dict[str, object]:
+        """Return a summary dictionary used by reports and examples."""
+        summary: dict[str, object] = {
+            "name": self.name,
+            "front_clock_layer": self.front_layer.name,
+            "buffer": self.buffer.name,
+            "max_capacitance_ff": self.max_capacitance,
+            "max_slew_ps": self.max_slew,
+            "has_backside": self.has_backside,
+        }
+        if self.has_backside and self.ntsv is not None:
+            summary["back_clock_layer"] = self.back_layer.name
+            summary["ntsv"] = self.ntsv.name
+        return summary
+
+
+def asap7_backside(
+    buffer: BufferCell | None = None,
+    ntsv: NtsvCell | None = None,
+    max_slew: float = 150.0,
+) -> Pdk:
+    """Assemble the ASAP7 + back-side technology used in the paper.
+
+    Front-side clock wires use M3 (OpenROAD convention), back-side wires use
+    the BM1..BM3 parameters from Table I, the buffer is BUFx4_ASAP7_75t_R and
+    the nTSV is the 0.27 um x 0.27 um cell with R = 0.020 kOhm, C = 0.004 fF.
+    """
+    buf = buffer if buffer is not None else default_buffer()
+    via = ntsv if ntsv is not None else default_ntsv()
+    return Pdk(
+        name="asap7-backside",
+        stack=MetalStack.table_i(),
+        buffer=buf,
+        ntsv=via,
+        max_capacitance=buf.max_capacitance,
+        max_slew=max_slew,
+        has_backside=True,
+    )
+
+
+def asap7_frontside() -> Pdk:
+    """The same technology without back-side resources (single-side CTS)."""
+    return asap7_backside().front_side_only()

@@ -1,0 +1,22 @@
+"""Clock tree timing analysis.
+
+Implements the delay models of Section II-B of the paper:
+
+* L-type lumped Elmore delay for wires (front- and back-side unit RC),
+* buffer delay with load shielding (linear or NLDM),
+* nTSV delay as a series RC element without shielding (Eq. (2)),
+* PERI-style slew propagation,
+* latency / skew / per-sink arrival reporting.
+"""
+
+from repro.timing.elmore import ElmoreTimingEngine, WireModel
+from repro.timing.analysis import TimingResult
+from repro.timing.slew import SlewAnalyzer, ramp_slew
+
+__all__ = [
+    "ElmoreTimingEngine",
+    "WireModel",
+    "TimingResult",
+    "SlewAnalyzer",
+    "ramp_slew",
+]

@@ -1,0 +1,71 @@
+"""Timing analysis results for a synthesised clock tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimingResult:
+    """Arrival times of every sink plus the derived clock-tree metrics.
+
+    Attributes:
+        arrivals: sink name -> arrival time (ps) measured from the clock root.
+        latency: maximum sink arrival time (ps).
+        skew: difference between the maximum and minimum sink arrivals (ps).
+        slews: sink name -> transition time at the sink (ps); empty when slew
+            analysis was not requested.
+    """
+
+    arrivals: dict[str, float]
+    slews: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.arrivals:
+            raise ValueError("a timing result needs at least one sink arrival")
+
+    @property
+    def latency(self) -> float:
+        return max(self.arrivals.values())
+
+    @property
+    def min_arrival(self) -> float:
+        return min(self.arrivals.values())
+
+    @property
+    def skew(self) -> float:
+        return self.latency - self.min_arrival
+
+    @property
+    def max_slew(self) -> float:
+        return max(self.slews.values()) if self.slews else 0.0
+
+    def slowest_sinks(self, count: int) -> list[tuple[str, float]]:
+        """Return the ``count`` sinks with the largest arrival times."""
+        ranked = sorted(self.arrivals.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:count]
+
+    def fastest_sinks(self, count: int) -> list[tuple[str, float]]:
+        """Return the ``count`` sinks with the smallest arrival times."""
+        ranked = sorted(self.arrivals.items(), key=lambda kv: kv[1])
+        return ranked[:count]
+
+    def skew_violates(self, fraction_of_latency: float) -> bool:
+        """True when skew exceeds ``fraction_of_latency`` x latency.
+
+        This is the trigger condition of the paper's skew refinement step
+        (Section III-D, p% of the maximum latency).
+        """
+        if not 0 < fraction_of_latency <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        return self.skew > fraction_of_latency * self.latency
+
+    def summary(self) -> dict[str, float]:
+        """Return a compact dictionary for logging and reports."""
+        return {
+            "latency_ps": round(self.latency, 3),
+            "skew_ps": round(self.skew, 3),
+            "min_arrival_ps": round(self.min_arrival, 3),
+            "sinks": float(len(self.arrivals)),
+            "max_slew_ps": round(self.max_slew, 3),
+        }

@@ -1,0 +1,184 @@
+"""Elmore-based timing engine for double-side clock trees.
+
+The engine evaluates the delay of a :class:`~repro.clocktree.ClockTree`
+against a :class:`~repro.tech.Pdk`.  Wires use the L-type lumped Elmore model
+of the paper (all wire capacitance lumped at the far end), buffers shield
+their downstream load, and nTSVs contribute a series RC without shielding —
+exactly matching Eq. (1) and Eq. (2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+from repro.timing.analysis import TimingResult
+from repro.timing.slew import SlewAnalyzer
+
+
+class WireModel(enum.Enum):
+    """Wire reduction model.
+
+    ``L``: the paper's model, all wire capacitance lumped at the far end,
+    delay = R * (C_wire + C_load).
+    ``PI``: the classic pi-model, half the wire capacitance at each end,
+    delay = R * (C_wire / 2 + C_load).
+    """
+
+    L = "l"
+    PI = "pi"
+
+
+class ElmoreTimingEngine:
+    """Computes per-node loads and per-sink arrival times of a clock tree."""
+
+    def __init__(
+        self,
+        pdk: Pdk,
+        wire_model: WireModel = WireModel.L,
+        use_nldm: bool = False,
+    ) -> None:
+        self.pdk = pdk
+        self.wire_model = wire_model
+        self.use_nldm = use_nldm
+        self._slew = SlewAnalyzer(pdk)
+
+    # ------------------------------------------------------------------ wires
+    def wire_capacitance(self, length: float, side: Side) -> float:
+        """Total capacitance (fF) of a clock wire of ``length`` um on ``side``."""
+        return self.pdk.clock_layer(side).wire_capacitance(length)
+
+    def wire_resistance(self, length: float, side: Side) -> float:
+        """Total resistance (kOhm) of a clock wire of ``length`` um on ``side``."""
+        return self.pdk.clock_layer(side).wire_resistance(length)
+
+    def wire_delay(self, length: float, side: Side, load_capacitance: float) -> float:
+        """Elmore delay (ps) of a wire driving ``load_capacitance`` fF."""
+        resistance = self.wire_resistance(length, side)
+        capacitance = self.wire_capacitance(length, side)
+        if self.wire_model is WireModel.PI:
+            return resistance * (capacitance / 2.0 + load_capacitance)
+        return resistance * (capacitance + load_capacitance)
+
+    # ------------------------------------------------------------------ loads
+    def subtree_capacitances(self, tree: ClockTree) -> dict[int, float]:
+        """Capacitance looking into each node from its parent wire.
+
+        Returns a mapping ``id(node) -> capacitance`` (fF).  Buffers shield
+        their downstream load and present only their input pin capacitance.
+        """
+        caps: dict[int, float] = {}
+        for node in tree.nodes_bottom_up():
+            if node.kind is NodeKind.BUFFER:
+                caps[id(node)] = node.capacitance
+                continue
+            if node.is_leaf:
+                caps[id(node)] = node.capacitance
+                continue
+            total = node.capacitance
+            for child in node.children:
+                total += self.wire_capacitance(child.edge_length(), child.wire_side)
+                total += caps[id(child)]
+            caps[id(node)] = total
+        return caps
+
+    def driver_loads(self, tree: ClockTree) -> dict[int, float]:
+        """Load (fF) seen by each node when driving its children.
+
+        For buffers this is the load the buffer output drives; for the root
+        it is the load on the clock source; for nTSVs it is the capacitance
+        downstream of the via (excluding the via's own capacitance).
+        """
+        caps = self.subtree_capacitances(tree)
+        loads: dict[int, float] = {}
+        for node in tree.nodes():
+            load = 0.0
+            for child in node.children:
+                load += self.wire_capacitance(child.edge_length(), child.wire_side)
+                load += caps[id(child)]
+            loads[id(node)] = load
+        return loads
+
+    def max_capacitance_violations(self, tree: ClockTree) -> list[tuple[str, float]]:
+        """Return ``(driver name, load)`` pairs exceeding the PDK max load.
+
+        Checked drivers are the clock root and every buffer (the elements
+        with an output stage); Steiner points and nTSVs do not drive.
+        """
+        loads = self.driver_loads(tree)
+        limit = self.pdk.max_capacitance
+        violations = []
+        for node in tree.nodes():
+            if node.kind in (NodeKind.ROOT, NodeKind.BUFFER):
+                load = loads[id(node)]
+                if load > limit + 1e-9:
+                    violations.append((node.name, load))
+        return violations
+
+    # --------------------------------------------------------------- arrivals
+    def node_arrivals(self, tree: ClockTree) -> dict[int, float]:
+        """Arrival time (ps) at every node, measured from the clock root."""
+        caps = self.subtree_capacitances(tree)
+        arrivals: dict[int, float] = {id(tree.root): 0.0}
+        slews: dict[int, float] = {id(tree.root): 10.0}
+
+        for node in tree.nodes():
+            node_arrival = arrivals[id(node)]
+            extra = self._stage_delay(node, caps, slews)
+            for child in node.children:
+                length = child.edge_length()
+                delay = self.wire_delay(length, child.wire_side, caps[id(child)])
+                arrivals[id(child)] = node_arrival + extra + delay
+                slews[id(child)] = slews[id(node)]
+        return arrivals
+
+    def _stage_delay(
+        self,
+        node: ClockTreeNode,
+        caps: Mapping[int, float],
+        slews: Mapping[int, float],
+    ) -> float:
+        """Delay added *at* a node before its outgoing wires (driver stages)."""
+        load = 0.0
+        for child in node.children:
+            load += self.wire_capacitance(child.edge_length(), child.wire_side)
+            load += caps[id(child)]
+        if node.kind is NodeKind.BUFFER:
+            input_slew = slews.get(id(node)) if self.use_nldm else None
+            return self.pdk.buffer.delay(load, input_slew=input_slew)
+        if node.kind is NodeKind.NTSV:
+            ntsv = self.pdk.ntsv
+            if ntsv is None:
+                raise ValueError("tree contains nTSVs but the PDK has none")
+            return ntsv.resistance * (ntsv.capacitance + load)
+        if node.kind is NodeKind.ROOT:
+            # The clock source behaves as a driver with a fixed resistance.
+            return 0.0 if load == 0 else self._root_resistance() * load
+        return 0.0
+
+    def _root_resistance(self) -> float:
+        """Drive resistance (kOhm) of the clock source."""
+        return 0.1
+
+    # ---------------------------------------------------------------- analyze
+    def analyze(self, tree: ClockTree, with_slew: bool = True) -> TimingResult:
+        """Run a full analysis and return the :class:`TimingResult`."""
+        arrivals = self.node_arrivals(tree)
+        sink_arrivals = {
+            node.name: arrivals[id(node)] for node in tree.nodes() if node.is_sink
+        }
+        if not sink_arrivals:
+            raise ValueError(f"clock tree {tree.name!r} has no sinks to analyse")
+        slews = self._slew.sink_slews(tree, self) if with_slew else {}
+        return TimingResult(arrivals=sink_arrivals, slews=slews)
+
+    def latency(self, tree: ClockTree) -> float:
+        """Convenience: maximum sink arrival (ps)."""
+        return self.analyze(tree, with_slew=False).latency
+
+    def skew(self, tree: ClockTree) -> float:
+        """Convenience: global skew (ps)."""
+        return self.analyze(tree, with_slew=False).skew

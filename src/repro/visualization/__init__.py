@@ -1,0 +1,12 @@
+"""Dependency-free SVG visualisation of clock trees and DSE sweeps.
+
+Clock-tree layouts are much easier to review visually: front-side wires,
+back-side wires, buffers, nTSVs, and sinks are drawn with distinct colours so
+the double-side structure produced by the flow (Fig. 2 of the paper) can be
+inspected in any browser.  A small scatter renderer covers the Fig. 12 style
+latency-vs-resources plots.
+"""
+
+from repro.visualization.svg import render_tree_svg, render_scatter_svg
+
+__all__ = ["render_tree_svg", "render_scatter_svg"]

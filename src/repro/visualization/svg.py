@@ -1,0 +1,194 @@
+"""SVG rendering of clock trees and scatter plots (no external dependencies)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.clocktree import ClockTree, NodeKind
+from repro.geometry import Rect, bounding_box
+from repro.tech.layers import Side
+
+#: Colours of the double-side clock tree drawing.
+FRONT_WIRE_COLOR = "#1f77b4"  # blue: front-side metal
+BACK_WIRE_COLOR = "#d62728"  # red: back-side metal
+BUFFER_COLOR = "#2ca02c"  # green squares
+NTSV_COLOR = "#ff7f0e"  # orange diamonds
+SINK_COLOR = "#7f7f7f"  # grey dots
+ROOT_COLOR = "#9467bd"  # purple root marker
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+class _SvgCanvas:
+    """Tiny helper accumulating SVG elements with a data→pixel transform."""
+
+    def __init__(self, extent: Rect, size: float, margin: float) -> None:
+        self.size = size
+        self.margin = margin
+        self.extent = extent
+        span = max(extent.width, extent.height, 1e-9)
+        self.scale = (size - 2 * margin) / span
+        self.elements: list[str] = []
+
+    def x(self, value: float) -> float:
+        return self.margin + (value - self.extent.xlo) * self.scale
+
+    def y(self, value: float) -> float:
+        # SVG y grows downward; flip so the die looks like a floorplan.
+        return self.size - self.margin - (value - self.extent.ylo) * self.scale
+
+    def line(self, x1, y1, x2, y2, color, width=1.0, opacity=1.0) -> None:
+        self.elements.append(
+            f'<line x1="{self.x(x1):.2f}" y1="{self.y(y1):.2f}" '
+            f'x2="{self.x(x2):.2f}" y2="{self.y(y2):.2f}" '
+            f'stroke="{color}" stroke-width="{width}" stroke-opacity="{opacity}"/>'
+        )
+    def circle(self, cx, cy, radius, color, opacity=1.0) -> None:
+        self.elements.append(
+            f'<circle cx="{self.x(cx):.2f}" cy="{self.y(cy):.2f}" r="{radius}" '
+            f'fill="{color}" fill-opacity="{opacity}"/>'
+        )
+
+    def square(self, cx, cy, half, color) -> None:
+        self.elements.append(
+            f'<rect x="{self.x(cx) - half:.2f}" y="{self.y(cy) - half:.2f}" '
+            f'width="{2 * half}" height="{2 * half}" fill="{color}"/>'
+        )
+
+    def diamond(self, cx, cy, half, color) -> None:
+        x, y = self.x(cx), self.y(cy)
+        points = f"{x},{y - half} {x + half},{y} {x},{y + half} {x - half},{y}"
+        self.elements.append(f'<polygon points="{points}" fill="{color}"/>')
+
+    def rect_outline(self, rect: Rect, color="#000000", width=1.0) -> None:
+        self.elements.append(
+            f'<rect x="{self.x(rect.xlo):.2f}" y="{self.y(rect.yhi):.2f}" '
+            f'width="{rect.width * self.scale:.2f}" height="{rect.height * self.scale:.2f}" '
+            f'fill="none" stroke="{color}" stroke-width="{width}"/>'
+        )
+
+    def text(self, px: float, py: float, content: str, size: int = 12) -> None:
+        self.elements.append(
+            f'<text x="{px:.1f}" y="{py:.1f}" font-size="{size}" '
+            f'font-family="sans-serif">{_escape(content)}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.size}" '
+            f'height="{self.size}" viewBox="0 0 {self.size} {self.size}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n  {body}\n</svg>\n'
+        )
+
+
+def render_tree_svg(
+    tree: ClockTree,
+    die_area: Rect | None = None,
+    size: float = 800.0,
+    title: str | None = None,
+    show_sinks: bool = True,
+) -> str:
+    """Render a clock tree as an SVG document string.
+
+    Front-side wires are blue, back-side wires red, buffers green squares,
+    nTSVs orange diamonds, sinks grey dots, and the clock root a purple
+    circle.  ``die_area`` adds the die outline; by default the drawing extent
+    is the bounding box of all tree nodes.
+    """
+    locations = [node.location for node in tree.nodes()]
+    extent = die_area if die_area is not None else bounding_box(locations).expanded(1.0)
+    canvas = _SvgCanvas(extent, size=size, margin=30.0)
+    if die_area is not None:
+        canvas.rect_outline(die_area, color="#888888")
+
+    # Wires first so markers draw on top of them.
+    for node in tree.nodes():
+        if node.parent is None:
+            continue
+        color = FRONT_WIRE_COLOR if node.wire_side is Side.FRONT else BACK_WIRE_COLOR
+        width = 0.8 if node.is_sink else 1.6
+        opacity = 0.55 if node.is_sink else 0.95
+        canvas.line(
+            node.parent.location.x,
+            node.parent.location.y,
+            node.location.x,
+            node.location.y,
+            color,
+            width=width,
+            opacity=opacity,
+        )
+
+    for node in tree.nodes():
+        if node.kind is NodeKind.BUFFER:
+            canvas.square(node.location.x, node.location.y, 3.5, BUFFER_COLOR)
+        elif node.kind is NodeKind.NTSV:
+            canvas.diamond(node.location.x, node.location.y, 3.5, NTSV_COLOR)
+        elif node.kind is NodeKind.ROOT:
+            canvas.circle(node.location.x, node.location.y, 5.0, ROOT_COLOR)
+        elif node.is_sink and show_sinks:
+            canvas.circle(node.location.x, node.location.y, 1.2, SINK_COLOR, opacity=0.7)
+
+    if title:
+        canvas.text(10, 18, title, size=14)
+    canvas.text(
+        10,
+        size - 8,
+        (
+            f"front wl={tree.wirelength(Side.FRONT):.0f}um  "
+            f"back wl={tree.wirelength(Side.BACK):.0f}um  "
+            f"buffers={tree.buffer_count()}  ntsvs={tree.ntsv_count()}  "
+            f"sinks={tree.sink_count()}"
+        ),
+        size=11,
+    )
+    return canvas.render()
+
+
+def render_scatter_svg(
+    points: Sequence[tuple[float, float, str]],
+    x_label: str = "#Buffers + #nTSVs",
+    y_label: str = "Latency (ps)",
+    size: float = 640.0,
+    title: str | None = None,
+) -> str:
+    """Render a Fig. 12 style scatter plot.
+
+    ``points`` is a sequence of ``(x, y, series)`` tuples; each distinct
+    series gets its own colour and a legend entry.
+    """
+    if not points:
+        raise ValueError("a scatter plot needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    extent = Rect(min(xs), min(ys), max(xs) or 1.0, max(ys) or 1.0)
+    if extent.width == 0:
+        extent = Rect(extent.xlo - 1, extent.ylo, extent.xhi + 1, extent.yhi)
+    if extent.height == 0:
+        extent = Rect(extent.xlo, extent.ylo - 1, extent.xhi, extent.yhi + 1)
+    canvas = _SvgCanvas(extent, size=size, margin=50.0)
+
+    palette = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf"]
+    series_names: list[str] = []
+    for _x, _y, series in points:
+        if series not in series_names:
+            series_names.append(series)
+    colors = {name: palette[i % len(palette)] for i, name in enumerate(series_names)}
+
+    canvas.rect_outline(extent, color="#cccccc")
+    for x, y, series in points:
+        canvas.circle(x, y, 4.0, colors[series], opacity=0.85)
+
+    if title:
+        canvas.text(12, 20, title, size=14)
+    canvas.text(size / 2 - 60, size - 10, x_label, size=12)
+    canvas.text(8, 32, y_label, size=12)
+    for i, name in enumerate(series_names):
+        y_pos = 40 + 16 * i
+        canvas.elements.append(
+            f'<circle cx="{size - 170:.1f}" cy="{y_pos - 4:.1f}" r="4" fill="{colors[name]}"/>'
+        )
+        canvas.text(size - 160, y_pos, name, size=11)
+    return canvas.render()

@@ -1,0 +1,136 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are intentionally small (tens to a few hundred sinks) so the whole
+suite runs in seconds; the full-size Table II designs are exercised by the
+benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.designs import PlacementGenerator, PlacementSpec
+from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.geometry import Point, Rect
+from repro.netlist import ClockNet, ClockSink, ClockSource
+from repro.routing.hierarchical import HierarchicalClockRouter
+from repro.tech import asap7_backside
+from repro.tech.pdk import asap7_frontside
+
+
+@pytest.fixture(scope="session")
+def pdk():
+    """The ASAP7 + back-side technology of the paper."""
+    return asap7_backside()
+
+
+@pytest.fixture(scope="session")
+def front_pdk():
+    """The same technology without back-side resources."""
+    return asap7_frontside()
+
+
+def make_grid_clock_net(
+    columns: int = 8,
+    rows: int = 8,
+    pitch: float = 12.0,
+    capacitance: float = 0.8,
+    name: str = "clk",
+) -> ClockNet:
+    """A deterministic grid of sinks with the source at the bottom edge."""
+    sinks = [
+        ClockSink(
+            name=f"ff_{x}_{y}",
+            location=Point(5.0 + x * pitch, 5.0 + y * pitch),
+            capacitance=capacitance,
+        )
+        for x in range(columns)
+        for y in range(rows)
+    ]
+    source = ClockSource(name="clk_root", location=Point(columns * pitch / 2.0, 0.0))
+    return ClockNet(name=name, source=source, sinks=sinks)
+
+
+def make_random_clock_net(
+    count: int = 120,
+    extent: float = 90.0,
+    seed: int = 3,
+    capacitance: float = 0.8,
+) -> ClockNet:
+    """A seeded random sink cloud (non-grid, unbalanced)."""
+    rng = np.random.default_rng(seed)
+    sinks = [
+        ClockSink(
+            name=f"ff_{i}",
+            location=Point(float(rng.uniform(0, extent)), float(rng.uniform(0, extent))),
+            capacitance=capacitance,
+        )
+        for i in range(count)
+    ]
+    source = ClockSource(name="clk_root", location=Point(extent / 2.0, 0.0))
+    return ClockNet(name="clk", source=source, sinks=sinks)
+
+
+@pytest.fixture(scope="session")
+def grid_clock_net() -> ClockNet:
+    return make_grid_clock_net()
+
+
+@pytest.fixture(scope="session")
+def random_clock_net() -> ClockNet:
+    return make_random_clock_net()
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> PlacementSpec:
+    """A design small enough for fast tests but large enough (die of roughly
+    100 um) that back-side wires give a measurable latency benefit."""
+    return PlacementSpec(
+        name="unit_test_design",
+        cell_count=24000,
+        ff_count=800,
+        utilization=0.5,
+        macro_count=1,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_design(small_spec):
+    return PlacementGenerator(include_combinational=False).generate(small_spec)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> CtsConfig:
+    """A CTS configuration scaled to the small unit-test designs."""
+    return CtsConfig(high_cluster_size=400, low_cluster_size=30, seed=7)
+
+
+@pytest.fixture()
+def routed_tree(pdk, random_clock_net, small_config):
+    """A freshly routed (unbuffered) clock tree over the random sink cloud."""
+    router = HierarchicalClockRouter(
+        pdk,
+        high_cluster_size=small_config.high_cluster_size,
+        low_cluster_size=small_config.low_cluster_size,
+        seed=small_config.seed,
+    )
+    return router.route(random_clock_net)
+
+
+@pytest.fixture(scope="session")
+def ours_result(pdk, small_design, small_config):
+    """One full double-side CTS run shared by read-only tests."""
+    return DoubleSideCTS(pdk, small_config).run(small_design)
+
+
+@pytest.fixture(scope="session")
+def single_side_result(pdk, small_design, small_config):
+    """One full single-side CTS run shared by read-only tests."""
+    return SingleSideCTS(pdk, small_config).run(small_design)
+
+
+@pytest.fixture(scope="session")
+def unit_die() -> Rect:
+    return Rect(0.0, 0.0, 100.0, 100.0)

@@ -1,0 +1,178 @@
+"""Tests for the OpenROAD-like CTS and the post-CTS back-side baselines."""
+
+import pytest
+
+from repro.baselines import (
+    FanoutBacksideOptimizer,
+    OpenRoadLikeCTS,
+    PdnAwareBacksideOptimizer,
+    TimingCriticalBacksideOptimizer,
+    VelosoBacksideOptimizer,
+    assign_backside,
+    trunk_edges,
+)
+from repro.baselines.openroad_cts import OpenRoadCtsConfig
+from repro.clocktree import NodeKind
+from repro.tech.layers import Side
+from repro.timing import ElmoreTimingEngine
+
+
+@pytest.fixture(scope="module")
+def openroad_result(pdk, small_design):
+    return OpenRoadLikeCTS(pdk, OpenRoadCtsConfig(leaf_cluster_size=10)).run(small_design)
+
+
+class TestOpenRoadLikeCTS:
+    def test_single_side_buffered_tree(self, openroad_result, small_design):
+        tree = openroad_result.tree
+        tree.validate()
+        assert tree.buffer_count() > 0
+        assert tree.ntsv_count() == 0
+        assert tree.sink_count() == small_design.flip_flop_count
+        assert openroad_result.metrics.back_wirelength == 0.0
+
+    def test_every_leaf_cluster_has_a_buffer(self, openroad_result):
+        for sink in openroad_result.tree.sinks():
+            assert sink.parent.is_buffer
+
+    def test_metrics_flow_name(self, openroad_result):
+        assert openroad_result.metrics.flow == "openroad_buffered_tree"
+
+    def test_max_cap_not_violated_at_leaf_level(self, pdk, openroad_result):
+        engine = ElmoreTimingEngine(pdk.front_side_only())
+        violating = [name for name, _ in engine.max_capacitance_violations(openroad_result.tree)]
+        leaf_buffers = {n.name for n in openroad_result.tree.buffers()
+                        if all(c.is_sink for c in n.children)}
+        assert not (set(violating) & leaf_buffers)
+
+    def test_accepts_clock_net(self, pdk, small_design):
+        clock_net = small_design.require_clock_net()
+        result = OpenRoadLikeCTS(pdk).run(clock_net, design_name="net_input")
+        assert result.design_name == "net_input"
+
+
+class TestTrunkEdges:
+    def test_trunk_edges_exclude_leaf_nets(self, openroad_result):
+        children = trunk_edges(openroad_result.tree)
+        assert children, "a buffered tree must have trunk edges"
+        for child in children:
+            assert not child.is_sink
+        # No selected edge may be a pure leaf-level buffer driving only sinks.
+        for child in children:
+            has_structure = child.kind in (NodeKind.TAP, NodeKind.STEINER) or any(
+                d.kind in (NodeKind.TAP, NodeKind.STEINER)
+                for d in child.iter_subtree()
+                if d is not child
+            )
+            assert has_structure
+
+
+class TestAssignBackside:
+    def test_flipping_all_trunk_edges_inserts_ntsvs(self, pdk, openroad_result):
+        tree = openroad_result.tree.copy()
+        assignment = assign_backside(tree, pdk, edges=trunk_edges(tree))
+        tree.validate()
+        assert assignment.flipped_edges > 0
+        assert assignment.inserted_ntsvs > 0
+        assert tree.ntsv_count() == assignment.inserted_ntsvs
+        assert tree.wirelength(Side.BACK) > 0
+
+    def test_no_selection_is_a_no_op(self, pdk, openroad_result):
+        tree = openroad_result.tree.copy()
+        assignment = assign_backside(tree, pdk, edges=[])
+        assert assignment.flipped_edges == 0
+        assert tree.ntsv_count() == 0
+
+    def test_requires_backside_pdk(self, front_pdk, openroad_result):
+        with pytest.raises(ValueError):
+            assign_backside(openroad_result.tree.copy(), front_pdk, edges=[])
+
+    def test_requires_selector_or_edges(self, pdk, openroad_result):
+        with pytest.raises(ValueError):
+            assign_backside(openroad_result.tree.copy(), pdk)
+
+    def test_selector_form(self, pdk, openroad_result):
+        tree = openroad_result.tree.copy()
+        assignment = assign_backside(
+            tree, pdk, edge_selector=lambda child: child.sink_count() >= 20
+        )
+        tree.validate()
+        assert assignment.flipped_edges >= 0
+
+
+class TestVeloso:
+    def test_flips_everything_and_reduces_latency(self, pdk, openroad_result):
+        optimizer = VelosoBacksideOptimizer(pdk)
+        run = optimizer.run(openroad_result.tree, design_name="unit", copy=True)
+        run.tree.validate()
+        assert run.metrics.ntsvs > 0
+        assert run.metrics.latency <= openroad_result.metrics.latency + 1e-6
+        # The original tree is untouched when copy=True.
+        assert openroad_result.tree.ntsv_count() == 0
+
+    def test_buffer_count_unchanged(self, pdk, openroad_result):
+        run = VelosoBacksideOptimizer(pdk).run(openroad_result.tree, copy=True)
+        assert run.metrics.buffers == openroad_result.metrics.buffers
+
+
+class TestFanoutBaseline:
+    def test_threshold_controls_ntsv_count(self, pdk, openroad_result):
+        few = FanoutBacksideOptimizer(pdk, fanout_threshold=10 ** 6).run(
+            openroad_result.tree, copy=True
+        )
+        many = FanoutBacksideOptimizer(pdk, fanout_threshold=1).run(
+            openroad_result.tree, copy=True
+        )
+        assert few.metrics.ntsvs <= many.metrics.ntsvs
+        many.tree.validate()
+
+    def test_threshold_one_equals_veloso(self, pdk, openroad_result):
+        fanout_all = FanoutBacksideOptimizer(pdk, fanout_threshold=1).run(
+            openroad_result.tree, copy=True
+        )
+        veloso = VelosoBacksideOptimizer(pdk).run(openroad_result.tree, copy=True)
+        assert fanout_all.metrics.ntsvs == veloso.metrics.ntsvs
+        assert fanout_all.metrics.latency == pytest.approx(veloso.metrics.latency)
+
+    def test_invalid_threshold_rejected(self, pdk):
+        with pytest.raises(ValueError):
+            FanoutBacksideOptimizer(pdk, fanout_threshold=0)
+
+
+class TestTimingCriticalBaseline:
+    def test_fraction_controls_scope(self, pdk, openroad_result):
+        small = TimingCriticalBacksideOptimizer(pdk, critical_fraction=0.2).run(
+            openroad_result.tree, copy=True
+        )
+        large = TimingCriticalBacksideOptimizer(pdk, critical_fraction=0.9).run(
+            openroad_result.tree, copy=True
+        )
+        assert small.metrics.ntsvs <= large.metrics.ntsvs
+        small.tree.validate()
+        large.tree.validate()
+
+    def test_latency_not_degraded(self, pdk, openroad_result):
+        run = TimingCriticalBacksideOptimizer(pdk, critical_fraction=0.5).run(
+            openroad_result.tree, copy=True
+        )
+        assert run.metrics.latency <= openroad_result.metrics.latency + 1e-6
+
+    def test_invalid_fraction_rejected(self, pdk):
+        with pytest.raises(ValueError):
+            TimingCriticalBacksideOptimizer(pdk, critical_fraction=0.0)
+
+
+class TestPdnAwareBaseline:
+    def test_budget_limits_ntsvs(self, pdk, openroad_result):
+        tight = PdnAwareBacksideOptimizer(pdk, ntsv_budget=6).run(
+            openroad_result.tree, copy=True
+        )
+        loose = PdnAwareBacksideOptimizer(pdk, ntsv_budget=10 ** 6).run(
+            openroad_result.tree, copy=True
+        )
+        assert tight.metrics.ntsvs <= loose.metrics.ntsvs
+        tight.tree.validate()
+
+    def test_invalid_budget_rejected(self, pdk):
+        with pytest.raises(ValueError):
+            PdnAwareBacksideOptimizer(pdk, ntsv_budget=-1)

@@ -1,0 +1,50 @@
+"""Tests for the ``dscts`` command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "C4", "--scale", "0.1"])
+        assert args.command == "run"
+        assert args.design == "C4"
+        assert args.scale == pytest.approx(0.1)
+
+    def test_dse_default_fanouts(self):
+        args = build_parser().parse_args(["dse", "C4"])
+        assert args.fanout == [20, 50, 100, 200, 400, 1000]
+
+    def test_compare_multiple_designs(self):
+        args = build_parser().parse_args(["compare", "C4", "C5"])
+        assert args.designs == ["C4", "C5"]
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "jpeg" in out
+        assert "swerv_wrapper" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "C4", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "riscv32i" in out
+        assert "latency" in out
+
+    def test_dse_small(self, capsys):
+        assert main(["dse", "C4", "--scale", "0.05", "--fanout", "0", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "C4", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "ours" in out
+        assert "openroad_buffered_tree" in out

@@ -1,0 +1,135 @@
+"""Tests for the benchmark generator and the Table II suite."""
+
+import pytest
+
+from repro.designs import (
+    BENCHMARK_SPECS,
+    PlacementGenerator,
+    PlacementSpec,
+    benchmark_suite,
+    load_design,
+    table_ii_rows,
+)
+
+
+class TestPlacementSpec:
+    def test_table_ii_values(self):
+        assert BENCHMARK_SPECS["C1"].name == "jpeg"
+        assert BENCHMARK_SPECS["C1"].ff_count == 4380
+        assert BENCHMARK_SPECS["C2"].cell_count == 148407
+        assert BENCHMARK_SPECS["C3"].utilization == pytest.approx(0.40)
+        assert BENCHMARK_SPECS["C4"].ff_count == 1056
+        assert BENCHMARK_SPECS["C5"].name == "aes"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementSpec("x", cell_count=10, ff_count=20, utilization=0.5)
+        with pytest.raises(ValueError):
+            PlacementSpec("x", cell_count=10, ff_count=5, utilization=0.0)
+        with pytest.raises(ValueError):
+            PlacementSpec("x", cell_count=10, ff_count=5, utilization=0.5,
+                          cluster_fraction=2.0)
+
+    def test_scaled(self):
+        spec = BENCHMARK_SPECS["C1"].scaled(0.1)
+        assert spec.ff_count == 438
+        assert spec.cell_count == 5497
+        assert spec.utilization == BENCHMARK_SPECS["C1"].utilization
+        with pytest.raises(ValueError):
+            BENCHMARK_SPECS["C1"].scaled(0.0)
+
+    def test_die_area_matches_utilization(self):
+        spec = PlacementSpec("x", cell_count=1000, ff_count=100, utilization=0.5)
+        die = spec.die_area()
+        assert die.width == pytest.approx(die.height)
+        assert die.area > 0
+
+
+class TestPlacementGenerator:
+    @pytest.fixture(scope="class")
+    def design(self):
+        spec = PlacementSpec(
+            "gen_test", cell_count=600, ff_count=120, utilization=0.5,
+            macro_count=1, seed=5,
+        )
+        return PlacementGenerator(include_combinational=True).generate(spec)
+
+    def test_counts_match_spec(self, design):
+        assert design.cell_count == 600
+        assert design.flip_flop_count == 120
+        assert len(design.macros()) == 1
+
+    def test_utilization_close_to_target(self, design):
+        assert design.placement_utilization() == pytest.approx(0.5, abs=0.25)
+
+    def test_all_cells_inside_die(self, design):
+        for cell in design.cells.values():
+            assert design.die_area.contains(cell.location, tol=1e-6)
+
+    def test_sinks_avoid_macros(self, design):
+        macros = [m.bbox for m in design.macros()]
+        for ff in design.flip_flops():
+            assert not any(m.contains(ff.location) for m in macros)
+
+    def test_clock_net_built(self, design):
+        assert design.clock_net is not None
+        assert design.clock_net.sink_count == 120
+
+    def test_deterministic_for_seed(self):
+        spec = PlacementSpec("det", cell_count=300, ff_count=60, utilization=0.5, seed=9)
+        a = PlacementGenerator(include_combinational=False).generate(spec)
+        b = PlacementGenerator(include_combinational=False).generate(spec)
+        locations_a = sorted((c.location.x, c.location.y) for c in a.flip_flops())
+        locations_b = sorted((c.location.x, c.location.y) for c in b.flip_flops())
+        assert locations_a == locations_b
+
+    def test_skip_combinational(self):
+        spec = PlacementSpec("fast", cell_count=5000, ff_count=50, utilization=0.5, seed=1)
+        design = PlacementGenerator(include_combinational=False).generate(spec)
+        assert design.flip_flop_count == 50
+        assert design.cell_count == 50
+
+    def test_clustered_distribution_is_nonuniform(self):
+        spec = PlacementSpec(
+            "clustered", cell_count=1000, ff_count=400, utilization=0.5,
+            cluster_fraction=1.0, seed=3,
+        )
+        design = PlacementGenerator(include_combinational=False).generate(spec)
+        die = design.die_area
+        quadrant_counts = [0, 0, 0, 0]
+        for ff in design.flip_flops():
+            index = (ff.location.x > die.center.x) + 2 * (ff.location.y > die.center.y)
+            quadrant_counts[index] += 1
+        # A clustered distribution concentrates sinks: the fullest quadrant
+        # holds well over a quarter of them.
+        assert max(quadrant_counts) > 0.35 * 400
+
+
+class TestSuite:
+    def test_load_by_id_and_name(self):
+        by_id = load_design("C4", scale=0.1, include_combinational=False)
+        by_name = load_design("riscv32i", scale=0.1, include_combinational=False)
+        assert by_id.name == by_name.name == "riscv32i"
+        assert by_id.flip_flop_count == by_name.flip_flop_count
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            load_design("C99")
+
+    def test_benchmark_suite_subset(self):
+        suite = benchmark_suite(scale=0.05, include_combinational=False, only=["C4", "C5"])
+        assert set(suite) == {"C4", "C5"}
+        assert all(d.flip_flop_count > 0 for d in suite.values())
+
+    def test_table_ii_rows(self):
+        rows = table_ii_rows()
+        assert len(rows) == 5
+        jpeg = next(r for r in rows if r["id"] == "C1")
+        assert jpeg["cells"] == 54973
+        assert jpeg["ffs"] == 4380
+        assert jpeg["utilization"] == pytest.approx(0.50)
+
+    def test_table_ii_rows_scaled(self):
+        rows = table_ii_rows(scale=0.1)
+        jpeg = next(r for r in rows if r["id"] == "C1")
+        assert jpeg["ffs"] == 438

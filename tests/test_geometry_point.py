@@ -1,0 +1,107 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, centroid, manhattan, midpoint
+from repro.geometry.point import point_toward
+
+
+class TestPoint:
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7.0
+
+    def test_manhattan_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 4.5)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    def test_manhattan_to_self_is_zero(self):
+        p = Point(2.5, 7.25)
+        assert p.manhattan(p) == 0.0
+
+    def test_euclidean_distance(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_euclidean_never_exceeds_manhattan(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.euclidean(b) <= a.manhattan(b)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_snapped_to_grid(self):
+        assert Point(1.26, 2.74).snapped(0.5) == Point(1.5, 2.5)
+
+    def test_snapped_rejects_non_positive_grid(self):
+        with pytest.raises(ValueError):
+            Point(1, 1).snapped(0)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(3.0, 4.0)
+        assert p.as_tuple() == (3.0, 4.0)
+        assert tuple(p) == (3.0, 4.0)
+
+    def test_is_close(self):
+        assert Point(1.0, 1.0).is_close(Point(1.0 + 1e-12, 1.0))
+        assert not Point(1.0, 1.0).is_close(Point(1.01, 1.0))
+
+    def test_points_are_hashable_and_equal(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5  # type: ignore[misc]
+
+
+class TestModuleFunctions:
+    def test_manhattan_accepts_tuples(self):
+        assert manhattan((0, 0), (1, 2)) == 3.0
+
+    def test_manhattan_accepts_mixed_arguments(self):
+        assert manhattan(Point(0, 0), (1, 2)) == 3.0
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_centroid(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1, 1)
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestPointToward:
+    def test_zero_distance_returns_origin(self):
+        assert point_toward(Point(1, 1), Point(5, 5), 0.0) == Point(1, 1)
+
+    def test_full_distance_returns_target(self):
+        origin, target = Point(0, 0), Point(3, 4)
+        assert point_toward(origin, target, 100.0) == target
+
+    def test_partial_distance_walks_x_first(self):
+        origin, target = Point(0, 0), Point(3, 4)
+        assert point_toward(origin, target, 2.0) == Point(2.0, 0.0)
+
+    def test_distance_past_x_leg_moves_in_y(self):
+        origin, target = Point(0, 0), Point(3, 4)
+        result = point_toward(origin, target, 5.0)
+        assert result == Point(3.0, 2.0)
+
+    def test_resulting_point_at_requested_manhattan_distance(self):
+        origin, target = Point(2, -1), Point(-4, 7)
+        for distance in (0.5, 3.0, 7.5, 13.9):
+            point = point_toward(origin, target, distance)
+            assert origin.manhattan(point) == pytest.approx(distance)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            point_toward(Point(0, 0), Point(1, 1), -1.0)
+
+    def test_works_with_negative_direction(self):
+        origin, target = Point(5, 5), Point(0, 0)
+        point = point_toward(origin, target, 6.0)
+        assert origin.manhattan(point) == pytest.approx(6.0)
+        assert math.isclose(point.x, 0.0) and math.isclose(point.y, 4.0)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.geometry.rect."""
+
+import pytest
+
+from repro.geometry import Point, Rect, bounding_box
+
+
+class TestRectBasics:
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3
+        assert r.height == 6
+        assert r.area == 18
+        assert r.half_perimeter == 9
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 1, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 1, 1)
+
+    def test_zero_area_rect_is_allowed(self):
+        r = Rect(1, 1, 1, 5)
+        assert r.area == 0
+        assert r.width == 0
+
+
+class TestContainsAndClamp:
+    def test_contains_interior_and_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(5, 5))
+        assert r.contains(Point(0, 10))
+        assert not r.contains(Point(-1, 5))
+
+    def test_contains_with_tolerance(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(10 + 1e-12, 5))
+
+    def test_clamp_inside_point_unchanged(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp(Point(3, 7)) == Point(3, 7)
+
+    def test_clamp_outside_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp(Point(-5, 20)) == Point(0, 10)
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+
+    def test_touching_edges_intersect(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(5, 0, 10, 5)
+        assert a.intersects(b)
+        inter = a.intersection(b)
+        assert inter is not None and inter.width == 0
+
+    def test_disjoint(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(5, 5, 6, 6)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+
+class TestTransformations:
+    def test_expanded_grows_every_side(self):
+        r = Rect(2, 2, 4, 4).expanded(1)
+        assert r == Rect(1, 1, 5, 5)
+
+    def test_expanded_negative_shrinks(self):
+        r = Rect(0, 0, 10, 10).expanded(-2)
+        assert r == Rect(-(-2), 2, 8, 8) or r == Rect(2, 2, 8, 8)
+
+    def test_expanded_negative_too_large_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 2, 2).expanded(-3)
+
+    def test_quadrants_cover_area(self):
+        r = Rect(0, 0, 8, 4)
+        quads = r.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == pytest.approx(r.area)
+
+    def test_halves_vertical(self):
+        left, right = Rect(0, 0, 10, 4).halves(vertical_cut=True)
+        assert left == Rect(0, 0, 5, 4)
+        assert right == Rect(5, 0, 10, 4)
+
+    def test_halves_horizontal(self):
+        bottom, top = Rect(0, 0, 10, 4).halves(vertical_cut=False)
+        assert bottom == Rect(0, 0, 10, 2)
+        assert top == Rect(0, 2, 10, 4)
+
+
+class TestBoundingBox:
+    def test_bounding_box_of_points(self):
+        box = bounding_box([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert box == Rect(-2, 3, 4, 5)
+
+    def test_single_point_box(self):
+        box = bounding_box([Point(2, 2)])
+        assert box.area == 0
+        assert box.center == Point(2, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

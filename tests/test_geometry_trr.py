@@ -1,0 +1,106 @@
+"""Unit tests for repro.geometry.trr (tilted rectangle regions)."""
+
+import pytest
+
+from repro.geometry import Point, TiltedRect, merging_region
+from repro.geometry.trr import from_rotated, to_rotated
+
+
+class TestRotation:
+    def test_round_trip(self):
+        p = Point(3.5, -1.25)
+        assert from_rotated(*to_rotated(p)).is_close(p)
+
+    def test_rotated_coordinates(self):
+        assert to_rotated(Point(2, 3)) == (5, -1)
+
+
+class TestTiltedRect:
+    def test_from_point_is_degenerate(self):
+        region = TiltedRect.from_point(Point(1, 2))
+        assert region.is_point
+        assert region.center().is_close(Point(1, 2))
+
+    def test_from_segment_of_diagonal_points(self):
+        region = TiltedRect.from_segment(Point(0, 0), Point(2, 2))
+        # (0,0)-(2,2) is a +45 degree segment: one rotated axis degenerate.
+        assert region.is_segment
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            TiltedRect(1.0, 0.0, 0.0, 0.0)
+
+    def test_inflated_contains_original(self):
+        region = TiltedRect.from_point(Point(0, 0)).inflated(3.0)
+        assert region.distance_to_point(Point(0, 0)) == 0.0
+        # Any point at Manhattan distance 3 lies on the boundary.
+        assert region.distance_to_point(Point(3, 0)) == pytest.approx(0.0)
+        assert region.distance_to_point(Point(2, 1)) == pytest.approx(0.0)
+        assert region.distance_to_point(Point(4, 0)) == pytest.approx(1.0)
+
+    def test_inflated_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            TiltedRect.from_point(Point(0, 0)).inflated(-1.0)
+
+    def test_distance_between_points_equals_manhattan(self):
+        a, b = Point(1, 1), Point(4, 5)
+        ra, rb = TiltedRect.from_point(a), TiltedRect.from_point(b)
+        assert ra.distance_to(rb) == pytest.approx(a.manhattan(b))
+
+    def test_distance_is_zero_when_overlapping(self):
+        a = TiltedRect.from_point(Point(0, 0)).inflated(5)
+        b = TiltedRect.from_point(Point(2, 2)).inflated(5)
+        assert a.distance_to(b) == 0.0
+
+    def test_intersection_of_disjoint_regions_is_none(self):
+        a = TiltedRect.from_point(Point(0, 0))
+        b = TiltedRect.from_point(Point(10, 10))
+        assert a.intersection(b) is None
+
+    def test_nearest_point_inside_region(self):
+        region = TiltedRect.from_point(Point(0, 0)).inflated(2)
+        near = region.nearest_point_to(Point(0.5, 0.5))
+        assert near.is_close(Point(0.5, 0.5))
+
+    def test_nearest_point_outside_region_lies_at_min_distance(self):
+        region = TiltedRect.from_point(Point(0, 0)).inflated(2)
+        target = Point(10, 0)
+        near = region.nearest_point_to(target)
+        assert near.manhattan(target) == pytest.approx(region.distance_to_point(target))
+
+    def test_corners_of_point_region(self):
+        corners = TiltedRect.from_point(Point(1, 1)).corners()
+        assert len(corners) == 1
+        assert corners[0].is_close(Point(1, 1))
+
+
+class TestMergingRegion:
+    def test_exact_merge_of_two_points(self):
+        a = TiltedRect.from_point(Point(0, 0))
+        b = TiltedRect.from_point(Point(10, 0))
+        region = merging_region(a, b, 4.0, 6.0)
+        # Any point of the merging region is 4 from a and 6 from b.
+        probe = region.center()
+        assert a.distance_to_point(probe) <= 4.0 + 1e-9
+        assert b.distance_to_point(probe) <= 6.0 + 1e-9
+
+    def test_merge_with_insufficient_radii_still_returns_region(self):
+        a = TiltedRect.from_point(Point(0, 0))
+        b = TiltedRect.from_point(Point(10, 0))
+        region = merging_region(a, b, 1.0, 1.0)
+        # The fallback splits the residual gap evenly.
+        centre = region.center()
+        assert a.distance_to_point(centre) == pytest.approx(
+            b.distance_to_point(centre), abs=1e-6
+        )
+
+    def test_merge_rejects_negative_lengths(self):
+        a = TiltedRect.from_point(Point(0, 0))
+        with pytest.raises(ValueError):
+            merging_region(a, a, -1.0, 0.0)
+
+    def test_merge_of_coincident_points_is_the_point(self):
+        a = TiltedRect.from_point(Point(3, 3))
+        region = merging_region(a, a, 0.0, 0.0)
+        assert region.is_point
+        assert region.center().is_close(Point(3, 3))

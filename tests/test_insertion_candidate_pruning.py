@@ -1,0 +1,192 @@
+"""Unit tests for DP candidates, dominance pruning, and MOES selection."""
+
+import pytest
+
+from repro.insertion import (
+    CandidateSolution,
+    MoesWeights,
+    filter_max_cap,
+    prune_dominated,
+    prune_per_side,
+    select_by_moes,
+    select_min_latency,
+)
+from repro.insertion.moes import pareto_front
+from repro.insertion.patterns import P_BUFFER, P_NTSV2
+from repro.tech.layers import Side
+
+
+def cand(side=Side.FRONT, cap=10.0, dmax=50.0, dmin=None, buffers=0, ntsvs=0):
+    return CandidateSolution(
+        up_side=side,
+        capacitance=cap,
+        max_delay=dmax,
+        min_delay=dmin if dmin is not None else dmax,
+        buffer_count=buffers,
+        ntsv_count=ntsvs,
+    )
+
+
+class TestCandidateSolution:
+    def test_skew_and_resources(self):
+        c = cand(dmax=50.0, dmin=30.0, buffers=2, ntsvs=3)
+        assert c.skew == 20.0
+        assert c.resource_count == 5
+
+    def test_invalid_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            cand(cap=-1.0)
+        with pytest.raises(ValueError):
+            CandidateSolution(Side.FRONT, 1.0, max_delay=1.0, min_delay=2.0)
+        with pytest.raises(ValueError):
+            cand(buffers=-1)
+
+    def test_dominance(self):
+        better = cand(cap=5.0, dmax=10.0)
+        worse = cand(cap=6.0, dmax=12.0)
+        assert better.dominates(worse)
+        assert better.strictly_dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_candidates_dominate_but_not_strictly(self):
+        a, b = cand(), cand()
+        assert a.dominates(b)
+        assert not a.strictly_dominates(b)
+
+    def test_with_pattern_accumulates_resources(self):
+        base = cand(buffers=1, ntsvs=1)
+        derived = base.with_pattern(
+            P_BUFFER, capacitance=2.0, max_delay=60.0, min_delay=55.0,
+            added_buffers=1, added_ntsvs=0,
+        )
+        assert derived.buffer_count == 2
+        assert derived.ntsv_count == 1
+        assert derived.pattern is P_BUFFER
+        assert derived.children == (base,)
+
+    def test_merge_requires_matching_sides(self):
+        with pytest.raises(ValueError):
+            CandidateSolution.merge(cand(side=Side.FRONT), cand(side=Side.BACK))
+
+    def test_merge_combines_worst_case(self):
+        a = cand(cap=3.0, dmax=40.0, dmin=20.0, buffers=1)
+        b = cand(cap=4.0, dmax=50.0, dmin=30.0, ntsvs=2)
+        merged = CandidateSolution.merge(a, b)
+        assert merged.capacitance == 7.0
+        assert merged.max_delay == 50.0
+        assert merged.min_delay == 20.0
+        assert merged.buffer_count == 1
+        assert merged.ntsv_count == 2
+        assert merged.children == (a, b)
+
+
+class TestPruning:
+    def test_filter_max_cap(self):
+        pool = [cand(cap=10.0), cand(cap=70.0)]
+        kept = filter_max_cap(pool, 60.0)
+        assert len(kept) == 1
+        assert kept[0].capacitance == 10.0
+
+    def test_filter_max_cap_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            filter_max_cap([], 0.0)
+
+    def test_prune_dominated_keeps_staircase(self):
+        pool = [
+            cand(cap=1.0, dmax=100.0),
+            cand(cap=5.0, dmax=50.0),
+            cand(cap=10.0, dmax=20.0),
+            cand(cap=6.0, dmax=60.0),   # dominated by (5, 50)
+            cand(cap=12.0, dmax=25.0),  # dominated by (10, 20)
+        ]
+        kept = prune_dominated(pool)
+        assert len(kept) == 3
+        caps = sorted(c.capacitance for c in kept)
+        assert caps == [1.0, 5.0, 10.0]
+
+    def test_prune_dominated_empty(self):
+        assert prune_dominated([]) == []
+
+    def test_resource_diversity_keeps_cheaper_dominated_candidates(self):
+        pool = [
+            cand(cap=1.0, dmax=10.0, buffers=5),
+            cand(cap=2.0, dmax=20.0, buffers=0),  # dominated but much cheaper
+        ]
+        strict = prune_dominated(pool, keep_resource_diversity=False)
+        diverse = prune_dominated(pool, keep_resource_diversity=True)
+        assert len(strict) == 1
+        assert len(diverse) == 2
+
+    def test_prune_per_side_groups_by_side(self):
+        pool = [
+            cand(side=Side.FRONT, cap=1.0, dmax=10.0),
+            cand(side=Side.BACK, cap=2.0, dmax=50.0),
+            cand(side=Side.BACK, cap=3.0, dmax=60.0),  # dominated within BACK
+        ]
+        kept = prune_per_side(pool)
+        sides = [c.up_side for c in kept]
+        assert sides.count(Side.FRONT) == 1
+        assert sides.count(Side.BACK) == 1
+
+    def test_prune_per_side_applies_cap_limit(self):
+        pool = [cand(cap=100.0, dmax=1.0), cand(cap=10.0, dmax=5.0)]
+        kept = prune_per_side(pool, max_capacitance=60.0)
+        assert len(kept) == 1 and kept[0].capacitance == 10.0
+
+    def test_beam_width_limits_candidates(self):
+        pool = [cand(cap=float(i), dmax=100.0 - i) for i in range(20)]
+        kept = prune_per_side(pool, max_candidates_per_side=5)
+        assert len(kept) == 5
+        # The beam samples the staircase: both extremes survive so that
+        # upstream nodes can still buffer (low cap) or go fast (low delay).
+        assert min(c.capacitance for c in kept) == 0.0
+        assert min(c.max_delay for c in kept) == 81.0
+
+    def test_beam_width_one_keeps_fastest(self):
+        pool = [cand(cap=float(i), dmax=100.0 - i) for i in range(10)]
+        kept = prune_per_side(pool, max_candidates_per_side=1)
+        assert len(kept) == 1
+        assert kept[0].max_delay == 91.0
+
+
+class TestSelection:
+    def test_moes_weights_validation(self):
+        with pytest.raises(ValueError):
+            MoesWeights(alpha=-1)
+        with pytest.raises(ValueError):
+            MoesWeights(alpha=0, beta=0, gamma=0)
+
+    def test_moes_score_matches_eq3(self):
+        weights = MoesWeights(alpha=1.0, beta=10.0, gamma=1.0)
+        c = cand(dmax=100.0, buffers=3, ntsvs=7)
+        assert weights.score(c) == pytest.approx(100 + 30 + 7)
+
+    def test_select_by_moes_prefers_cheap_solution(self):
+        expensive_fast = cand(dmax=90.0, buffers=20, ntsvs=50)
+        cheap_slightly_slower = cand(dmax=100.0, buffers=5, ntsvs=5)
+        chosen = select_by_moes([expensive_fast, cheap_slightly_slower])
+        assert chosen is cheap_slightly_slower
+
+    def test_select_min_latency_ignores_resources(self):
+        expensive_fast = cand(dmax=90.0, buffers=20, ntsvs=50)
+        cheap_slightly_slower = cand(dmax=100.0, buffers=5, ntsvs=5)
+        chosen = select_min_latency([expensive_fast, cheap_slightly_slower])
+        assert chosen is expensive_fast
+
+    def test_min_latency_tie_break_on_resources(self):
+        a = cand(dmax=90.0, buffers=9)
+        b = cand(dmax=90.0, buffers=2)
+        assert select_min_latency([a, b]) is b
+
+    def test_selection_from_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            select_by_moes([])
+        with pytest.raises(ValueError):
+            select_min_latency([])
+
+    def test_pareto_front(self):
+        a = cand(dmax=100.0, buffers=1, ntsvs=1)
+        b = cand(dmax=90.0, buffers=2, ntsvs=1)
+        c = cand(dmax=95.0, buffers=3, ntsvs=2)  # dominated by b
+        front = pareto_front([a, b, c])
+        assert a in front and b in front and c not in front

@@ -1,0 +1,110 @@
+"""Unit tests for the edge pattern set (Fig. 6) and insertion modes."""
+
+import pytest
+
+from repro.insertion import EdgePattern, InsertionMode, PATTERNS, patterns_for
+from repro.insertion.patterns import (
+    FRONT_ONLY_PATTERNS,
+    INTRA_SIDE_PATTERNS,
+    LEAF_COMPATIBLE_PATTERNS,
+    P_BUFFER,
+    P_NTSV1,
+    P_NTSV2,
+    P_NTSV3,
+    P_WIRING_B,
+    P_WIRING_F,
+)
+from repro.tech.layers import Side
+
+
+class TestPatternSet:
+    def test_exactly_six_patterns(self):
+        assert len(PATTERNS) == 6
+        assert len({p.name for p in PATTERNS}) == 6
+
+    def test_buffer_pattern_is_front_only(self):
+        assert P_BUFFER.down_side is Side.FRONT
+        assert P_BUFFER.up_side is Side.FRONT
+        assert P_BUFFER.buffer_count == 1
+        assert P_BUFFER.ntsv_count == 0
+        assert not P_BUFFER.uses_backside
+
+    def test_wiring_patterns(self):
+        assert not P_WIRING_F.has_buffer and not P_WIRING_F.has_ntsv
+        assert P_WIRING_B.wire_side is Side.BACK
+        assert P_WIRING_B.uses_backside
+
+    def test_ntsv1_returns_to_front(self):
+        """P4: two vias flip the side twice, both end-points stay front."""
+        assert P_NTSV1.down_side is Side.FRONT
+        assert P_NTSV1.up_side is Side.FRONT
+        assert P_NTSV1.ntsv_count == 2
+        assert P_NTSV1.wire_side is Side.BACK
+
+    def test_single_ntsv_patterns_change_side(self):
+        assert P_NTSV2.down_side is not P_NTSV2.up_side
+        assert P_NTSV3.down_side is not P_NTSV3.up_side
+        assert P_NTSV2.ntsv_count == 1
+        assert P_NTSV3.ntsv_count == 1
+
+    def test_buffered_patterns_keep_pins_on_front(self):
+        for pattern in PATTERNS:
+            if pattern.has_buffer:
+                assert pattern.down_side is Side.FRONT
+                assert pattern.up_side is Side.FRONT
+
+    def test_side_consistency_of_unbuffered_patterns(self):
+        """A pattern without devices cannot change side (wires don't flip)."""
+        for pattern in PATTERNS:
+            if not pattern.has_buffer and not pattern.has_ntsv:
+                assert pattern.down_side is pattern.up_side is pattern.wire_side
+
+
+class TestPatternsFor:
+    def test_full_mode_with_backside_returns_all(self):
+        assert patterns_for(InsertionMode.FULL, has_backside=True) == PATTERNS
+
+    def test_intra_side_mode_forbids_ntsvs(self):
+        allowed = patterns_for(InsertionMode.INTRA_SIDE, has_backside=True)
+        assert allowed == INTRA_SIDE_PATTERNS
+        assert all(not p.has_ntsv for p in allowed)
+
+    def test_front_only_pdk_restricts_to_front_patterns(self):
+        allowed = patterns_for(InsertionMode.FULL, has_backside=False)
+        assert allowed == FRONT_ONLY_PATTERNS
+        assert all(not p.uses_backside for p in allowed)
+
+    def test_down_side_filter_front(self):
+        allowed = patterns_for(
+            InsertionMode.FULL, has_backside=True, required_down_side=Side.FRONT
+        )
+        assert set(allowed) == set(LEAF_COMPATIBLE_PATTERNS)
+
+    def test_down_side_filter_back(self):
+        allowed = patterns_for(
+            InsertionMode.FULL, has_backside=True, required_down_side=Side.BACK
+        )
+        assert {p.name for p in allowed} == {"P3_Wiring_B", "P6_nTSV3"}
+
+    def test_leaf_patterns_match_paper(self):
+        """The paper restricts leaf DP nodes to {P1, P2, P4, P5}."""
+        names = {p.name for p in LEAF_COMPATIBLE_PATTERNS}
+        assert names == {"P1_Buffer", "P2_Wiring_F", "P4_nTSV1", "P5_nTSV2"}
+
+    def test_intra_side_with_front_constraint(self):
+        allowed = patterns_for(
+            InsertionMode.INTRA_SIDE, has_backside=True, required_down_side=Side.FRONT
+        )
+        assert {p.name for p in allowed} == {"P1_Buffer", "P2_Wiring_F"}
+
+
+class TestEdgePatternDataclass:
+    def test_patterns_are_hashable_and_frozen(self):
+        assert len(set(PATTERNS)) == 6
+        with pytest.raises(AttributeError):
+            P_BUFFER.buffer_count = 2  # type: ignore[misc]
+
+    def test_custom_pattern(self):
+        pattern = EdgePattern("custom", Side.FRONT, Side.FRONT, Side.FRONT, 2, 0)
+        assert pattern.has_buffer
+        assert str(pattern) == "custom"

@@ -1,0 +1,138 @@
+"""Tests for the light-weight LEF/DEF IO and clock-tree serialisation."""
+
+import pytest
+
+from repro.lefdef import (
+    DefParseError,
+    read_def,
+    read_lef,
+    tree_from_json,
+    tree_to_def_snippet,
+    tree_to_json,
+    write_def,
+    write_lef,
+)
+from repro.lefdef.lef_io import LefMacro
+from repro.timing import ElmoreTimingEngine
+
+SAMPLE_DEF = """
+VERSION 5.8 ;
+DESIGN sample ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 100000 100000 ) ;
+COMPONENTS 4 ;
+- u1 NAND2x1_ASAP7_75t_R + PLACED ( 10000 10000 ) N ;
+- ff1 DFFHQNx1_ASAP7_75t_R + PLACED ( 20000 30000 ) N ;
+- ff2 SDFFHx1 + FIXED ( 70000 80000 ) FS ;
+- mem1 SRAM2RW16x16 + FIXED ( 40000 40000 ) N ;
+END COMPONENTS
+END DESIGN
+"""
+
+SAMPLE_LEF = """
+VERSION 5.8 ;
+MACRO BUFx4_ASAP7_75t_R
+  CLASS CORE ;
+  SIZE 0.378 BY 0.270 ;
+END BUFx4_ASAP7_75t_R
+MACRO DFFHQNx1_ASAP7_75t_R
+  CLASS CORE ;
+  SIZE 0.810 BY 0.270 ;
+  PIN CLK
+    DIRECTION INPUT ;
+    USE CLOCK ;
+  END CLK
+END DFFHQNx1_ASAP7_75t_R
+END LIBRARY
+"""
+
+
+class TestDefReader:
+    def test_parses_design_and_die(self):
+        design = read_def(SAMPLE_DEF)
+        assert design.name == "sample"
+        assert design.die_area.width == pytest.approx(100.0)
+
+    def test_component_classification(self):
+        design = read_def(SAMPLE_DEF)
+        assert design.cell_count == 4
+        ff_names = {c.name for c in design.flip_flops()}
+        assert ff_names == {"ff1", "ff2"}
+
+    def test_locations_converted_to_microns(self):
+        design = read_def(SAMPLE_DEF)
+        assert design.cell("ff1").location.x == pytest.approx(20.0)
+        assert design.cell("ff1").location.y == pytest.approx(30.0)
+
+    def test_custom_ff_hints(self):
+        design = read_def(SAMPLE_DEF, ff_master_hints=("SRAM",))
+        assert {c.name for c in design.flip_flops()} == {"mem1"}
+
+    def test_missing_design_raises(self):
+        with pytest.raises(DefParseError):
+            read_def("DIEAREA ( 0 0 ) ( 10 10 ) ;")
+
+    def test_missing_diearea_raises(self):
+        with pytest.raises(DefParseError):
+            read_def("DESIGN x ;")
+
+    def test_clock_net_can_be_built_from_parsed_design(self):
+        design = read_def(SAMPLE_DEF)
+        clock = design.build_clock_net()
+        assert clock.sink_count == 2
+
+
+class TestDefWriter:
+    def test_round_trip(self):
+        original = read_def(SAMPLE_DEF)
+        text = write_def(original)
+        parsed = read_def(text)
+        assert parsed.name == original.name
+        assert parsed.cell_count == original.cell_count
+        assert parsed.die_area.width == pytest.approx(original.die_area.width)
+        assert {c.name for c in parsed.flip_flops()} == {
+            c.name for c in original.flip_flops()
+        }
+
+    def test_generated_design_round_trip(self, small_design):
+        text = write_def(small_design)
+        parsed = read_def(text, ff_master_hints=("DFF",))
+        assert parsed.flip_flop_count == small_design.flip_flop_count
+
+
+class TestLef:
+    def test_read_macros(self):
+        macros = read_lef(SAMPLE_LEF)
+        assert set(macros) == {"BUFx4_ASAP7_75t_R", "DFFHQNx1_ASAP7_75t_R"}
+        assert macros["BUFx4_ASAP7_75t_R"].width == pytest.approx(0.378)
+        assert macros["DFFHQNx1_ASAP7_75t_R"].is_sequential
+        assert not macros["BUFx4_ASAP7_75t_R"].is_sequential
+
+    def test_write_read_round_trip(self):
+        macros = {
+            "X1": LefMacro("X1", 1.0, 0.27, is_sequential=False),
+            "FF1": LefMacro("FF1", 2.0, 0.27, is_sequential=True),
+        }
+        parsed = read_lef(write_lef(macros))
+        assert parsed["FF1"].is_sequential
+        assert parsed["X1"].width == pytest.approx(1.0)
+
+
+class TestTreeExport:
+    def test_json_round_trip_preserves_structure_and_timing(self, pdk, ours_result):
+        tree = ours_result.tree
+        clone = tree_from_json(tree_to_json(tree))
+        assert clone.sink_count() == tree.sink_count()
+        assert clone.buffer_count() == tree.buffer_count()
+        assert clone.ntsv_count() == tree.ntsv_count()
+        clone.validate()
+        engine = ElmoreTimingEngine(pdk)
+        assert engine.latency(clone) == pytest.approx(engine.latency(tree))
+
+    def test_def_snippet_lists_inserted_cells(self, ours_result):
+        snippet = tree_to_def_snippet(ours_result.tree)
+        assert "BUFx4_ASAP7_75t_R" in snippet
+        assert "USE CLOCK" in snippet
+        assert snippet.count("PLACED") == (
+            ours_result.tree.buffer_count() + ours_result.tree.ntsv_count()
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for repro.netlist: clock nets and the design container."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Cell, CellKind, ClockNet, ClockSink, ClockSource, Design, Net
+
+
+class TestClockSink:
+    def test_positive_capacitance_required(self):
+        with pytest.raises(ValueError):
+            ClockSink("ff1", Point(0, 0), capacitance=0.0)
+
+    def test_sink_is_hashable(self):
+        a = ClockSink("ff1", Point(0, 0), 1.0)
+        b = ClockSink("ff1", Point(0, 0), 1.0)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestClockNet:
+    def _net(self, count=4):
+        sinks = [ClockSink(f"ff{i}", Point(i * 10.0, 5.0), 0.8) for i in range(count)]
+        return ClockNet("clk", ClockSource("root", Point(0, 0)), sinks)
+
+    def test_counts_and_capacitance(self):
+        net = self._net(4)
+        assert net.sink_count == 4
+        assert net.total_sink_capacitance == pytest.approx(3.2)
+
+    def test_duplicate_sink_names_rejected(self):
+        sinks = [ClockSink("ff", Point(0, 0), 1), ClockSink("ff", Point(1, 1), 1)]
+        with pytest.raises(ValueError):
+            ClockNet("clk", ClockSource("root", Point(0, 0)), sinks)
+
+    def test_bounding_box_includes_source(self):
+        net = self._net(3)
+        box = net.bounding_box()
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(20, 5))
+
+    def test_sink_by_name(self):
+        net = self._net(3)
+        assert net.sink_by_name("ff1").location == Point(10, 5)
+        with pytest.raises(KeyError):
+            net.sink_by_name("nope")
+
+
+class TestDesign:
+    def _design(self):
+        design = Design("d", Rect(0, 0, 100, 100))
+        design.add_cell(Cell("ff1", "DFF", CellKind.FLIP_FLOP, Point(10, 10),
+                             clock_pin_capacitance=0.9))
+        design.add_cell(Cell("ff2", "DFF", CellKind.FLIP_FLOP, Point(90, 90),
+                             clock_pin_capacitance=0.9))
+        design.add_cell(Cell("u1", "NAND2", CellKind.COMBINATIONAL, Point(50, 50)))
+        return design
+
+    def test_counts(self):
+        design = self._design()
+        assert design.cell_count == 3
+        assert design.flip_flop_count == 2
+        assert len(design.flip_flops()) == 2
+        assert design.macros() == []
+
+    def test_duplicate_cell_rejected(self):
+        design = self._design()
+        with pytest.raises(ValueError):
+            design.add_cell(Cell("ff1", "DFF", CellKind.FLIP_FLOP, Point(1, 1)))
+
+    def test_cell_outside_die_rejected(self):
+        design = self._design()
+        with pytest.raises(ValueError):
+            design.add_cell(Cell("far", "DFF", CellKind.FLIP_FLOP, Point(500, 500)))
+
+    def test_build_clock_net_defaults(self):
+        design = self._design()
+        clock = design.build_clock_net()
+        assert clock.sink_count == 2
+        assert clock.source.location == Point(50, 0)
+        assert clock.sink_by_name("ff1").capacitance == pytest.approx(0.9)
+
+    def test_build_clock_net_without_ffs_raises(self):
+        design = Design("empty", Rect(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            design.build_clock_net()
+
+    def test_require_clock_net_is_idempotent(self):
+        design = self._design()
+        first = design.require_clock_net()
+        second = design.require_clock_net()
+        assert first is second
+
+    def test_statistics(self):
+        stats = self._design().statistics()
+        assert stats["cells"] == 3
+        assert stats["ffs"] == 2
+        assert 0 <= stats["utilization"] < 1
+        assert stats["die_width_um"] == pytest.approx(100.0)
+
+    def test_add_and_get_net(self):
+        design = self._design()
+        design.add_net(Net("n1"))
+        assert design.net("n1").name == "n1"
+        with pytest.raises(ValueError):
+            design.add_net(Net("n1"))
+        with pytest.raises(KeyError):
+            design.net("missing")
+
+    def test_cell_lookup(self):
+        design = self._design()
+        assert design.cell("ff1").master == "DFF"
+        with pytest.raises(KeyError):
+            design.cell("missing")
+
+    def test_placement_utilization_bounds(self):
+        design = self._design()
+        assert 0 <= design.placement_utilization() <= 1

@@ -1,0 +1,96 @@
+"""Unit tests for repro.netlist: pins, cells, nets."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Cell, CellKind, Net, Pin, PinDirection
+
+
+class TestPin:
+    def test_full_name_for_cell_pin(self):
+        pin = Pin("CLK", "ff_1", PinDirection.INPUT, Point(0, 0), 0.8)
+        assert pin.full_name == "ff_1/CLK"
+        assert not pin.is_port
+
+    def test_full_name_for_port(self):
+        pin = Pin("clk", "PIN", PinDirection.INPUT, Point(0, 0))
+        assert pin.full_name == "clk"
+        assert pin.is_port
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            Pin("A", "u1", PinDirection.INPUT, Point(0, 0), capacitance=-1.0)
+
+
+class TestCell:
+    def test_bbox_and_center(self):
+        cell = Cell("u1", "NAND2", CellKind.COMBINATIONAL, Point(1, 2), width=2, height=1)
+        assert cell.bbox == Rect(1, 2, 3, 3)
+        assert cell.center == Point(2, 2.5)
+        assert cell.area == 2.0
+
+    def test_flip_flop_is_sink(self):
+        ff = Cell("ff1", "DFF", CellKind.FLIP_FLOP, Point(0, 0))
+        comb = Cell("u1", "NAND2", CellKind.COMBINATIONAL, Point(0, 0))
+        assert ff.is_sink
+        assert not comb.is_sink
+
+    def test_moved_to(self):
+        cell = Cell("u1", "NAND2", CellKind.COMBINATIONAL, Point(0, 0))
+        moved = cell.moved_to(Point(5, 5))
+        assert moved.location == Point(5, 5)
+        assert cell.location == Point(0, 0)
+
+    def test_fixed_cell_cannot_move(self):
+        macro = Cell("m1", "SRAM", CellKind.MACRO, Point(0, 0), width=10, height=10, fixed=True)
+        with pytest.raises(ValueError):
+            macro.moved_to(Point(1, 1))
+
+    def test_invalid_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("u1", "NAND2", CellKind.COMBINATIONAL, Point(0, 0), width=0)
+
+    def test_negative_clock_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("ff", "DFF", CellKind.FLIP_FLOP, Point(0, 0), clock_pin_capacitance=-1)
+
+
+class TestNet:
+    def _pin(self, name, owner, direction, x=0.0, y=0.0, cap=0.0):
+        return Pin(name, owner, direction, Point(x, y), cap)
+
+    def test_driver_and_loads(self):
+        net = Net("n1")
+        net.set_driver(self._pin("Y", "u1", PinDirection.OUTPUT))
+        net.add_load(self._pin("A", "u2", PinDirection.INPUT, cap=1.0))
+        net.add_load(self._pin("B", "u3", PinDirection.INPUT, cap=2.0))
+        assert net.fanout == 2
+        assert len(net.pins) == 3
+        assert net.total_load_capacitance() == pytest.approx(3.0)
+
+    def test_double_driver_rejected(self):
+        net = Net("n1")
+        net.set_driver(self._pin("Y", "u1", PinDirection.OUTPUT))
+        with pytest.raises(ValueError):
+            net.set_driver(self._pin("Y", "u2", PinDirection.OUTPUT))
+
+    def test_output_pin_cannot_be_load(self):
+        net = Net("n1")
+        with pytest.raises(ValueError):
+            net.add_load(self._pin("Y", "u1", PinDirection.OUTPUT))
+
+    def test_input_pin_cannot_drive(self):
+        net = Net("n1")
+        with pytest.raises(ValueError):
+            net.set_driver(self._pin("A", "u1", PinDirection.INPUT))
+
+    def test_hpwl(self):
+        net = Net("n1")
+        net.set_driver(self._pin("Y", "u1", PinDirection.OUTPUT, 0, 0))
+        net.add_load(self._pin("A", "u2", PinDirection.INPUT, 3, 4))
+        assert net.hpwl() == pytest.approx(7.0)
+
+    def test_hpwl_of_single_pin_net_is_zero(self):
+        net = Net("n1")
+        net.set_driver(self._pin("Y", "u1", PinDirection.OUTPUT))
+        assert net.hpwl() == 0.0

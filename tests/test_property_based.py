@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import KMeans
+from repro.dse.pareto import is_dominated, pareto_front
+from repro.geometry import Point, Rect, TiltedRect, bounding_box, merging_region
+from repro.insertion import CandidateSolution, prune_dominated, prune_per_side
+from repro.refinement import adaptive_scale_factor, refined_endpoint_count
+from repro.tech.layers import Side, TABLE_I_LAYERS
+from repro.tech.nldm import NldmTable
+
+import numpy as np
+
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+small_caps = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+small_delays = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+class TestGeometryProperties:
+    @given(points, points)
+    def test_manhattan_symmetry_and_nonnegativity(self, a, b):
+        assert a.manhattan(b) == b.manhattan(a) >= 0
+
+    @given(points, points, points)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-6
+
+    @given(points, points)
+    def test_euclidean_bounded_by_manhattan(self, a, b):
+        assert a.euclidean(b) <= a.manhattan(b) + 1e-9
+
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_bounding_box_contains_all_points(self, pts):
+        box = bounding_box(pts)
+        assert all(box.contains(p, tol=1e-9) for p in pts)
+
+    @given(st.lists(points, min_size=1, max_size=30), points)
+    def test_clamp_lands_inside(self, pts, probe):
+        box = bounding_box(pts)
+        assert box.contains(box.clamp(probe), tol=1e-9)
+
+    @given(points, st.floats(min_value=0, max_value=100, allow_nan=False), points)
+    def test_trr_inflation_radius_bound(self, centre, radius, probe):
+        region = TiltedRect.from_point(centre).inflated(radius)
+        distance = region.distance_to_point(probe)
+        # Distance to the inflated region + radius >= distance to the centre.
+        assert distance + radius >= centre.manhattan(probe) - 1e-6
+
+    @given(points, points,
+           st.floats(min_value=0, max_value=200, allow_nan=False),
+           st.floats(min_value=0, max_value=200, allow_nan=False))
+    def test_merging_region_lies_between_children(self, a, b, ea, eb):
+        ra, rb = TiltedRect.from_point(a), TiltedRect.from_point(b)
+        region = merging_region(ra, rb, ea, eb)
+        centre = region.center()
+        # The merge point never strays beyond the allotted lengths plus the
+        # fallback slack (half the residual gap on each side).
+        gap = max(0.0, a.manhattan(b) - ea - eb)
+        assert ra.distance_to_point(centre) <= ea + gap / 2 + 1e-6
+        assert rb.distance_to_point(centre) <= eb + gap / 2 + 1e-6
+
+
+class TestWireDelayProperties:
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False),
+           st.floats(min_value=0, max_value=1000, allow_nan=False),
+           small_caps)
+    def test_wire_delay_monotone_in_length(self, l1, l2, load):
+        layer = TABLE_I_LAYERS[2]  # M3
+        short, long = sorted((l1, l2))
+        assert layer.wire_delay(short, load) <= layer.wire_delay(long, load) + 1e-9
+
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False),
+           small_caps, small_caps)
+    def test_wire_delay_monotone_in_load(self, length, c1, c2):
+        layer = TABLE_I_LAYERS[2]
+        light, heavy = sorted((c1, c2))
+        assert layer.wire_delay(length, light) <= layer.wire_delay(length, heavy) + 1e-9
+
+    @given(st.floats(min_value=1, max_value=500, allow_nan=False), small_caps)
+    def test_backside_always_faster_than_frontside(self, length, load):
+        m3 = TABLE_I_LAYERS[2]
+        bm1 = TABLE_I_LAYERS[9]
+        assert bm1.wire_delay(length, load) < m3.wire_delay(length, load)
+
+
+class TestNldmProperties:
+    @given(st.floats(min_value=0, max_value=300, allow_nan=False),
+           st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_lookup_within_table_bounds(self, slew, cap):
+        from repro.tech.nldm import default_buffer_delay_table
+
+        table = default_buffer_delay_table()
+        value = table.lookup(slew, cap)
+        assert table.min_value() - 1e-9 <= value <= table.max_value() + 1e-9
+
+
+def candidate_strategy(side=None):
+    sides = st.sampled_from([Side.FRONT, Side.BACK]) if side is None else st.just(side)
+    return st.builds(
+        lambda s, cap, d, buf, ntsv: CandidateSolution(
+            up_side=s,
+            capacitance=cap,
+            max_delay=d,
+            min_delay=d * 0.5,
+            buffer_count=buf,
+            ntsv_count=ntsv,
+        ),
+        sides,
+        small_caps,
+        small_delays,
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=50),
+    )
+
+
+class TestPruningProperties:
+    @given(st.lists(candidate_strategy(Side.FRONT), min_size=1, max_size=40))
+    def test_pruned_set_is_subset(self, candidates):
+        kept = prune_dominated(candidates)
+        assert all(c in candidates for c in kept)
+        assert 1 <= len(kept) <= len(candidates)
+
+    @given(st.lists(candidate_strategy(Side.FRONT), min_size=1, max_size=40))
+    def test_every_dropped_candidate_is_dominated(self, candidates):
+        kept = prune_dominated(candidates)
+        for cand in candidates:
+            if cand in kept:
+                continue
+            assert any(k.dominates(cand, tol=1e-9) for k in kept)
+
+    @given(st.lists(candidate_strategy(Side.FRONT), min_size=1, max_size=40))
+    def test_min_delay_candidate_survives(self, candidates):
+        kept = prune_dominated(candidates)
+        best = min(c.max_delay for c in candidates)
+        assert min(c.max_delay for c in kept) <= best + 1e-9
+
+    @given(st.lists(candidate_strategy(), min_size=1, max_size=40))
+    def test_per_side_pruning_preserves_each_sides_best_delay(self, candidates):
+        kept = prune_per_side(candidates)
+        for side in (Side.FRONT, Side.BACK):
+            original = [c for c in candidates if c.up_side is side]
+            surviving = [c for c in kept if c.up_side is side]
+            if original:
+                assert surviving
+                assert min(c.max_delay for c in surviving) <= min(
+                    c.max_delay for c in original
+                ) + 1e-9
+
+
+class TestParetoProperties:
+    vectors = st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False),
+                  st.floats(min_value=0, max_value=100, allow_nan=False)),
+        min_size=1, max_size=25,
+    )
+
+    @given(vectors)
+    def test_front_members_are_mutually_non_dominated(self, vectors):
+        front = pareto_front(vectors, lambda v: v)
+        front_vectors = [tuple(v) for v in front]
+        for v in front_vectors:
+            assert not is_dominated(v, front_vectors)
+
+    @given(vectors)
+    def test_front_is_nonempty_and_subset(self, vectors):
+        front = pareto_front(vectors, lambda v: v)
+        assert front
+        assert all(v in vectors for v in front)
+
+
+class TestAdaptiveFactorProperties:
+    @given(st.integers(min_value=0, max_value=200_000))
+    def test_factor_within_fig8_bounds(self, sink_count):
+        assert 0.06 <= adaptive_scale_factor(sink_count) <= 0.1
+
+    @given(st.integers(min_value=1, max_value=200_000),
+           st.integers(min_value=1, max_value=100))
+    def test_endpoint_count_bounded(self, sinks, cap):
+        count = refined_endpoint_count(sinks, max_endpoints=cap)
+        assert 1 <= count <= cap
+
+
+class TestKMeansProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=2 ** 16))
+    def test_labels_are_valid_partition(self, n_points, n_clusters, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(n_points, 2))
+        result = KMeans(n_clusters=n_clusters, seed=seed).fit(pts)
+        assert len(result.labels) == n_points
+        assert result.labels.min() >= 0
+        assert result.labels.max() < result.cluster_count
+        assert result.inertia >= 0
+        assert math.isfinite(result.inertia)

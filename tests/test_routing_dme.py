@@ -1,0 +1,119 @@
+"""Unit tests for the DME router."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.routing import DmeRouter, DmeTerminal
+from repro.routing.topology import matching_topology
+
+
+def terminals_from_points(points, cap=1.0):
+    return [
+        DmeTerminal(name=f"t{i}", location=p, capacitance=cap)
+        for i, p in enumerate(points)
+    ]
+
+
+@pytest.fixture()
+def router(pdk):
+    return DmeRouter(pdk.front_layer)
+
+
+class TestDmeTerminal:
+    def test_negative_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            DmeTerminal("t", Point(0, 0), capacitance=-1.0)
+        with pytest.raises(ValueError):
+            DmeTerminal("t", Point(0, 0), delay=-1.0)
+
+
+class TestDmeBasic:
+    def test_single_terminal_returns_leaf(self, router):
+        term = DmeTerminal("t0", Point(5, 5), 2.0)
+        tree = router.route([term])
+        assert tree.is_leaf
+        assert tree.location == Point(5, 5)
+        assert tree.subtree_capacitance == 2.0
+
+    def test_empty_rejected(self, router):
+        with pytest.raises(ValueError):
+            router.route([])
+
+    def test_two_symmetric_terminals_merge_at_midline(self, router):
+        terms = terminals_from_points([Point(0, 0), Point(20, 0)])
+        tree = router.route(terms, root_location=Point(10, -10))
+        # The merge point must be equidistant (in Manhattan) from both sinks.
+        da = tree.location.manhattan(Point(0, 0))
+        db = tree.location.manhattan(Point(20, 0))
+        assert da == pytest.approx(db, abs=1e-6)
+
+    def test_all_leaves_present(self, router):
+        points = [Point(0, 0), Point(30, 5), Point(10, 40), Point(45, 45), Point(22, 18)]
+        tree = router.route(terminals_from_points(points))
+        leaves = tree.leaves()
+        assert len(leaves) == 5
+        assert {leaf.terminal.name for leaf in leaves} == {f"t{i}" for i in range(5)}
+
+    def test_wirelength_at_least_spanning_lower_bound(self, router):
+        points = [Point(0, 0), Point(50, 0)]
+        tree = router.route(terminals_from_points(points))
+        assert tree.wirelength() >= 50.0 - 1e-6
+
+    def test_wirelength_reasonable_vs_star(self, router):
+        # DME wirelength should not exceed the star topology from the centre.
+        points = [Point(x * 15.0, y * 15.0) for x in range(4) for y in range(4)]
+        tree = router.route(terminals_from_points(points))
+        centre = Point(22.5, 22.5)
+        star = sum(centre.manhattan(p) for p in points)
+        assert tree.wirelength() <= star * 1.2
+
+
+class TestDmeDelayBalance:
+    def test_balanced_subtree_delays_for_symmetric_sinks(self, pdk):
+        router = DmeRouter(pdk.front_layer)
+        terms = terminals_from_points(
+            [Point(0, 0), Point(100, 0), Point(0, 100), Point(100, 100)]
+        )
+        tree = router.route(terms, root_location=Point(50, 50))
+        # With symmetric sinks the bottom-up phase reports equal child delays.
+        delays = [child.subtree_delay for child in tree.children]
+        assert delays[0] == pytest.approx(delays[1], rel=0.05)
+
+    def test_unequal_loads_shift_merge_point(self, pdk):
+        router = DmeRouter(pdk.front_layer)
+        light = DmeTerminal("light", Point(0, 0), capacitance=0.5)
+        heavy = DmeTerminal("heavy", Point(100, 0), capacitance=40.0)
+        tree = router.route([light, heavy])
+        # The merge point moves toward the heavy sink to balance Elmore delay.
+        assert tree.location.manhattan(Point(100, 0)) < tree.location.manhattan(Point(0, 0))
+
+    def test_detour_when_one_side_is_much_slower(self, pdk):
+        router = DmeRouter(pdk.front_layer)
+        slow = DmeTerminal("slow", Point(0, 0), capacitance=1.0, delay=500.0)
+        fast = DmeTerminal("fast", Point(10, 0), capacitance=1.0, delay=0.0)
+        tree = router.route([slow, fast])
+        # The bottom-up phase must allocate extra (detour) length to the fast side.
+        fast_child = next(c for c in tree.children if c.terminal and c.terminal.name == "fast")
+        assert fast_child.planned_edge_length > 10.0
+
+    def test_detour_disabled(self, pdk):
+        router = DmeRouter(pdk.front_layer, detour_allowed=False)
+        slow = DmeTerminal("slow", Point(0, 0), capacitance=1.0, delay=500.0)
+        fast = DmeTerminal("fast", Point(10, 0), capacitance=1.0, delay=0.0)
+        tree = router.route([slow, fast])
+        fast_child = next(c for c in tree.children if c.terminal and c.terminal.name == "fast")
+        assert fast_child.planned_edge_length <= 10.0 + 1e-9
+
+    def test_explicit_topology_is_respected(self, pdk):
+        router = DmeRouter(pdk.front_layer)
+        points = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        topo = matching_topology(points)
+        tree = router.route(terminals_from_points(points), topology=topo)
+        assert len(tree.leaves()) == 4
+
+    def test_root_location_pulls_embedding(self, pdk):
+        router = DmeRouter(pdk.front_layer)
+        points = [Point(0, 0), Point(100, 0)]
+        near_left = router.route(terminals_from_points(points), root_location=Point(0, 50))
+        near_right = router.route(terminals_from_points(points), root_location=Point(100, 50))
+        assert near_left.location.x <= near_right.location.x

@@ -1,0 +1,99 @@
+"""Unit tests for the hierarchical clock router (Section III-B)."""
+
+import pytest
+
+from repro.clocktree import NodeKind
+from repro.routing import HierarchicalClockRouter
+from repro.tech.layers import Side
+from tests.conftest import make_grid_clock_net, make_random_clock_net
+
+
+class TestHierarchicalRouting:
+    def test_tree_contains_all_sinks(self, pdk, random_clock_net):
+        router = HierarchicalClockRouter(pdk, high_cluster_size=60, low_cluster_size=8)
+        result = router.route(random_clock_net)
+        sink_names = {n.name for n in result.tree.sinks()}
+        assert sink_names == {s.name for s in random_clock_net.sinks}
+
+    def test_tree_validates_and_is_front_side_only(self, pdk, random_clock_net):
+        router = HierarchicalClockRouter(pdk, high_cluster_size=60, low_cluster_size=8)
+        result = router.route(random_clock_net)
+        result.tree.validate()
+        assert all(n.side is Side.FRONT for n in result.tree.nodes())
+        assert result.tree.buffer_count() == 0
+        assert result.tree.ntsv_count() == 0
+
+    def test_root_matches_clock_source(self, pdk, grid_clock_net):
+        router = HierarchicalClockRouter(pdk, high_cluster_size=30, low_cluster_size=5)
+        result = router.route(grid_clock_net)
+        assert result.tree.root.location == grid_clock_net.source.location
+        assert result.tree.root.kind is NodeKind.ROOT
+
+    def test_tap_nodes_match_low_clusters(self, pdk, random_clock_net):
+        router = HierarchicalClockRouter(pdk, high_cluster_size=60, low_cluster_size=8)
+        result = router.route(random_clock_net)
+        assert result.clustering is not None
+        assert len(result.tap_nodes) == len(result.clustering.low_clusters)
+        taps_in_tree = [n for n in result.tree.nodes() if n.kind is NodeKind.TAP]
+        assert len(taps_in_tree) == len(result.tap_nodes)
+
+    def test_sinks_attach_only_to_taps(self, pdk, random_clock_net):
+        router = HierarchicalClockRouter(pdk, high_cluster_size=60, low_cluster_size=8)
+        result = router.route(random_clock_net)
+        for sink in result.tree.sinks():
+            assert sink.parent.kind is NodeKind.TAP
+
+    def test_wirelength_breakdown_sums_to_total(self, pdk, random_clock_net):
+        router = HierarchicalClockRouter(pdk, high_cluster_size=60, low_cluster_size=8)
+        result = router.route(random_clock_net)
+        assert result.total_wirelength == pytest.approx(result.tree.wirelength())
+        assert result.leaf_wirelength > 0
+        assert result.trunk_wirelength > 0
+
+    def test_multiple_high_clusters_are_joined_at_the_top(self, pdk):
+        clock_net = make_random_clock_net(count=240, extent=400.0, seed=5)
+        router = HierarchicalClockRouter(pdk, high_cluster_size=80, low_cluster_size=8)
+        result = router.route(clock_net)
+        assert len(result.clustering.high_clusters) >= 2
+        result.tree.validate()
+        assert {n.name for n in result.tree.sinks()} == {s.name for s in clock_net.sinks}
+
+    def test_single_sink_design(self, pdk):
+        clock_net = make_random_clock_net(count=1)
+        router = HierarchicalClockRouter(pdk)
+        result = router.route(clock_net)
+        assert result.tree.sink_count() == 1
+        result.tree.validate()
+
+    def test_empty_clock_net_rejected(self, pdk, grid_clock_net):
+        router = HierarchicalClockRouter(pdk)
+        empty = type(grid_clock_net)(
+            name="clk", source=grid_clock_net.source, sinks=[]
+        )
+        with pytest.raises(ValueError):
+            router.route(empty)
+
+    def test_invalid_cluster_sizes_rejected(self, pdk):
+        with pytest.raises(ValueError):
+            HierarchicalClockRouter(pdk, high_cluster_size=10, low_cluster_size=20)
+
+
+class TestFlatRouting:
+    def test_flat_mode_has_no_taps(self, pdk, grid_clock_net):
+        router = HierarchicalClockRouter(pdk, hierarchical=False)
+        result = router.route(grid_clock_net)
+        assert result.clustering is None
+        assert not result.tap_nodes
+        assert result.tree.sink_count() == grid_clock_net.sink_count
+        result.tree.validate()
+
+    def test_hierarchical_wirelength_competitive_with_flat(self, pdk):
+        """The paper's motivation: hierarchy controls wirelength on skewed inputs."""
+        clock_net = make_random_clock_net(count=150, extent=150.0, seed=9)
+        hier = HierarchicalClockRouter(
+            pdk, high_cluster_size=80, low_cluster_size=10
+        ).route(clock_net)
+        flat = HierarchicalClockRouter(pdk, hierarchical=False).route(clock_net)
+        # The hierarchical tree lumps leaf nets into short star nets and must
+        # not blow up wirelength compared to the flat matching DME.
+        assert hier.total_wirelength <= flat.total_wirelength * 1.5

@@ -1,0 +1,96 @@
+"""Unit tests for abstract routing topologies."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.routing import balanced_bipartition_topology, matching_topology
+from repro.routing.topology import TopologyNode
+
+
+def grid_points(n=16, pitch=10.0):
+    side = int(n**0.5)
+    return [Point(x * pitch, y * pitch) for x in range(side) for y in range(side)]
+
+
+class TestTopologyNode:
+    def test_leaf_properties(self):
+        leaf = TopologyNode(terminal_index=3, location_hint=Point(0, 0))
+        assert leaf.is_leaf
+        assert leaf.depth() == 0
+        assert leaf.leaf_indices() == [3]
+        assert leaf.internal_count() == 0
+
+    def test_leaf_with_children_rejected(self):
+        child = TopologyNode(terminal_index=0, location_hint=Point(0, 0))
+        with pytest.raises(ValueError):
+            TopologyNode(terminal_index=1, children=[child])
+
+
+class TestMatchingTopology:
+    def test_covers_all_terminals_exactly_once(self):
+        points = grid_points(16)
+        topo = matching_topology(points)
+        assert sorted(topo.leaf_indices()) == list(range(16))
+
+    def test_single_terminal(self):
+        topo = matching_topology([Point(1, 1)])
+        assert topo.is_leaf and topo.terminal_index == 0
+
+    def test_two_terminals(self):
+        topo = matching_topology([Point(0, 0), Point(5, 5)])
+        assert not topo.is_leaf
+        assert len(topo.children) == 2
+
+    def test_odd_number_of_terminals(self):
+        topo = matching_topology([Point(i, 0) for i in range(7)])
+        assert sorted(topo.leaf_indices()) == list(range(7))
+
+    def test_depth_is_logarithmic_for_grid(self):
+        points = grid_points(64)
+        topo = matching_topology(points)
+        assert topo.depth() <= 10  # log2(64) = 6 with some slack for odd carries
+
+    def test_internal_count(self):
+        points = grid_points(16)
+        topo = matching_topology(points)
+        assert topo.internal_count() == 15  # binary tree over 16 leaves
+
+    def test_nearest_neighbours_are_paired_first(self):
+        # Two far-apart tight pairs: matching must pair within each pair.
+        points = [Point(0, 0), Point(1, 0), Point(100, 100), Point(101, 100)]
+        topo = matching_topology(points)
+        groups = [sorted(child.leaf_indices()) for child in topo.children]
+        assert sorted(groups) == [[0, 1], [2, 3]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            matching_topology([])
+
+
+class TestBipartitionTopology:
+    def test_covers_all_terminals(self):
+        points = grid_points(25)
+        topo = balanced_bipartition_topology(points)
+        assert sorted(topo.leaf_indices()) == list(range(25))
+
+    def test_balanced_depth(self):
+        points = grid_points(64)
+        topo = balanced_bipartition_topology(points)
+        assert topo.depth() == 6
+
+    def test_split_follows_longer_dimension(self):
+        # A wide, flat point set must split vertically first.
+        points = [Point(x * 10.0, 0.0) for x in range(8)]
+        topo = balanced_bipartition_topology(points)
+        left, right = topo.children
+        left_x = [points[i].x for i in left.leaf_indices()]
+        right_x = [points[i].x for i in right.leaf_indices()]
+        assert max(left_x) < min(right_x)
+
+    def test_single_point(self):
+        topo = balanced_bipartition_topology([Point(2, 2)])
+        assert topo.is_leaf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_bipartition_topology([])

@@ -1,0 +1,92 @@
+"""Unit tests for repro.tech.cells (buffer and nTSV models)."""
+
+import pytest
+
+from repro.tech.cells import BufferCell, NtsvCell, default_buffer, default_ntsv
+
+
+class TestBufferCell:
+    def test_default_buffer_matches_paper_footprint(self):
+        buf = default_buffer()
+        assert buf.name == "BUFx4_ASAP7_75t_R"
+        assert buf.width == pytest.approx(0.378)
+        assert buf.height == pytest.approx(0.27)
+        assert buf.area == pytest.approx(0.378 * 0.27)
+
+    def test_linear_delay_model(self):
+        buf = BufferCell(
+            name="BUF",
+            input_capacitance=1.0,
+            intrinsic_delay=10.0,
+            drive_resistance=0.5,
+            max_capacitance=50.0,
+            width=1.0,
+            height=1.0,
+        )
+        assert buf.delay(0.0) == pytest.approx(10.0)
+        assert buf.delay(20.0) == pytest.approx(20.0)
+
+    def test_delay_monotonic_in_load(self):
+        buf = default_buffer()
+        loads = [0.0, 5.0, 20.0, 50.0]
+        delays = [buf.delay(load) for load in loads]
+        assert delays == sorted(delays)
+
+    def test_nldm_delay_used_when_slew_given(self):
+        buf = default_buffer()
+        linear = buf.delay(20.0)
+        nldm = buf.delay(20.0, input_slew=20.0)
+        # The NLDM table was characterised from the same linear model.
+        assert nldm == pytest.approx(linear, rel=0.25)
+
+    def test_slew_monotonic_in_load(self):
+        buf = default_buffer()
+        assert buf.slew(40.0) > buf.slew(5.0)
+
+    def test_max_cap_violation(self):
+        buf = default_buffer()
+        assert not buf.violates_max_cap(buf.max_capacitance)
+        assert buf.violates_max_cap(buf.max_capacitance + 1.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            default_buffer().delay(-1.0)
+        with pytest.raises(ValueError):
+            default_buffer().slew(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BufferCell("B", 0.0, 1.0, 1.0, 10.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            BufferCell("B", 1.0, 1.0, 1.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            BufferCell("B", 1.0, -1.0, 1.0, 10.0, 1.0, 1.0)
+
+
+class TestNtsvCell:
+    def test_default_ntsv_matches_paper(self):
+        ntsv = default_ntsv()
+        assert ntsv.resistance == pytest.approx(0.020)
+        assert ntsv.capacitance == pytest.approx(0.004)
+        assert ntsv.width == pytest.approx(0.27)
+        assert ntsv.height == pytest.approx(0.27)
+
+    def test_delay_is_series_rc(self):
+        ntsv = NtsvCell("V", resistance=0.02, capacitance=0.004, width=1, height=1)
+        assert ntsv.delay(10.0) == pytest.approx(0.02 * 10.004)
+
+    def test_delay_with_zero_load(self):
+        ntsv = default_ntsv()
+        assert ntsv.delay(0.0) == pytest.approx(ntsv.resistance * ntsv.capacitance)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            default_ntsv().delay(-0.1)
+
+    def test_negative_parasitics_rejected(self):
+        with pytest.raises(ValueError):
+            NtsvCell("V", resistance=-1.0, capacitance=0.0, width=1, height=1)
+
+    def test_ntsv_delay_much_smaller_than_buffer_delay(self):
+        # The motivation for nTSVs: crossing sides is nearly free electrically.
+        assert default_ntsv().delay(30.0) < 0.1 * default_buffer().delay(30.0)

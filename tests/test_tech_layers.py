@@ -1,0 +1,112 @@
+"""Unit tests for repro.tech.layers (Table I data and the metal stack)."""
+
+import pytest
+
+from repro.tech.layers import TABLE_I_LAYERS, LayerRC, MetalStack, Side
+
+
+class TestSide:
+    def test_opposite(self):
+        assert Side.FRONT.opposite is Side.BACK
+        assert Side.BACK.opposite is Side.FRONT
+
+    def test_str(self):
+        assert str(Side.FRONT) == "front"
+
+
+class TestLayerRC:
+    def test_positive_parasitics_required(self):
+        with pytest.raises(ValueError):
+            LayerRC("Mx", 0.0, 0.1, Side.FRONT)
+        with pytest.raises(ValueError):
+            LayerRC("Mx", 0.1, -0.1, Side.FRONT)
+
+    def test_wire_capacitance_and_resistance_scale_linearly(self):
+        layer = LayerRC("M3", 0.024222, 0.12918, Side.FRONT)
+        assert layer.wire_capacitance(100) == pytest.approx(12.918)
+        assert layer.wire_resistance(100) == pytest.approx(2.4222)
+        assert layer.wire_capacitance(0) == 0.0
+
+    def test_wire_delay_l_model(self):
+        layer = LayerRC("M3", 0.02, 0.1, Side.FRONT)
+        # delay = R*(C_wire + C_load) = (0.02*10) * (0.1*10 + 5)
+        assert layer.wire_delay(10, 5.0) == pytest.approx(0.2 * 6.0)
+
+    def test_wire_delay_grows_quadratically_with_length(self):
+        layer = LayerRC("M3", 0.02, 0.1, Side.FRONT)
+        d1 = layer.wire_delay(10, 0.0)
+        d2 = layer.wire_delay(20, 0.0)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_negative_length_rejected(self):
+        layer = TABLE_I_LAYERS[0]
+        with pytest.raises(ValueError):
+            layer.wire_delay(-1, 0)
+        with pytest.raises(ValueError):
+            layer.wire_capacitance(-1)
+        with pytest.raises(ValueError):
+            layer.wire_resistance(-1)
+
+
+class TestTableI:
+    def test_twelve_layers(self):
+        assert len(TABLE_I_LAYERS) == 12
+
+    def test_m3_values_match_paper(self):
+        m3 = next(layer for layer in TABLE_I_LAYERS if layer.name == "M3")
+        assert m3.unit_resistance == pytest.approx(0.024222)
+        assert m3.unit_capacitance == pytest.approx(0.12918)
+
+    def test_backside_values_match_paper(self):
+        bm1 = next(layer for layer in TABLE_I_LAYERS if layer.name == "BM1")
+        assert bm1.unit_resistance == pytest.approx(0.000384)
+        assert bm1.unit_capacitance == pytest.approx(0.116264)
+        assert bm1.side is Side.BACK
+
+    def test_backside_resistance_much_lower_than_frontside(self):
+        m3 = next(layer for layer in TABLE_I_LAYERS if layer.name == "M3")
+        bm1 = next(layer for layer in TABLE_I_LAYERS if layer.name == "BM1")
+        assert bm1.unit_resistance * 10 < m3.unit_resistance
+
+    def test_resistance_decreases_up_the_front_stack(self):
+        front = [layer for layer in TABLE_I_LAYERS if layer.side is Side.FRONT]
+        resistances = [layer.unit_resistance for layer in front]
+        assert resistances == sorted(resistances, reverse=True)
+
+
+class TestMetalStack:
+    def test_table_i_factory(self):
+        stack = MetalStack.table_i()
+        assert len(stack) == 12
+        assert "M3" in stack
+        assert stack.front_clock_layer.name == "M3"
+        assert stack.back_clock_layer.name == "BM1"
+
+    def test_clock_layer_lookup_by_side(self):
+        stack = MetalStack.table_i()
+        assert stack.clock_layer(Side.FRONT).name == "M3"
+        assert stack.clock_layer(Side.BACK).name == "BM1"
+
+    def test_layers_on_side(self):
+        stack = MetalStack.table_i()
+        assert len(stack.layers_on(Side.FRONT)) == 9
+        assert len(stack.layers_on(Side.BACK)) == 3
+
+    def test_duplicate_layer_rejected(self):
+        layer = TABLE_I_LAYERS[0]
+        with pytest.raises(ValueError):
+            MetalStack([layer, layer], front_clock_layer="M1", back_clock_layer="M1")
+
+    def test_missing_clock_layer_rejected(self):
+        with pytest.raises(KeyError):
+            MetalStack(TABLE_I_LAYERS, front_clock_layer="M99")
+
+    def test_wrong_side_clock_layer_rejected(self):
+        with pytest.raises(ValueError):
+            MetalStack(TABLE_I_LAYERS, front_clock_layer="BM1", back_clock_layer="BM2")
+
+    def test_as_table_rows(self):
+        rows = MetalStack.table_i().as_table()
+        assert len(rows) == 12
+        assert rows[2]["layer"] == "M3"
+        assert rows[2]["unit_resistance_kohm_per_um"] == pytest.approx(0.024222)

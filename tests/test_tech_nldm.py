@@ -1,0 +1,91 @@
+"""Unit tests for repro.tech.nldm (NLDM lookup tables)."""
+
+import pytest
+
+from repro.tech.nldm import (
+    NldmTable,
+    default_buffer_delay_table,
+    default_buffer_slew_table,
+)
+
+
+def simple_table() -> NldmTable:
+    return NldmTable.from_arrays(
+        slew_axis=[10.0, 20.0],
+        cap_axis=[1.0, 2.0, 4.0],
+        values=[[1.0, 2.0, 4.0], [2.0, 3.0, 5.0]],
+    )
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        table = simple_table()
+        assert table.slew_axis == (10.0, 20.0)
+        assert table.cap_axis == (1.0, 2.0, 4.0)
+
+    def test_axes_must_increase(self):
+        with pytest.raises(ValueError):
+            NldmTable.from_arrays([10.0, 10.0], [1.0, 2.0], [[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            NldmTable.from_arrays([10.0, 20.0], [2.0, 1.0], [[1, 2], [3, 4]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NldmTable.from_arrays([10.0, 20.0], [1.0, 2.0], [[1, 2, 3], [3, 4, 5]])
+
+    def test_single_sample_axis_rejected(self):
+        with pytest.raises(ValueError):
+            NldmTable.from_arrays([10.0], [1.0, 2.0], [[1, 2]])
+
+    def test_from_linear_model(self):
+        table = NldmTable.from_linear_model(
+            intrinsic=5.0,
+            resistance=1.0,
+            slew_sensitivity=0.0,
+            slew_axis=[10.0, 20.0],
+            cap_axis=[0.0, 10.0],
+        )
+        assert table.lookup(10.0, 0.0) == pytest.approx(5.0)
+        assert table.lookup(10.0, 10.0) >= 15.0
+
+
+class TestLookup:
+    def test_exact_grid_points(self):
+        table = simple_table()
+        assert table.lookup(10.0, 1.0) == pytest.approx(1.0)
+        assert table.lookup(20.0, 4.0) == pytest.approx(5.0)
+
+    def test_bilinear_interpolation_midpoint(self):
+        table = simple_table()
+        assert table.lookup(15.0, 1.5) == pytest.approx((1 + 2 + 2 + 3) / 4.0)
+
+    def test_interpolation_along_cap_axis(self):
+        table = simple_table()
+        assert table.lookup(10.0, 3.0) == pytest.approx(3.0)
+
+    def test_clamping_below_and_above_range(self):
+        table = simple_table()
+        assert table.lookup(0.0, 0.0) == pytest.approx(1.0)
+        assert table.lookup(100.0, 100.0) == pytest.approx(5.0)
+
+    def test_lookup_monotonic_in_load(self):
+        table = default_buffer_delay_table()
+        values = [table.lookup(20.0, cap) for cap in (1.0, 5.0, 20.0, 50.0)]
+        assert values == sorted(values)
+
+    def test_min_max_values(self):
+        table = simple_table()
+        assert table.min_value() == 1.0
+        assert table.max_value() == 5.0
+
+
+class TestDefaultTables:
+    def test_delay_table_range_is_sensible(self):
+        table = default_buffer_delay_table()
+        assert 5.0 < table.min_value() < 20.0
+        assert table.max_value() < 60.0
+
+    def test_slew_table_larger_than_delay_table(self):
+        delay = default_buffer_delay_table()
+        slew = default_buffer_slew_table()
+        assert slew.lookup(20.0, 30.0) > delay.lookup(20.0, 30.0)

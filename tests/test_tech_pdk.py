@@ -1,0 +1,107 @@
+"""Unit tests for repro.tech.pdk."""
+
+import pytest
+
+from repro.tech import Side, asap7_backside
+from repro.tech.cells import BufferCell, default_buffer, default_ntsv
+from repro.tech.layers import MetalStack
+from repro.tech.pdk import Pdk, asap7_frontside
+
+
+class TestAsap7Factories:
+    def test_backside_pdk_layers(self, pdk):
+        assert pdk.has_backside
+        assert pdk.front_layer.name == "M3"
+        assert pdk.back_layer.name == "BM1"
+
+    def test_backside_pdk_cells(self, pdk):
+        assert pdk.buffer.name == "BUFx4_ASAP7_75t_R"
+        assert pdk.ntsv is not None
+        assert pdk.ntsv.resistance == pytest.approx(0.020)
+
+    def test_max_capacitance_defaults_to_buffer_limit(self, pdk):
+        assert pdk.max_capacitance == pdk.buffer.max_capacitance
+
+    def test_frontside_pdk_has_no_backside(self, front_pdk):
+        assert not front_pdk.has_backside
+        with pytest.raises(ValueError):
+            _ = front_pdk.back_layer
+        with pytest.raises(ValueError):
+            front_pdk.clock_layer(Side.BACK)
+
+    def test_front_side_only_copy(self, pdk):
+        front = pdk.front_side_only()
+        assert not front.has_backside
+        assert pdk.has_backside  # the original is untouched
+        assert front.front_layer.name == pdk.front_layer.name
+
+
+class TestPdkValidation:
+    def test_backside_pdk_requires_ntsv(self):
+        with pytest.raises(ValueError):
+            Pdk(
+                name="broken",
+                stack=MetalStack.table_i(),
+                buffer=default_buffer(),
+                ntsv=None,
+                max_capacitance=60.0,
+                has_backside=True,
+            )
+
+    def test_positive_limits_required(self):
+        with pytest.raises(ValueError):
+            Pdk(
+                name="broken",
+                stack=MetalStack.table_i(),
+                buffer=default_buffer(),
+                ntsv=default_ntsv(),
+                max_capacitance=0.0,
+            )
+        with pytest.raises(ValueError):
+            Pdk(
+                name="broken",
+                stack=MetalStack.table_i(),
+                buffer=default_buffer(),
+                ntsv=default_ntsv(),
+                max_capacitance=10.0,
+                max_slew=0.0,
+            )
+
+
+class TestPdkCustomisation:
+    def test_with_buffer_updates_max_cap(self, pdk):
+        small_buffer = BufferCell(
+            name="BUFx2",
+            input_capacitance=0.5,
+            intrinsic_delay=9.0,
+            drive_resistance=0.4,
+            max_capacitance=30.0,
+            width=0.25,
+            height=0.27,
+        )
+        custom = pdk.with_buffer(small_buffer)
+        assert custom.buffer.name == "BUFx2"
+        assert custom.max_capacitance == 30.0
+
+    def test_with_ntsv(self, pdk):
+        bigger_via = default_ntsv()
+        custom = pdk.with_ntsv(bigger_via)
+        assert custom.ntsv is bigger_via
+
+    def test_describe_contains_key_fields(self, pdk):
+        summary = pdk.describe()
+        assert summary["front_clock_layer"] == "M3"
+        assert summary["back_clock_layer"] == "BM1"
+        assert summary["buffer"] == "BUFx4_ASAP7_75t_R"
+
+    def test_describe_front_only_has_no_backside_keys(self, front_pdk):
+        summary = front_pdk.describe()
+        assert "back_clock_layer" not in summary
+
+    def test_frontside_factory(self):
+        pdk = asap7_frontside()
+        assert not pdk.has_backside
+
+    def test_backside_factory_with_custom_slew(self):
+        pdk = asap7_backside(max_slew=99.0)
+        assert pdk.max_slew == 99.0

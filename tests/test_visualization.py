@@ -1,0 +1,85 @@
+"""Tests for the SVG visualisation of clock trees and DSE scatters."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.visualization import render_scatter_svg, render_tree_svg
+from repro.visualization.svg import (
+    BACK_WIRE_COLOR,
+    BUFFER_COLOR,
+    FRONT_WIRE_COLOR,
+    NTSV_COLOR,
+)
+
+
+def _parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestTreeSvg:
+    def test_is_well_formed_xml(self, ours_result):
+        svg = render_tree_svg(ours_result.tree, title="unit test")
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_wires_and_markers(self, ours_result, small_design):
+        svg = render_tree_svg(ours_result.tree, die_area=small_design.die_area)
+        assert FRONT_WIRE_COLOR in svg
+        assert BUFFER_COLOR in svg
+        # The double-side tree uses the back side somewhere.
+        if ours_result.metrics.ntsvs > 0:
+            assert BACK_WIRE_COLOR in svg
+            assert NTSV_COLOR in svg
+
+    def test_element_counts_track_tree_contents(self, ours_result):
+        svg = render_tree_svg(ours_result.tree, show_sinks=False)
+        root = _parse(svg)
+        squares = [
+            el for el in root.iter()
+            if el.tag.endswith("rect") and el.get("fill") == BUFFER_COLOR
+        ]
+        diamonds = [
+            el for el in root.iter()
+            if el.tag.endswith("polygon") and el.get("fill") == NTSV_COLOR
+        ]
+        assert len(squares) == ours_result.tree.buffer_count()
+        assert len(diamonds) == ours_result.tree.ntsv_count()
+
+    def test_single_side_tree_has_no_back_wires(self, single_side_result):
+        svg = render_tree_svg(single_side_result.tree)
+        assert BACK_WIRE_COLOR not in svg
+
+    def test_summary_annotation_present(self, ours_result):
+        svg = render_tree_svg(ours_result.tree)
+        assert f"buffers={ours_result.tree.buffer_count()}" in svg
+
+
+class TestScatterSvg:
+    def test_scatter_is_well_formed(self):
+        points = [(100, 50.0, "ours"), (200, 70.0, "baseline"), (150, 60.0, "ours")]
+        svg = render_scatter_svg(points, title="fig12")
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+        assert "fig12" in svg
+
+    def test_one_circle_per_point_plus_legend(self):
+        points = [(1.0, 1.0, "a"), (2.0, 2.0, "a"), (3.0, 1.5, "b")]
+        svg = render_scatter_svg(points)
+        root = _parse(svg)
+        circles = [el for el in root.iter() if el.tag.endswith("circle")]
+        # 3 data points + 2 legend markers.
+        assert len(circles) == 5
+
+    def test_degenerate_ranges_are_handled(self):
+        svg = render_scatter_svg([(1.0, 1.0, "only"), (1.0, 1.0, "only")])
+        assert "circle" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_scatter_svg([])
+
+    def test_labels_escaped(self):
+        svg = render_scatter_svg([(1.0, 2.0, "a<b&c")], title="t<t")
+        assert "a&lt;b&amp;c" in svg
+        assert "t&lt;t" in svg
