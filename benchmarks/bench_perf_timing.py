@@ -1,0 +1,198 @@
+"""Perf harness for the timing kernel: full vs. incremental re-timing.
+
+Times three access patterns on generated 500 / 2000 / 8000-sink clock trees:
+
+* ``full_analysis`` — one cold analysis (reference per-node engine vs. a
+  fresh vectorized compile),
+* ``repeated_skew`` — repeated ``skew()`` queries on an unchanged tree (the
+  inner loop of the DSE and refinement flows),
+* ``incremental_buffer`` — a single end-point buffer insertion followed by a
+  ``skew()`` query, vs. a from-scratch reference analysis of the edited tree.
+
+Results are printed and written to ``BENCH_perf_timing.json`` at the repo
+root.  Run as a script (``PYTHONPATH=src python benchmarks/bench_perf_timing.py``)
+or through pytest (``python -m pytest benchmarks/bench_perf_timing.py``).
+Set ``REPRO_BENCH_SMOKE=1`` to only run the 500-sink size (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.geometry import Point
+from repro.tech import asap7_backside
+from repro.timing import ElmoreTimingEngine, VectorizedElmoreEngine
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf_timing.json"
+
+#: (repeat queries, incremental edits) per size; enough to average noise out.
+REPEAT_QUERIES = 20
+INCREMENTAL_EDITS = 20
+
+
+def bench_sizes() -> list[int]:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return [500]
+    return [500, 2000, 8000]
+
+
+def synthetic_tree(sink_count: int, seed: int = 11, group: int = 16) -> ClockTree:
+    """A CTS-shaped tree: trunk steiners, buffered taps, leaf sink groups."""
+    rng = np.random.default_rng(seed)
+    root = ClockTreeNode("root", NodeKind.ROOT, Point(50.0, 0.0))
+    tree = ClockTree(root)
+    groups = max(1, sink_count // group)
+    trunks = []
+    for g in range(max(1, groups // 8)):
+        trunk = ClockTreeNode(
+            f"trunk{g}",
+            NodeKind.STEINER,
+            Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+        )
+        root.add_child(trunk)
+        trunks.append(trunk)
+    taps = []
+    for g in range(groups):
+        buffer_node = ClockTreeNode(
+            f"tbuf{g}",
+            NodeKind.BUFFER,
+            Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            capacitance=0.8,
+        )
+        trunks[g % len(trunks)].add_child(buffer_node)
+        tap = ClockTreeNode(f"tap{g}", NodeKind.TAP, buffer_node.location)
+        buffer_node.add_child(tap)
+        taps.append(tap)
+    for i in range(sink_count):
+        tap = taps[i % len(taps)]
+        tap.add_child(
+            ClockTreeNode(
+                f"s{i}",
+                NodeKind.SINK,
+                Point(
+                    tap.location.x + float(rng.uniform(-5, 5)),
+                    tap.location.y + float(rng.uniform(-5, 5)),
+                ),
+                capacitance=0.8,
+            )
+        )
+    return tree
+
+
+def _median_time(fn, rounds: int) -> float:
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def bench_size(sink_count: int, pdk) -> list[dict]:
+    tree = synthetic_tree(sink_count)
+    reference = ElmoreTimingEngine(pdk)
+    vectorized = VectorizedElmoreEngine(pdk)
+
+    t_ref_full = _median_time(lambda: reference.skew(tree), rounds=3)
+    t_vec_full = _median_time(
+        lambda: VectorizedElmoreEngine(pdk).skew(tree), rounds=3
+    )
+
+    vectorized.skew(tree)  # warm the cache
+    t_ref_repeat = _median_time(lambda: reference.skew(tree), rounds=REPEAT_QUERIES)
+    t_vec_repeat = _median_time(lambda: vectorized.skew(tree), rounds=REPEAT_QUERIES)
+
+    rng = np.random.default_rng(3)
+    sinks = tree.sinks()
+    incr_samples = []
+    ref_edit_samples = []
+    for _ in range(INCREMENTAL_EDITS):
+        sink = sinks[int(rng.integers(len(sinks)))]
+        midpoint = Point(
+            (sink.location.x + sink.parent.location.x) / 2.0,
+            (sink.location.y + sink.parent.location.y) / 2.0,
+        )
+        tree.add_buffer(sink, midpoint, pdk.buffer.input_capacitance)
+        start = time.perf_counter()
+        vectorized.skew(tree)
+        incr_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        ElmoreTimingEngine(pdk).skew(tree)
+        ref_edit_samples.append(time.perf_counter() - start)
+    incr_samples.sort()
+    ref_edit_samples.sort()
+    t_vec_incr = incr_samples[len(incr_samples) // 2]
+    t_ref_edit = ref_edit_samples[len(ref_edit_samples) // 2]
+
+    # Sanity: the incremental state still matches a fresh reference analysis.
+    ref_result = ElmoreTimingEngine(pdk).analyze(tree)
+    vec_result = vectorized.analyze(tree)
+    worst = max(
+        abs(ref_result.arrivals[name] - vec_result.arrivals[name])
+        for name in ref_result.arrivals
+    )
+    if worst > 1e-9:
+        raise AssertionError(
+            f"incremental drift {worst} exceeds 1e-9 on {sink_count} sinks"
+        )
+
+    return [
+        {
+            "flow": "full_analysis",
+            "sinks": sink_count,
+            "reference_s": round(t_ref_full, 6),
+            "vectorized_s": round(t_vec_full, 6),
+            "speedup": round(t_ref_full / t_vec_full, 2),
+        },
+        {
+            "flow": "repeated_skew",
+            "sinks": sink_count,
+            "reference_s": round(t_ref_repeat, 6),
+            "vectorized_s": round(t_vec_repeat, 9),
+            "speedup": round(t_ref_repeat / t_vec_repeat, 2),
+        },
+        {
+            "flow": "incremental_buffer",
+            "sinks": sink_count,
+            "reference_s": round(t_ref_edit, 6),
+            "vectorized_s": round(t_vec_incr, 9),
+            "speedup": round(t_ref_edit / t_vec_incr, 2),
+        },
+    ]
+
+
+def run_bench() -> list[dict]:
+    pdk = asap7_backside()
+    rows: list[dict] = []
+    for sink_count in bench_sizes():
+        rows.extend(bench_size(sink_count, pdk))
+    RESULT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    for row in rows:
+        print(
+            f"{row['flow']:>20} sinks={row['sinks']:>5} "
+            f"ref={row['reference_s'] * 1e3:9.3f} ms "
+            f"vec={row['vectorized_s'] * 1e3:9.3f} ms "
+            f"speedup={row['speedup']:8.1f}x"
+        )
+    return rows
+
+
+def test_perf_timing():
+    """Pytest entry: the kernel must beat the acceptance floors."""
+    rows = run_bench()
+    for row in rows:
+        if row["flow"] == "repeated_skew":
+            assert row["speedup"] >= 5.0, row
+        if row["flow"] == "incremental_buffer":
+            assert row["speedup"] >= 20.0, row
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -24,7 +24,6 @@ from repro.netlist.design import Design
 from repro.routing.topology import TopologyNode, balanced_bipartition_topology
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
-from repro.timing import ElmoreTimingEngine
 
 
 @dataclass(frozen=True)
@@ -208,8 +207,6 @@ class OpenRoadLikeCTS:
 
     def _buffer_taps(self, tree: ClockTree) -> None:
         """Give every leaf cluster its own driving buffer (TritonCTS leaf level)."""
-        engine = ElmoreTimingEngine(self.pdk)
-        del engine  # the load check is implicit: one buffer per tap
         for tap in [n for n in tree.nodes() if n.kind is NodeKind.TAP]:
             sink_children = [c for c in tap.children if c.is_sink]
             if not sink_children:

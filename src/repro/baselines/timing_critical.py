@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.baselines.backside import trunk_edges
 from repro.baselines.veloso import BacksideOptimizerBase
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
-from repro.timing import ElmoreTimingEngine
+from repro.timing import create_engine
 
 
 class TimingCriticalBacksideOptimizer(BacksideOptimizerBase):
@@ -47,7 +47,7 @@ class TimingCriticalBacksideOptimizer(BacksideOptimizerBase):
 
     def _rank_endpoints(self, tree: ClockTree) -> list[ClockTreeNode]:
         """End-points ordered from most to least timing critical."""
-        engine = ElmoreTimingEngine(self.pdk)
+        engine = create_engine(self.pdk)
         timing = engine.analyze(tree, with_slew=False)
         endpoints = [n for n in tree.nodes() if n.kind is NodeKind.TAP]
         if not endpoints:

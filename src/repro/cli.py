@@ -4,13 +4,20 @@ Examples::
 
     dscts run C4 --scale 0.25                 # our flow on a scaled riscv32i
     dscts compare C4 C5 --scale 0.2           # Table III style comparison
-    dscts dse C4 --scale 0.25 --fanout 20 100 400
+    dscts dse C4 --scale 0.25 --fanout 20 100 400 --workers 4
     dscts table2                              # print the benchmark statistics
+
+Every flow command accepts ``--engine {reference,vectorized}`` to pick the
+timing engine: ``vectorized`` (the default) runs the array-based incremental
+kernel, ``reference`` the per-node Elmore implementation — useful to
+cross-check results or debug suspected kernel issues.  ``dse --workers N``
+evaluates the sweep grid on ``N`` parallel processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.baselines import OpenRoadLikeCTS, VelosoBacksideOptimizer
@@ -18,8 +25,9 @@ from repro.designs import load_design, table_ii_rows
 from repro.dse import DesignSpaceExplorer
 from repro.evaluation import ComparisonTable, format_table
 from repro.evaluation.reporting import format_metrics, format_ratio_summary
-from repro.flow import DoubleSideCTS, SingleSideCTS
+from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
 from repro.tech import asap7_backside
+from repro.timing import ENGINE_NAMES
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -28,6 +36,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1.0,
         help="scale factor applied to the benchmark size (default: full size)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help="timing engine: 'vectorized' (fast array kernel, default) or "
+        "'reference' (per-node Elmore, for differential checks)",
     )
 
 
@@ -50,31 +65,42 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument(
         "--fanout", type=int, nargs="+", default=[20, 50, 100, 200, 400, 1000]
     )
+    dse.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluate the sweep grid on this many parallel processes",
+    )
     _add_common(dse)
 
     sub.add_parser("table2", help="print the Table II benchmark statistics")
     return parser
 
 
+def _config_for(args: argparse.Namespace) -> CtsConfig:
+    return CtsConfig(timing_engine=args.engine)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     pdk = asap7_backside()
     design = load_design(args.design, scale=args.scale, include_combinational=False)
-    result = DoubleSideCTS(pdk).run(design)
+    result = DoubleSideCTS(pdk, _config_for(args)).run(design)
     print(format_metrics(result.metrics))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     pdk = asap7_backside()
+    config = _config_for(args)
     table = ComparisonTable(reference_flow="ours")
     for identifier in args.designs:
         design = load_design(identifier, scale=args.scale, include_combinational=False)
-        ours = DoubleSideCTS(pdk).run(design)
+        ours = DoubleSideCTS(pdk, config).run(design)
         openroad = OpenRoadLikeCTS(pdk).run(design)
         veloso = VelosoBacksideOptimizer(pdk).run(
             openroad.tree, design_name=design.name
         )
-        single = SingleSideCTS(pdk).run(design)
+        single = SingleSideCTS(pdk, config).run(design)
         for metrics in (ours.metrics, openroad.metrics, veloso.metrics, single.metrics):
             table.add(metrics)
     print(format_table(table.rows()))
@@ -86,8 +112,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_dse(args: argparse.Namespace) -> int:
     pdk = asap7_backside()
     design = load_design(args.design, scale=args.scale, include_combinational=False)
-    explorer = DesignSpaceExplorer(pdk)
-    result = explorer.explore(design, fanout_thresholds=args.fanout)
+    explorer = DesignSpaceExplorer(pdk, _config_for(args))
+    result = explorer.explore(
+        design, fanout_thresholds=args.fanout, workers=args.workers
+    )
     print(format_table(result.rows()))
     pareto = result.pareto()
     print(f"\nPareto-optimal configurations: {[p.parameter for p in pareto]}")
@@ -109,7 +137,20 @@ def main(argv: list[str] | None = None) -> int:
         "dse": _cmd_dse,
         "table2": _cmd_table2,
     }
-    return handlers[args.command](args)
+    engine = getattr(args, "engine", None)
+    if not engine:
+        return handlers[args.command](args)
+    # Make the choice the process default for the duration of the command so
+    # baseline flows (which have no engine knob of their own) honour it too.
+    previous = os.environ.get("REPRO_TIMING_ENGINE")
+    os.environ["REPRO_TIMING_ENGINE"] = engine
+    try:
+        return handlers[args.command](args)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_TIMING_ENGINE", None)
+        else:
+            os.environ["REPRO_TIMING_ENGINE"] = previous
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,242 @@
+"""Flattened struct-of-arrays snapshot of a :class:`ClockTree`.
+
+The pointer-chasing representation of :class:`~repro.clocktree.ClockTree` is
+convenient for flows that edit the tree, but terrible for timing analysis:
+every Elmore pass walks Python objects and hashes ``id(node)`` keys.
+:class:`TreeArrays` compiles the tree once into dense numpy arrays indexed by
+*row* — parent row, node kind, edge length, wire side, and capacitance — plus
+a breadth-first level structure so that timing engines can run vectorized
+topological-order passes (children of level ``d`` are exactly level ``d+1``).
+
+The snapshot is *patchable*: :meth:`apply_splice` and :meth:`apply_rewire`
+mirror the edit kinds recorded by :meth:`ClockTree.mark_splice` /
+:meth:`ClockTree.mark_rewire`, appending or re-syncing only the affected rows
+so that :class:`~repro.timing.VectorizedElmoreEngine` can re-time a dirty
+cone instead of recompiling the whole tree.  Rows whose node disappears from
+the tree are tombstoned (``alive = False``) and compacted away on the next
+full compile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clocktree.node import ClockTreeNode, NodeKind
+from repro.clocktree.tree import ClockTree
+from repro.tech.layers import Side
+
+#: Integer codes of :class:`NodeKind` stored in the ``kind`` array.
+KIND_ROOT, KIND_STEINER, KIND_SINK, KIND_BUFFER, KIND_NTSV, KIND_TAP = range(6)
+
+KIND_CODE: dict[NodeKind, int] = {
+    NodeKind.ROOT: KIND_ROOT,
+    NodeKind.STEINER: KIND_STEINER,
+    NodeKind.SINK: KIND_SINK,
+    NodeKind.BUFFER: KIND_BUFFER,
+    NodeKind.NTSV: KIND_NTSV,
+    NodeKind.TAP: KIND_TAP,
+}
+
+
+class TreeArrays:
+    """A dense, patchable array snapshot of one :class:`ClockTree`.
+
+    Row 0 is always the tree root.  ``size`` counts allocated rows including
+    tombstones; use :attr:`alive` (or :meth:`alive_rows`) to filter.
+    """
+
+    __slots__ = (
+        "tree",
+        "size",
+        "nodes",
+        "parent_row",
+        "kind",
+        "edge_length",
+        "wire_front",
+        "cap",
+        "alive",
+        "row_of",
+        "children_rows",
+        "dead_count",
+        "_levels",
+        "_sink_rows",
+        "_alive_rows",
+    )
+
+    def __init__(self, tree: ClockTree) -> None:
+        self.tree = tree
+        self.compile()
+
+    # ------------------------------------------------------------- compile
+    def compile(self) -> None:
+        """(Re)build every array from the current tree structure."""
+        order: list[ClockTreeNode] = []
+        levels: list[np.ndarray] = []
+        frontier = [self.tree.root]
+        while frontier:
+            start = len(order)
+            order.extend(frontier)
+            levels.append(np.arange(start, len(order), dtype=np.int64))
+            frontier = [c for node in frontier for c in node.children]
+        n = len(order)
+
+        self.size = n
+        self.nodes = order
+        self.parent_row = np.full(n, -1, dtype=np.int64)
+        self.kind = np.zeros(n, dtype=np.int8)
+        self.edge_length = np.zeros(n, dtype=np.float64)
+        self.wire_front = np.ones(n, dtype=bool)
+        self.cap = np.zeros(n, dtype=np.float64)
+        self.alive = np.ones(n, dtype=bool)
+        self.row_of = {id(node): row for row, node in enumerate(order)}
+        self.children_rows = [
+            [self.row_of[id(c)] for c in node.children] for node in order
+        ]
+        self.dead_count = 0
+        for row, node in enumerate(order):
+            self._sync_row(row, node)
+        self._levels = levels
+        self._sink_rows = None
+        self._alive_rows = None
+
+    def _sync_row(self, row: int, node: ClockTreeNode) -> None:
+        """Refresh the scalar fields of ``row`` from ``node``."""
+        parent = node.parent
+        self.parent_row[row] = -1 if parent is None else self.row_of[id(parent)]
+        self.kind[row] = KIND_CODE[node.kind]
+        self.edge_length[row] = node.edge_length()
+        self.wire_front[row] = node.wire_side is Side.FRONT
+        self.cap[row] = node.capacitance
+
+    # ------------------------------------------------------------- queries
+    @property
+    def capacity(self) -> int:
+        return int(self.parent_row.shape[0])
+
+    def levels(self) -> list[np.ndarray]:
+        """Alive rows grouped by depth, root first (rebuilt after patches)."""
+        if self._levels is None:
+            levels: list[np.ndarray] = []
+            frontier = [0]
+            while frontier:
+                levels.append(np.asarray(frontier, dtype=np.int64))
+                frontier = [c for row in frontier for c in self.children_rows[row]]
+            self._levels = levels
+        return self._levels
+
+    def sink_rows(self) -> np.ndarray:
+        """Rows of every alive sink node."""
+        if self._sink_rows is None:
+            used = self.kind[: self.size]
+            mask = (used == KIND_SINK) & self.alive[: self.size]
+            self._sink_rows = np.flatnonzero(mask)
+        return self._sink_rows
+
+    def alive_rows(self) -> np.ndarray:
+        """Every alive row (any order)."""
+        if self._alive_rows is None:
+            self._alive_rows = np.flatnonzero(self.alive[: self.size])
+        return self._alive_rows
+
+    def kind_rows(self, code: int) -> np.ndarray:
+        rows = self.alive_rows()
+        return rows[self.kind[rows] == code]
+
+    # ------------------------------------------------------------- patches
+    def _invalidate(self) -> None:
+        self._levels = None
+        self._sink_rows = None
+        self._alive_rows = None
+
+    def _append_row(self, node: ClockTreeNode) -> int:
+        if self.size == self.capacity:
+            grow = max(16, self.capacity)
+            self.parent_row = np.concatenate(
+                [self.parent_row, np.full(grow, -1, dtype=np.int64)]
+            )
+            self.kind = np.concatenate([self.kind, np.zeros(grow, dtype=np.int8)])
+            self.edge_length = np.concatenate([self.edge_length, np.zeros(grow)])
+            self.wire_front = np.concatenate([self.wire_front, np.ones(grow, bool)])
+            self.cap = np.concatenate([self.cap, np.zeros(grow)])
+            self.alive = np.concatenate([self.alive, np.ones(grow, bool)])
+        row = self.size
+        self.size += 1
+        self.nodes.append(node)
+        self.children_rows.append([])
+        self.alive[row] = True
+        self.row_of[id(node)] = row
+        self._sync_row(row, node)
+        return row
+
+    def apply_splice(self, node: ClockTreeNode) -> tuple[int, int] | None:
+        """Patch in a node freshly spliced onto the edge above its only child.
+
+        Returns ``(new_row, child_row)`` or None when the edit does not match
+        the splice shape (the caller should recompile from scratch then).
+        """
+        parent = node.parent
+        if parent is None or len(node.children) != 1 or id(node) in self.row_of:
+            return None
+        child = node.children[0]
+        child_row = self.row_of.get(id(child))
+        parent_row = self.row_of.get(id(parent))
+        if child_row is None or parent_row is None:
+            return None
+        row = self._append_row(node)
+        self.children_rows[parent_row] = [
+            self.row_of[id(c)] for c in parent.children
+        ]
+        self.children_rows[row] = [child_row]
+        self._sync_row(child_row, child)
+        self._invalidate()
+        return row, child_row
+
+    def apply_rewire(self, node: ClockTreeNode) -> list[np.ndarray] | None:
+        """Re-sync every row of the subtree rooted at ``node``.
+
+        Handles arbitrary edits confined to the subtree: attribute changes,
+        new nodes, removed nodes, re-parenting.  Returns the subtree rows
+        grouped by relative depth (``node`` first), or None when ``node`` is
+        unknown (caller recompiles).
+        """
+        top_row = self.row_of.get(id(node))
+        if top_row is None:
+            return None
+        # Rows that used to belong to the subtree (tombstone what vanishes).
+        old_rows: set[int] = set()
+        stack = [top_row]
+        while stack:
+            row = stack.pop()
+            old_rows.add(row)
+            stack.extend(self.children_rows[row])
+        # Breadth-first re-sync of the new subtree.
+        levels: list[np.ndarray] = []
+        seen: set[int] = set()
+        synced: list[tuple[int, ClockTreeNode]] = []
+        frontier = [node]
+        while frontier:
+            rows: list[int] = []
+            nxt: list[ClockTreeNode] = []
+            for tree_node in frontier:
+                row = self.row_of.get(id(tree_node))
+                if row is None:
+                    row = self._append_row(tree_node)
+                rows.append(row)
+                seen.add(row)
+                synced.append((row, tree_node))
+                nxt.extend(tree_node.children)
+            levels.append(np.asarray(rows, dtype=np.int64))
+            frontier = nxt
+        # Children rows can only be filled once every subtree node has a row;
+        # parent links are refreshed in the same pass.
+        for row, tree_node in synced:
+            self._sync_row(row, tree_node)
+            self.children_rows[row] = [self.row_of[id(c)] for c in tree_node.children]
+        for row in old_rows - seen:
+            self.alive[row] = False
+            self.dead_count += 1
+            self.row_of.pop(id(self.nodes[row]), None)
+            self.nodes[row] = None  # release the node object
+            self.children_rows[row] = []
+        self._invalidate()
+        return levels

@@ -14,11 +14,26 @@ class ConnectivityError(RuntimeError):
     """Raised when a tree violates the double-side connectivity constraint."""
 
 
+#: Edit-log length beyond which the log is collapsed into a single full
+#: invalidation.  Incremental timers replay the log; past this point a fresh
+#: compile is cheaper than replaying hundreds of patches.
+_MAX_EDIT_LOG = 256
+
+
 class ClockTree:
     """A rooted clock tree with helpers for traversal, metrics, and editing.
 
     The tree owns a name counter so that flows can create uniquely named
     buffers, nTSVs, and Steiner points without coordinating with each other.
+
+    Structural edits performed through the tree API (:meth:`insert_on_edge`,
+    :meth:`add_buffer`, :meth:`add_ntsv`) are recorded in a bounded edit log
+    so that incremental consumers — most importantly
+    :class:`~repro.timing.VectorizedElmoreEngine` — can re-time only the
+    affected cone instead of recompiling the whole tree.  Code that mutates
+    nodes directly (``node.add_child`` / ``node.detach`` / attribute writes)
+    must tell the tree about it with :meth:`mark_rewire` (when the changes are
+    confined to one node's subtree) or :meth:`touch` (arbitrary changes).
     """
 
     def __init__(self, root: ClockTreeNode, name: str = "clk") -> None:
@@ -29,6 +44,57 @@ class ClockTree:
         self.name = name
         self.root = root
         self._counter = 0
+        self._version = 0
+        self._edits: list[tuple[int, str, ClockTreeNode | None]] = []
+        self._find_cache: dict[str, ClockTreeNode] | None = None
+
+    # ------------------------------------------------------- edit tracking
+    @property
+    def version(self) -> int:
+        """Monotonic structural version; bumped by every recorded edit."""
+        return self._version
+
+    def _record(self, kind: str, node: ClockTreeNode | None) -> None:
+        self._version += 1
+        self._edits.append((self._version, kind, node))
+        if len(self._edits) > _MAX_EDIT_LOG:
+            # Collapse: consumers past the first entry see "unknown edits".
+            self._edits = [(self._version, "touch", None)]
+
+    def mark_splice(self, node: ClockTreeNode) -> None:
+        """Record that ``node`` was spliced onto the edge above its only child.
+
+        ``node`` must be freshly inserted between its parent and exactly one
+        pre-existing child (the :meth:`insert_on_edge` shape).
+        """
+        self._record("splice", node)
+
+    def mark_rewire(self, node: ClockTreeNode) -> None:
+        """Record that the subtree rooted at ``node`` changed arbitrarily.
+
+        Covers re-parenting, node insertion/removal, and attribute changes
+        (locations, capacitances, wire sides) as long as every affected node
+        lies inside ``node``'s subtree and ``node`` itself stays attached.
+        """
+        self._record("rewire", node)
+
+    def touch(self) -> None:
+        """Record an unscoped structural change (forces full re-analysis)."""
+        self._record("touch", None)
+
+    def edits_since(
+        self, version: int
+    ) -> list[tuple[int, str, ClockTreeNode | None]] | None:
+        """Edits recorded after ``version``, or None when the log was pruned.
+
+        ``None`` means an incremental consumer compiled at ``version`` cannot
+        catch up by replaying patches and must recompile from scratch.
+        """
+        if version == self._version:
+            return []
+        if not self._edits or self._edits[0][0] > version + 1:
+            return None
+        return [edit for edit in self._edits if edit[0] > version]
 
     # ------------------------------------------------------------- traversal
     def nodes(self) -> Iterator[ClockTreeNode]:
@@ -63,24 +129,72 @@ class ClockTree:
         return [(n.parent, n) for n in self.nodes() if n.parent is not None]
 
     def find(self, name: str) -> ClockTreeNode:
-        """Find a node by name (raises ``KeyError`` when absent)."""
-        for node in self.nodes():
-            if node.name == name:
+        """Find a node by name in O(1) amortised (raises ``KeyError`` when absent).
+
+        A lazily built name index replaces the original O(n) scan.  Because
+        trees can also be edited through node-level operations the tree never
+        sees, every cache hit is verified (name unchanged and node still
+        attached below this root); a stale hit or a miss falls back to one
+        full scan that rebuilds the index.
+        """
+        cache = self._find_cache
+        if cache is not None:
+            node = cache.get(name)
+            if node is not None and node.name == name and self._is_attached(node):
                 return node
+        # Miss or stale entry: rescan once, keeping first-in-preorder
+        # semantics for (pathological) duplicate names.
+        cache = {}
+        for node in self.nodes():
+            cache.setdefault(node.name, node)
+        self._find_cache = cache
+        if name in cache:
+            return cache[name]
         raise KeyError(f"clock tree {self.name}: no node named {name!r}")
 
+    def _is_attached(self, node: ClockTreeNode) -> bool:
+        """True when walking parent links from ``node`` reaches this root."""
+        while node.parent is not None:
+            node = node.parent
+        return node is self.root
+
     # -------------------------------------------------------------- metrics
+    def counts(self) -> tuple[int, int, int, int]:
+        """(nodes, sinks, buffers, ntsvs) in one pass over the raw links.
+
+        This is the ``nodes()``-free fast path shared by the individual
+        ``*_count`` helpers: a tight loop over ``children`` lists without the
+        generator and property overhead of :meth:`nodes`.
+        """
+        nodes = sinks = buffers = ntsvs = 0
+        sink_kind, buffer_kind, ntsv_kind = NodeKind.SINK, NodeKind.BUFFER, NodeKind.NTSV
+        stack = [self.root]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            node = pop()
+            nodes += 1
+            kind = node.kind
+            if kind is sink_kind:
+                sinks += 1
+            elif kind is buffer_kind:
+                buffers += 1
+            elif kind is ntsv_kind:
+                ntsvs += 1
+            extend(node.children)
+        return nodes, sinks, buffers, ntsvs
+
     def node_count(self) -> int:
-        return sum(1 for _ in self.nodes())
+        return self.counts()[0]
 
     def buffer_count(self) -> int:
-        return len(self.buffers())
+        return self.counts()[2]
 
     def ntsv_count(self) -> int:
-        return len(self.ntsvs())
+        return self.counts()[3]
 
     def sink_count(self) -> int:
-        return len(self.sinks())
+        return self.counts()[1]
 
     def wirelength(self, side: Side | None = None) -> float:
         """Total Manhattan wirelength (um), optionally restricted to one side."""
@@ -138,6 +252,7 @@ class ClockTree:
         child.parent = None
         parent.add_child(node)
         node.add_child(child)
+        self.mark_splice(node)
         return node
 
     def add_buffer(
@@ -266,9 +381,59 @@ class ClockTree:
         tree._counter = self._counter
         return tree
 
+    def __reduce__(self):
+        """Pickle as a flat node table instead of the linked node graph.
+
+        Default pickling recurses through the parent/child links and blows
+        the recursion limit on deep (chained) trees; the flat form keeps
+        process-pool transport (e.g. the parallel DSE grid) depth-safe.  The
+        edit log and caches are deliberately dropped: the unpickled tree is
+        a fresh structural copy, exactly like :meth:`copy`.
+        """
+        index: dict[int, int] = {}
+        rows = []
+        for position, node in enumerate(self.nodes()):
+            index[id(node)] = position
+            rows.append(
+                (
+                    node.name,
+                    node.kind,
+                    node.location,
+                    node.side,
+                    node.capacitance,
+                    node.wire_side,
+                    -1 if node.parent is None else index[id(node.parent)],
+                )
+            )
+        return (_rebuild_tree, (self.name, self._counter, rows))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ClockTree(name={self.name!r}, nodes={self.node_count()}, "
             f"sinks={self.sink_count()}, buffers={self.buffer_count()}, "
             f"ntsvs={self.ntsv_count()})"
         )
+
+
+def _rebuild_tree(name, counter, rows) -> ClockTree:
+    """Inverse of :meth:`ClockTree.__reduce__` (parents precede children)."""
+    nodes: list[ClockTreeNode] = []
+    root: ClockTreeNode | None = None
+    for node_name, kind, location, side, capacitance, wire_side, parent_index in rows:
+        node = ClockTreeNode(
+            name=node_name,
+            kind=kind,
+            location=location,
+            side=side,
+            capacitance=capacitance,
+            wire_side=wire_side,
+        )
+        if parent_index < 0:
+            root = node
+        else:
+            nodes[parent_index].add_child(node)
+        nodes.append(node)
+    assert root is not None
+    tree = ClockTree(root, name=name)
+    tree._counter = counter
+    return tree

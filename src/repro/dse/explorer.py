@@ -3,11 +3,19 @@
 The clock routing does not depend on the insertion modes, so the explorer
 routes the design once and then replays the concurrent insertion (plus skew
 refinement) on a fresh copy of the routed tree for every configuration.
+
+The sweep points are independent of each other, so the grid can be evaluated
+in parallel: pass ``workers > 1`` to :meth:`DesignSpaceExplorer.explore` to
+fan the configurations out over a :class:`concurrent.futures`
+process pool (each worker re-times its own tree copy with its own vectorized
+engine).  Results are returned in threshold order regardless of completion
+order, so serial and parallel sweeps are identical.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -82,12 +90,14 @@ class DesignSpaceExplorer:
         design: Design | ClockNet,
         fanout_thresholds: Iterable[int],
         design_name: str | None = None,
+        workers: int = 1,
     ) -> DseResult:
         """Sweep the fanout threshold of the heterogeneous DP tree.
 
         Small thresholds force most DP nodes into intra-side mode (few
         nTSVs); large thresholds approach the all-full-mode Table III
-        configuration.
+        configuration.  ``workers > 1`` evaluates the grid on a process
+        pool; the result order and content are identical to a serial sweep.
         """
         clock_net, name = DoubleSideCTS._resolve_input(design, design_name)
         router = HierarchicalClockRouter(
@@ -98,48 +108,26 @@ class DesignSpaceExplorer:
             hierarchical=self.config.hierarchical_routing,
         )
         routing = router.route(clock_net)
+        thresholds = [int(t) for t in fanout_thresholds]
         result = DseResult(design_name=name)
-        for threshold in fanout_thresholds:
-            start = time.perf_counter()
-            tree = routing.tree.copy()
-            self._insert_and_refine(tree, fanout_threshold=int(threshold))
-            runtime = time.perf_counter() - start
-            metrics = evaluate_tree(
-                tree,
-                self.pdk,
-                design=name,
-                flow=f"ours_dse_fo{int(threshold)}",
-                runtime=runtime,
-            )
-            result.points.append(
-                DsePoint(
-                    configuration="ours_dse",
-                    parameter=float(threshold),
-                    metrics=metrics,
-                )
+        if workers > 1 and len(thresholds) > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, len(thresholds))) as pool:
+                futures = [
+                    pool.submit(
+                        _explore_point, self.pdk, self.config, routing.tree, t, name
+                    )
+                    for t in thresholds
+                ]
+                result.points.extend(future.result() for future in futures)
+        else:
+            result.points.extend(
+                _explore_point(self.pdk, self.config, routing.tree, t, name)
+                for t in thresholds
             )
         return result
 
     def _insert_and_refine(self, tree: ClockTree, fanout_threshold: int | None) -> None:
-        inserter = ConcurrentInserter(
-            self.pdk,
-            InsertionConfig(
-                weights=self.config.moes_weights,
-                selection=self.config.selection,
-                max_segment_length=self.config.max_segment_length,
-                keep_resource_diversity=self.config.keep_resource_diversity,
-                max_candidates_per_side=self.config.max_candidates_per_side,
-                default_mode=self.config.default_mode,
-            ),
-        )
-        inserter.run(tree, fanout_threshold=fanout_threshold)
-        if self.config.enable_skew_refinement:
-            SkewRefiner(
-                self.pdk,
-                skew_trigger_fraction=self.config.skew_trigger_fraction,
-                max_endpoints=self.config.max_refined_endpoints,
-                strategy=self.config.skew_strategy,
-            ).refine(tree)
+        _insert_and_refine(self.pdk, self.config, tree, fanout_threshold)
 
     # -------------------------------------------------------------- baselines
     def sweep_fanout_baseline(
@@ -190,3 +178,51 @@ class DesignSpaceExplorer:
             buffered_tree, design_name=design_name, copy=True
         )
         return DsePoint(configuration="veloso_2023", parameter=0.0, metrics=run.metrics)
+
+
+# Module-level so a ProcessPoolExecutor can pickle the sweep work items.
+def _insert_and_refine(
+    pdk: Pdk, config: CtsConfig, tree: ClockTree, fanout_threshold: int | None
+) -> None:
+    inserter = ConcurrentInserter(
+        pdk,
+        InsertionConfig(
+            weights=config.moes_weights,
+            selection=config.selection,
+            max_segment_length=config.max_segment_length,
+            keep_resource_diversity=config.keep_resource_diversity,
+            max_candidates_per_side=config.max_candidates_per_side,
+            default_mode=config.default_mode,
+        ),
+        engine=config.timing_engine,
+    )
+    inserter.run(tree, fanout_threshold=fanout_threshold)
+    if config.enable_skew_refinement:
+        SkewRefiner(
+            pdk,
+            skew_trigger_fraction=config.skew_trigger_fraction,
+            max_endpoints=config.max_refined_endpoints,
+            strategy=config.skew_strategy,
+            engine=config.timing_engine,
+        ).refine(tree)
+
+
+def _explore_point(
+    pdk: Pdk, config: CtsConfig, routed_tree: ClockTree, threshold: int, name: str
+) -> DsePoint:
+    """Evaluate one fanout-threshold configuration on a fresh tree copy."""
+    start = time.perf_counter()
+    tree = routed_tree.copy()
+    _insert_and_refine(pdk, config, tree, fanout_threshold=threshold)
+    runtime = time.perf_counter() - start
+    metrics = evaluate_tree(
+        tree,
+        pdk,
+        design=name,
+        flow=f"ours_dse_fo{threshold}",
+        runtime=runtime,
+        engine=config.timing_engine,
+    )
+    return DsePoint(
+        configuration="ours_dse", parameter=float(threshold), metrics=metrics
+    )

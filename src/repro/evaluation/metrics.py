@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.clocktree import ClockTree
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
-from repro.timing import ElmoreTimingEngine
+from repro.timing import create_engine
 
 
 @dataclass(frozen=True)
@@ -93,10 +93,14 @@ def evaluate_tree(
     design: str = "",
     flow: str = "",
     runtime: float = 0.0,
+    engine: str | None = None,
 ) -> ClockTreeMetrics:
-    """Run the consistent evaluation of the paper on a synthesised tree."""
-    engine = ElmoreTimingEngine(pdk)
-    timing = engine.analyze(tree)
+    """Run the consistent evaluation of the paper on a synthesised tree.
+
+    ``engine`` selects the timing engine by factory name (``"vectorized"``
+    by default, ``"reference"`` for differential checks).
+    """
+    timing = create_engine(pdk, engine).analyze(tree)
     front_wl = tree.wirelength(Side.FRONT)
     back_wl = tree.wirelength(Side.BACK)
     return ClockTreeMetrics(

@@ -31,6 +31,8 @@ class CtsConfig:
         max_refined_endpoints: ``m`` of the skew refinement (33).
         skew_strategy: ``"pad_fast"`` (Fig. 11 behaviour) or ``"shield_slow"``.
         enable_skew_refinement: disable to reproduce the "w/o SR" bars.
+        timing_engine: timing engine used by every flow step (``"vectorized"``
+            or ``"reference"``); ``None`` uses the library default.
     """
 
     high_cluster_size: int = 3000
@@ -48,6 +50,7 @@ class CtsConfig:
     max_refined_endpoints: int = 33
     skew_strategy: str = "pad_fast"
     enable_skew_refinement: bool = True
+    timing_engine: str | None = None
 
     def with_updates(self, **kwargs) -> "CtsConfig":
         """Return a copy with the given fields replaced."""

@@ -76,7 +76,12 @@ class DoubleSideCTS:
         runtime = time.perf_counter() - start
         routing.tree.validate()
         metrics = evaluate_tree(
-            routing.tree, self.pdk, design=name, flow=self.flow_name, runtime=runtime
+            routing.tree,
+            self.pdk,
+            design=name,
+            flow=self.flow_name,
+            runtime=runtime,
+            engine=self.config.timing_engine,
         )
         return CtsRunResult(
             design_name=name,
@@ -101,7 +106,9 @@ class DoubleSideCTS:
         return router.route(clock_net)
 
     def _insert(self, tree: ClockTree) -> InsertionResult:
-        inserter = ConcurrentInserter(self.pdk, self._insertion_config())
+        inserter = ConcurrentInserter(
+            self.pdk, self._insertion_config(), engine=self.config.timing_engine
+        )
         return inserter.run(tree, fanout_threshold=self.config.fanout_threshold)
 
     def _refine(self, tree: ClockTree) -> SkewRefinementReport | None:
@@ -112,6 +119,7 @@ class DoubleSideCTS:
             skew_trigger_fraction=self.config.skew_trigger_fraction,
             max_endpoints=self.config.max_refined_endpoints,
             strategy=self.config.skew_strategy,
+            engine=self.config.timing_engine,
         )
         return refiner.refine(tree)
 

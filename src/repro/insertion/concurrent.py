@@ -33,7 +33,7 @@ from repro.insertion.patterns import EdgePattern, InsertionMode, patterns_for
 from repro.insertion.pruning import prune_per_side
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
-from repro.timing import ElmoreTimingEngine, TimingResult
+from repro.timing import TimingResult, create_engine
 
 
 @dataclass
@@ -102,10 +102,15 @@ class InsertionResult:
 class ConcurrentInserter:
     """Concurrent buffer and nTSV insertion by multi-objective DP."""
 
-    def __init__(self, pdk: Pdk, config: InsertionConfig | None = None) -> None:
+    def __init__(
+        self,
+        pdk: Pdk,
+        config: InsertionConfig | None = None,
+        engine: str | None = None,
+    ) -> None:
         self.pdk = pdk
         self.config = config if config is not None else InsertionConfig()
-        self._engine = ElmoreTimingEngine(pdk)
+        self._engine = create_engine(pdk, engine)
 
     # ----------------------------------------------------------------- public
     def run(
@@ -465,6 +470,10 @@ class ConcurrentInserter:
             self._realize_pattern(dp_tree.clock_tree, dp_node, cand.pattern)
             merged = cand.children[0]
             stack.extend(zip(dp_node.predecessors, merged.children))
+        # Pattern realisation rewrites wire sides directly on the nodes, which
+        # the tree's edit log cannot see — record an unscoped change so that
+        # incremental timing engines recompile instead of serving stale data.
+        dp_tree.clock_tree.touch()
 
     def _realize_pattern(
         self, tree: ClockTree, dp_node: DpNode, pattern: EdgePattern

@@ -25,7 +25,7 @@ from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.refinement.adaptive import refined_endpoint_count
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
-from repro.timing import ElmoreTimingEngine, TimingResult
+from repro.timing import TimingResult, create_engine
 
 
 @dataclass
@@ -70,6 +70,7 @@ class SkewRefiner:
         max_endpoints: int = 33,
         strategy: str = "pad_fast",
         force: bool = False,
+        engine: str | None = None,
     ) -> None:
         if not 0 < skew_trigger_fraction <= 1:
             raise ValueError("the skew trigger fraction must be in (0, 1]")
@@ -80,7 +81,11 @@ class SkewRefiner:
         self.max_endpoints = max_endpoints
         self.strategy = strategy
         self.force = force
-        self._engine = ElmoreTimingEngine(pdk)
+        # The refiner's trial loop re-times the tree after every endpoint
+        # edit; the (default) vectorized engine serves those queries from its
+        # incremental re-timing path because every edit below is recorded
+        # with ``tree.mark_rewire``.
+        self._engine = create_engine(pdk, engine)
 
     # ----------------------------------------------------------------- public
     def refine(self, tree: ClockTree) -> SkewRefinementReport:
@@ -138,7 +143,7 @@ class SkewRefiner:
         )
         if not accepted:
             for endpoint, buffer_node in inserted:
-                self._remove_endpoint_buffer(endpoint, buffer_node)
+                self._remove_endpoint_buffer(tree, endpoint, buffer_node)
             return 0, before
         return len(inserted), after
 
@@ -166,7 +171,7 @@ class SkewRefiner:
                 current = trial
                 added += 1
             else:
-                self._remove_endpoint_buffer(endpoint, buffer_node)
+                self._remove_endpoint_buffer(tree, endpoint, buffer_node)
         return added, current
 
     # --------------------------------------------------------------- internals
@@ -275,14 +280,16 @@ class SkewRefiner:
         for sink in padded:
             sink.detach()
             buffer_node.add_child(sink)
+        tree.mark_rewire(endpoint)
         return buffer_node
 
     @staticmethod
     def _remove_endpoint_buffer(
-        endpoint: ClockTreeNode, buffer_node: ClockTreeNode
+        tree: ClockTree, endpoint: ClockTreeNode, buffer_node: ClockTreeNode
     ) -> None:
         """Undo :meth:`_insert_endpoint_buffer` (used when a trial is rejected)."""
         for sink in list(buffer_node.children):
             sink.detach()
             endpoint.add_child(sink)
         buffer_node.detach()
+        tree.mark_rewire(endpoint)

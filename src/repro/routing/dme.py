@@ -67,19 +67,30 @@ class EmbeddedNode:
         return self.terminal is not None
 
     def wirelength(self) -> float:
-        """Total embedded Manhattan wirelength of the subtree (um)."""
+        """Total embedded Manhattan wirelength of the subtree (um).
+
+        Iterative so that chained (path-like) embeddings of arbitrary depth
+        do not exhaust Python's recursion limit.
+        """
         total = 0.0
-        for child in self.children:
-            total += self.location.manhattan(child.location)
-            total += child.wirelength()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                total += node.location.manhattan(child.location)
+                stack.append(child)
         return total
 
     def leaves(self) -> list["EmbeddedNode"]:
-        if self.is_leaf:
-            return [self]
+        """Every leaf of the subtree, in left-to-right order (iterative)."""
         result = []
-        for child in self.children:
-            result.extend(child.leaves())
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                stack.extend(reversed(node.children))
         return result
 
 
@@ -140,37 +151,48 @@ class DmeRouter:
         terminals: list[DmeTerminal],
         records: dict[int, _MergeRecord],
     ) -> _MergeRecord:
-        if node.is_leaf:
-            term = terminals[node.terminal_index]
-            record = _MergeRecord(
-                region=TiltedRect.from_point(term.location),
-                capacitance=term.capacitance,
-                delay=term.delay,
+        """Post-order merge-region computation with an explicit stack.
+
+        Deep or chained topologies (e.g. a sink strand along a datapath) can
+        exceed Python's recursion limit, so the traversal is iterative.
+        """
+        stack: list[tuple[TopologyNode, bool]] = [(node, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current.is_leaf:
+                term = terminals[current.terminal_index]
+                records[id(current)] = _MergeRecord(
+                    region=TiltedRect.from_point(term.location),
+                    capacitance=term.capacitance,
+                    delay=term.delay,
+                )
+                continue
+            if not expanded:
+                stack.append((current, True))
+                stack.append((current.children[1], False))
+                stack.append((current.children[0], False))
+                continue
+            left = records[id(current.children[0])]
+            right = records[id(current.children[1])]
+            distance = left.region.distance_to(right.region)
+            e_left, e_right = self._balance_edges(left, right, distance)
+            region = merging_region(left.region, right.region, e_left, e_right)
+            unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
+            merged_delay = max(
+                left.delay + unit_r * e_left * (unit_c * e_left + left.capacitance),
+                right.delay + unit_r * e_right * (unit_c * e_right + right.capacitance),
             )
-            records[id(node)] = record
-            return record
-        left = self._bottom_up(node.children[0], terminals, records)
-        right = self._bottom_up(node.children[1], terminals, records)
-        distance = left.region.distance_to(right.region)
-        e_left, e_right = self._balance_edges(left, right, distance)
-        region = merging_region(left.region, right.region, e_left, e_right)
-        unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
-        merged_delay = max(
-            left.delay + unit_r * e_left * (unit_c * e_left + left.capacitance),
-            right.delay + unit_r * e_right * (unit_c * e_right + right.capacitance),
-        )
-        merged_cap = (
-            left.capacitance + right.capacitance + unit_c * (e_left + e_right)
-        )
-        record = _MergeRecord(
-            region=region,
-            capacitance=merged_cap,
-            delay=merged_delay,
-            edge_to_left=e_left,
-            edge_to_right=e_right,
-        )
-        records[id(node)] = record
-        return record
+            merged_cap = (
+                left.capacitance + right.capacitance + unit_c * (e_left + e_right)
+            )
+            records[id(current)] = _MergeRecord(
+                region=region,
+                capacitance=merged_cap,
+                delay=merged_delay,
+                edge_to_left=e_left,
+                edge_to_right=e_right,
+            )
+        return records[id(node)]
 
     def _balance_edges(
         self, left: _MergeRecord, right: _MergeRecord, distance: float
@@ -271,27 +293,40 @@ class DmeRouter:
         location: Point,
         planned_length: float,
     ) -> EmbeddedNode:
-        record = records[id(node)]
-        if node.is_leaf:
-            term = terminals[node.terminal_index]
+        """Pre-order embedding with an explicit stack (recursion-free)."""
+
+        def make_node(
+            topo: TopologyNode, point: Point, planned: float
+        ) -> EmbeddedNode:
+            record = records[id(topo)]
+            if topo.is_leaf:
+                term = terminals[topo.terminal_index]
+                return EmbeddedNode(
+                    location=term.location,
+                    terminal=term,
+                    planned_edge_length=planned,
+                    subtree_capacitance=record.capacitance,
+                    subtree_delay=record.delay,
+                )
             return EmbeddedNode(
-                location=term.location,
-                terminal=term,
-                planned_edge_length=planned_length,
+                location=point,
+                planned_edge_length=planned,
                 subtree_capacitance=record.capacitance,
                 subtree_delay=record.delay,
             )
-        embedded = EmbeddedNode(
-            location=location,
-            planned_edge_length=planned_length,
-            subtree_capacitance=record.capacitance,
-            subtree_delay=record.delay,
-        )
-        planned = (record.edge_to_left, record.edge_to_right)
-        for child, child_planned in zip(node.children, planned):
-            child_record = records[id(child)]
-            child_point = child_record.region.nearest_point_to(location)
-            embedded.children.append(
-                self._embed(child, terminals, records, child_point, child_planned)
-            )
-        return embedded
+
+        root = make_node(node, location, planned_length)
+        stack: list[tuple[TopologyNode, EmbeddedNode]] = [(node, root)]
+        while stack:
+            topo, embedded = stack.pop()
+            if topo.is_leaf:
+                continue
+            record = records[id(topo)]
+            planned = (record.edge_to_left, record.edge_to_right)
+            for child, child_planned in zip(topo.children, planned):
+                child_record = records[id(child)]
+                child_point = child_record.region.nearest_point_to(embedded.location)
+                child_embedded = make_node(child, child_point, child_planned)
+                embedded.children.append(child_embedded)
+                stack.append((child, child_embedded))
+        return root

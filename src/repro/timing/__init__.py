@@ -7,14 +7,45 @@ Implements the delay models of Section II-B of the paper:
 * nTSV delay as a series RC element without shielding (Eq. (2)),
 * PERI-style slew propagation,
 * latency / skew / per-sink arrival reporting.
+
+Two interchangeable engines implement these models:
+
+* :class:`VectorizedElmoreEngine` — the production kernel.  It compiles the
+  tree into a struct-of-arrays snapshot (:mod:`repro.clocktree.arrays`) and
+  runs vectorized level-synchronous passes; repeated queries on an unchanged
+  tree are served from cache, and structural edits recorded through the
+  tree's edit log re-time only the dirty cone.  Use it everywhere
+  performance matters — it is the default of :func:`create_engine`.
+* :class:`ElmoreTimingEngine` — the straightforward per-node reference
+  implementation.  Use it for differential testing, for debugging suspected
+  kernel bugs (set ``REPRO_TIMING_ENGINE=reference`` to switch the whole
+  library), and as the executable specification of the timing model.
+
+Both engines produce identical results to well below 1e-9 ps (only the
+floating-point summation order differs); the equivalence is enforced by the
+randomized differential tests in ``tests/test_timing_vectorized.py``.
 """
 
 from repro.timing.elmore import ElmoreTimingEngine, WireModel
 from repro.timing.analysis import TimingResult
+from repro.timing.factory import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    TimingEngine,
+    create_engine,
+    default_engine_name,
+)
 from repro.timing.slew import SlewAnalyzer, ramp_slew
+from repro.timing.vectorized import VectorizedElmoreEngine
 
 __all__ = [
     "ElmoreTimingEngine",
+    "VectorizedElmoreEngine",
+    "TimingEngine",
+    "create_engine",
+    "default_engine_name",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
     "WireModel",
     "TimingResult",
     "SlewAnalyzer",

@@ -16,7 +16,10 @@ from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 from repro.timing.analysis import TimingResult
-from repro.timing.slew import SlewAnalyzer
+from repro.timing.slew import SOURCE_SLEW, SlewAnalyzer
+
+#: Drive resistance (kOhm) of the clock source, shared by every engine.
+ROOT_DRIVE_RESISTANCE = 0.1
 
 
 class WireModel(enum.Enum):
@@ -32,21 +35,17 @@ class WireModel(enum.Enum):
     PI = "pi"
 
 
-class ElmoreTimingEngine:
-    """Computes per-node loads and per-sink arrival times of a clock tree."""
+class ElmoreWireModel:
+    """The wire-reduction and source-driver model shared by every engine.
 
-    def __init__(
-        self,
-        pdk: Pdk,
-        wire_model: WireModel = WireModel.L,
-        use_nldm: bool = False,
-    ) -> None:
-        self.pdk = pdk
-        self.wire_model = wire_model
-        self.use_nldm = use_nldm
-        self._slew = SlewAnalyzer(pdk)
+    Keeping these in one place (rather than per engine) is what preserves
+    the 1e-9 reference/vectorized equivalence contract when the model is
+    tuned.  Subclasses set ``pdk`` and ``wire_model``.
+    """
 
-    # ------------------------------------------------------------------ wires
+    pdk: Pdk
+    wire_model: WireModel
+
     def wire_capacitance(self, length: float, side: Side) -> float:
         """Total capacitance (fF) of a clock wire of ``length`` um on ``side``."""
         return self.pdk.clock_layer(side).wire_capacitance(length)
@@ -62,6 +61,25 @@ class ElmoreTimingEngine:
         if self.wire_model is WireModel.PI:
             return resistance * (capacitance / 2.0 + load_capacitance)
         return resistance * (capacitance + load_capacitance)
+
+    def _root_resistance(self) -> float:
+        """Drive resistance (kOhm) of the clock source."""
+        return ROOT_DRIVE_RESISTANCE
+
+
+class ElmoreTimingEngine(ElmoreWireModel):
+    """Computes per-node loads and per-sink arrival times of a clock tree."""
+
+    def __init__(
+        self,
+        pdk: Pdk,
+        wire_model: WireModel = WireModel.L,
+        use_nldm: bool = False,
+    ) -> None:
+        self.pdk = pdk
+        self.wire_model = wire_model
+        self.use_nldm = use_nldm
+        self._slew = SlewAnalyzer(pdk)
 
     # ------------------------------------------------------------------ loads
     def subtree_capacitances(self, tree: ClockTree) -> dict[int, float]:
@@ -123,7 +141,7 @@ class ElmoreTimingEngine:
         """Arrival time (ps) at every node, measured from the clock root."""
         caps = self.subtree_capacitances(tree)
         arrivals: dict[int, float] = {id(tree.root): 0.0}
-        slews: dict[int, float] = {id(tree.root): 10.0}
+        slews: dict[int, float] = {id(tree.root): SOURCE_SLEW}
 
         for node in tree.nodes():
             node_arrival = arrivals[id(node)]
@@ -158,10 +176,6 @@ class ElmoreTimingEngine:
             # The clock source behaves as a driver with a fixed resistance.
             return 0.0 if load == 0 else self._root_resistance() * load
         return 0.0
-
-    def _root_resistance(self) -> float:
-        """Drive resistance (kOhm) of the clock source."""
-        return 0.1
 
     # ---------------------------------------------------------------- analyze
     def analyze(self, tree: ClockTree, with_slew: bool = True) -> TimingResult:

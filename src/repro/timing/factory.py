@@ -1,0 +1,57 @@
+"""The shared timing-engine factory.
+
+Every flow component that needs timing (skew refinement, concurrent
+insertion, evaluation, DSE, baselines) obtains its engine through
+:func:`create_engine` so that the whole library can be switched between the
+vectorized production kernel and the reference implementation — per call
+site, per flow (``CtsConfig.timing_engine``), from the CLI (``--engine``),
+or globally via the ``REPRO_TIMING_ENGINE`` environment variable (useful for
+differential debugging of a whole benchmark run).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.tech.pdk import Pdk
+from repro.timing.elmore import ElmoreTimingEngine, WireModel
+from repro.timing.vectorized import VectorizedElmoreEngine
+
+#: Engine used when neither the caller nor the environment chooses one.
+DEFAULT_ENGINE = "vectorized"
+
+ENGINE_NAMES = ("reference", "vectorized")
+
+#: Any timing engine: both classes implement the same public protocol.
+TimingEngine = ElmoreTimingEngine | VectorizedElmoreEngine
+
+
+def default_engine_name() -> str:
+    """The engine name used for ``engine=None`` (env override included)."""
+    return os.environ.get("REPRO_TIMING_ENGINE", DEFAULT_ENGINE)
+
+
+def create_engine(
+    pdk: Pdk,
+    engine: str | None = None,
+    wire_model: WireModel = WireModel.L,
+    use_nldm: bool = False,
+) -> TimingEngine:
+    """Build the requested timing engine.
+
+    Args:
+        pdk: the technology to time against.
+        engine: ``"vectorized"`` (default), ``"reference"``, or None to use
+            the library default (overridable via ``REPRO_TIMING_ENGINE``).
+        wire_model: L-type lumped (paper) or PI wire reduction.
+        use_nldm: look buffer delays up in the NLDM table instead of the
+            linear model.
+    """
+    name = engine if engine is not None else default_engine_name()
+    if name == "reference":
+        return ElmoreTimingEngine(pdk, wire_model=wire_model, use_nldm=use_nldm)
+    if name == "vectorized":
+        return VectorizedElmoreEngine(pdk, wire_model=wire_model, use_nldm=use_nldm)
+    raise ValueError(
+        f"unknown timing engine {name!r}; expected one of {ENGINE_NAMES}"
+    )

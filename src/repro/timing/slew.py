@@ -25,6 +25,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 #: ln(9): converts an Elmore delay into a 10%-90% ramp transition time.
 LN9 = math.log(9.0)
 
+#: Transition time (ps) assumed at the clock source, shared by every engine.
+SOURCE_SLEW = 10.0
+
 
 def ramp_slew(elmore_delay: float) -> float:
     """Transition time (ps) of an RC stage with the given Elmore delay."""
@@ -47,7 +50,7 @@ class SlewAnalyzer:
     def sink_slews(self, tree: ClockTree, engine: "ElmoreTimingEngine") -> dict[str, float]:
         """Return ``sink name -> slew (ps)`` for every sink of the tree."""
         caps = engine.subtree_capacitances(tree)
-        slews: dict[int, float] = {id(tree.root): 10.0}
+        slews: dict[int, float] = {id(tree.root): SOURCE_SLEW}
         result: dict[str, float] = {}
 
         for node in tree.nodes():
@@ -79,7 +82,7 @@ class SlewAnalyzer:
         # A degenerate tree whose root is directly a sink has no edges.
         for node in tree.nodes():
             if node.is_sink and node.name not in result:
-                result[node.name] = slews.get(id(node), 10.0)
+                result[node.name] = slews.get(id(node), SOURCE_SLEW)
         return result
 
     def max_slew_violations(

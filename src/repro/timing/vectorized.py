@@ -1,0 +1,503 @@
+"""Vectorized array-based Elmore timing engine with incremental re-timing.
+
+:class:`VectorizedElmoreEngine` is a drop-in replacement for
+:class:`~repro.timing.ElmoreTimingEngine` that computes the exact same model
+(L or PI wire reduction, buffer shielding, nTSV series RC, NLDM buffer delay,
+PERI slew propagation) on a :class:`~repro.clocktree.arrays.TreeArrays`
+snapshot instead of per-node Python dicts:
+
+* subtree capacitances and driver loads are one bottom-up sweep over the
+  breadth-first levels (one ``bincount`` scatter per level),
+* arrivals and slews are one top-down sweep (one gather per level),
+* repeated queries on an unchanged tree reuse the cached arrays outright.
+
+On top of the full pass the engine supports **incremental re-timing**: when
+the tree records structural edits through its edit log
+(:meth:`ClockTree.mark_splice` / :meth:`ClockTree.mark_rewire`), the next
+query patches only the affected rows, walks capacitance changes up to the
+first shielding buffer (or the root), and re-times just that driver's cone
+instead of the whole tree.  A single end-point buffer insertion on a large
+tree therefore costs O(cone) instead of O(tree).
+
+Results match the reference engine to well below 1e-9 ps; the only permitted
+difference is floating-point summation order.  Use the reference engine for
+differential testing (see :mod:`repro.timing.factory`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.clocktree.arrays import KIND_BUFFER, KIND_NTSV, KIND_ROOT, TreeArrays
+from repro.tech.layers import Side
+from repro.tech.pdk import Pdk
+from repro.timing.analysis import TimingResult
+from repro.timing.elmore import ElmoreWireModel, WireModel
+from repro.timing.slew import LN9, SOURCE_SLEW
+
+#: Edit batches larger than this are cheaper to recompile than to replay.
+_MAX_INCREMENTAL_EDITS = 64
+
+
+class _EngineState:
+    """Cached arrays for one compiled tree (all indexed by TreeArrays row)."""
+
+    __slots__ = (
+        "arrays",
+        "version",
+        "wire_cap",
+        "wire_res",
+        "down_cap",
+        "load",
+        "stage",
+        "wire_delay",
+        "arrival",
+        "slew_at",
+        "slew_out",
+        "slews_valid",
+        "result_version",
+        "result_arrivals",
+        "result_slews",
+    )
+
+    def __init__(self, arrays: TreeArrays) -> None:
+        self.arrays = arrays
+        self.version = -1
+        self.result_version = -1
+        self.result_arrivals: dict[str, float] | None = None
+        self.result_slews: dict[str, float] | None = None
+        n = arrays.capacity
+        self.wire_cap = np.zeros(n)
+        self.wire_res = np.zeros(n)
+        self.down_cap = np.zeros(n)
+        self.load = np.zeros(n)
+        self.stage = np.zeros(n)
+        self.wire_delay = np.zeros(n)
+        self.arrival = np.zeros(n)
+        self.slew_at = np.zeros(n)
+        self.slew_out = np.zeros(n)
+        self.slews_valid = False
+
+    def ensure_capacity(self) -> None:
+        """Grow the numeric arrays in lockstep with the TreeArrays snapshot."""
+        n = self.arrays.capacity
+        if self.wire_cap.shape[0] >= n:
+            return
+        for name in (
+            "wire_cap",
+            "wire_res",
+            "down_cap",
+            "load",
+            "stage",
+            "wire_delay",
+            "arrival",
+            "slew_at",
+            "slew_out",
+        ):
+            old = getattr(self, name)
+            grown = np.zeros(n)
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+
+
+class VectorizedElmoreEngine(ElmoreWireModel):
+    """Array-based timing engine, API-compatible with the reference engine.
+
+    The wire-reduction and source-driver model comes from the shared
+    :class:`ElmoreWireModel` base, so a model tweak cannot drift the two
+    engines apart.
+
+    Attributes:
+        full_compiles: number of from-scratch compiles performed (telemetry).
+        incremental_updates: number of edit batches applied incrementally.
+    """
+
+    def __init__(
+        self,
+        pdk: Pdk,
+        wire_model: WireModel = WireModel.L,
+        use_nldm: bool = False,
+    ) -> None:
+        self.pdk = pdk
+        self.wire_model = wire_model
+        self.use_nldm = use_nldm
+        self.full_compiles = 0
+        self.incremental_updates = 0
+        self._state: _EngineState | None = None
+
+    # ------------------------------------------------------------------ sync
+    def invalidate(self) -> None:
+        """Drop the cached state (next query recompiles from scratch)."""
+        self._state = None
+
+    def _sync(self, tree: ClockTree, need_slews: bool) -> _EngineState:
+        state = self._state
+        if state is None or state.arrays.tree is not tree:
+            state = self._compile(tree)
+        else:
+            edits = tree.edits_since(state.version)
+            if edits is None:
+                state = self._compile(tree)
+            elif edits and not self._apply_edits(state, edits):
+                state = self._compile(tree)
+        if need_slews and not state.slews_valid:
+            self._full_slews(state)
+        return state
+
+    def _compile(self, tree: ClockTree) -> _EngineState:
+        arrays = TreeArrays(tree)
+        state = _EngineState(arrays)
+        self._refresh_wire(state, arrays.alive_rows())
+        self._full_caps(state)
+        self._refresh_stage(state, arrays.alive_rows())
+        self._refresh_wire_delay(state, arrays.alive_rows())
+        self._full_arrivals(state)
+        state.slews_valid = False
+        state.version = tree.version
+        self._state = state
+        self.full_compiles += 1
+        return state
+
+    # ------------------------------------------------------------ full passes
+    def _refresh_wire(self, state: _EngineState, rows: np.ndarray) -> None:
+        """Recompute the parent-wire R/C of ``rows`` from the snapshot."""
+        arrays = state.arrays
+        front = self.pdk.front_layer
+        length = arrays.edge_length[rows]
+        if self.pdk.has_backside:
+            back = self.pdk.back_layer
+            unit_c = np.where(
+                arrays.wire_front[rows], front.unit_capacitance, back.unit_capacitance
+            )
+            unit_r = np.where(
+                arrays.wire_front[rows], front.unit_resistance, back.unit_resistance
+            )
+        else:
+            back_rows = rows[~arrays.wire_front[rows]]
+            if back_rows.size and np.any(arrays.parent_row[back_rows] >= 0):
+                # Reference parity: timing a back-side wire without back-side
+                # resources must raise, on the incremental path too (the
+                # root's wire side is meaningless and stays exempt).
+                self.pdk.clock_layer(Side.BACK)
+            unit_c = front.unit_capacitance
+            unit_r = front.unit_resistance
+        state.wire_cap[rows] = unit_c * length
+        state.wire_res[rows] = unit_r * length
+
+    def _full_caps(self, state: _EngineState) -> None:
+        """Bottom-up subtree capacitances and driver loads, level by level."""
+        arrays = state.arrays
+        capacity = state.load.shape[0]
+        state.load[arrays.alive_rows()] = 0.0
+        for rows in reversed(arrays.levels()):
+            down = arrays.cap[rows] + state.load[rows]
+            shielded = arrays.kind[rows] == KIND_BUFFER
+            if shielded.any():
+                down[shielded] = arrays.cap[rows][shielded]
+            state.down_cap[rows] = down
+            parents = arrays.parent_row[rows]
+            if parents[0] >= 0:  # every non-root level scatters into its parents
+                state.load += np.bincount(
+                    parents,
+                    weights=state.wire_cap[rows] + down,
+                    minlength=capacity,
+                )
+
+    def _refresh_stage(self, state: _EngineState, rows: np.ndarray) -> None:
+        """Recompute the driver-stage delay added at each of ``rows``."""
+        if rows.size == 0:
+            return
+        arrays = state.arrays
+        kinds = arrays.kind[rows]
+        state.stage[rows] = 0.0
+        buffer_rows = rows[kinds == KIND_BUFFER]
+        if buffer_rows.size:
+            buffer = self.pdk.buffer
+            if self.use_nldm:
+                # The reference engine propagates a constant source slew.
+                for row in buffer_rows:
+                    state.stage[row] = buffer.delay(
+                        float(state.load[row]), input_slew=SOURCE_SLEW
+                    )
+            else:
+                state.stage[buffer_rows] = (
+                    buffer.intrinsic_delay
+                    + buffer.drive_resistance * state.load[buffer_rows]
+                )
+        ntsv_rows = rows[kinds == KIND_NTSV]
+        if ntsv_rows.size:
+            ntsv = self.pdk.ntsv
+            if ntsv is None:
+                raise ValueError("tree contains nTSVs but the PDK has none")
+            state.stage[ntsv_rows] = ntsv.resistance * (
+                ntsv.capacitance + state.load[ntsv_rows]
+            )
+        root_rows = rows[kinds == KIND_ROOT]
+        if root_rows.size:
+            # Dispatch by kind like the reference engine (a ROOT-kind node
+            # grafted as an internal node still drives with the source R).
+            loads = state.load[root_rows]
+            state.stage[root_rows] = np.where(
+                loads == 0, 0.0, self._root_resistance() * loads
+            )
+
+    def _refresh_wire_delay(self, state: _EngineState, rows: np.ndarray) -> None:
+        """Recompute the Elmore delay of the parent wire of each of ``rows``."""
+        wire_cap = state.wire_cap[rows]
+        if self.wire_model is WireModel.PI:
+            wire_cap = wire_cap / 2.0
+        state.wire_delay[rows] = state.wire_res[rows] * (
+            wire_cap + state.down_cap[rows]
+        )
+
+    def _full_arrivals(self, state: _EngineState) -> None:
+        state.arrival[0] = 0.0
+        for rows in state.arrays.levels()[1:]:
+            parents = state.arrays.parent_row[rows]
+            state.arrival[rows] = (
+                state.arrival[parents] + state.stage[parents] + state.wire_delay[rows]
+            )
+
+    def _full_slews(self, state: _EngineState) -> None:
+        arrays = state.arrays
+        state.slew_at[0] = SOURCE_SLEW
+        state.slew_out[0] = SOURCE_SLEW
+        for rows in arrays.levels()[1:]:
+            parents = arrays.parent_row[rows]
+            state.slew_at[rows] = np.sqrt(
+                state.slew_out[parents] ** 2 + (LN9 * state.wire_delay[rows]) ** 2
+            )
+            self._regenerate_slews(state, rows)
+        state.slews_valid = True
+
+    def _regenerate_slews(self, state: _EngineState, rows: np.ndarray) -> None:
+        """Compute the post-node slew of ``rows`` from their arriving slew."""
+        arrays = state.arrays
+        kinds = arrays.kind[rows]
+        state.slew_out[rows] = state.slew_at[rows]
+        buffer_rows = rows[kinds == KIND_BUFFER]
+        if buffer_rows.size:
+            buffer = self.pdk.buffer
+            for row in buffer_rows:
+                state.slew_out[row] = buffer.slew(
+                    float(state.load[row]), input_slew=float(state.slew_at[row])
+                )
+        ntsv_rows = rows[kinds == KIND_NTSV]
+        if ntsv_rows.size and self.pdk.ntsv is not None:
+            ntsv = self.pdk.ntsv
+            step = LN9 * (ntsv.resistance * (ntsv.capacitance + state.load[ntsv_rows]))
+            state.slew_out[ntsv_rows] = np.sqrt(
+                state.slew_at[ntsv_rows] ** 2 + step**2
+            )
+
+    # ------------------------------------------------------------ incremental
+    def _apply_edits(self, state: _EngineState, edits: list) -> bool:
+        """Replay recorded edits onto the cached state; False => recompile."""
+        if len(edits) > _MAX_INCREMENTAL_EDITS:
+            return False
+        arrays = state.arrays
+        if arrays.dead_count * 2 > arrays.size:
+            return False  # mostly tombstones: recompile to compact the rows
+        root = arrays.tree.root
+        changed: set[int] = set()
+        tops: list[int] = []
+        for _version, edit_kind, node in edits:
+            if node is None or edit_kind == "touch":
+                return False
+            if not _attached(node, root):
+                return False
+            if edit_kind == "splice":
+                patch = arrays.apply_splice(node)
+                if patch is None:
+                    return False
+                state.ensure_capacity()
+                new_row, child_row = patch
+                self._refresh_wire(
+                    state, np.asarray([new_row, child_row], dtype=np.int64)
+                )
+                state.load[new_row] = (
+                    state.wire_cap[child_row] + state.down_cap[child_row]
+                )
+                if arrays.kind[new_row] == KIND_BUFFER:
+                    state.down_cap[new_row] = arrays.cap[new_row]
+                else:
+                    state.down_cap[new_row] = arrays.cap[new_row] + state.load[new_row]
+                changed.update((int(new_row), int(child_row)))
+            elif edit_kind == "rewire":
+                sub_levels = arrays.apply_rewire(node)
+                if sub_levels is None:
+                    return False
+                state.ensure_capacity()
+                flat = np.concatenate(sub_levels)
+                self._refresh_wire(state, flat)
+                state.load[flat] = 0.0
+                capacity = state.load.shape[0]
+                for rows in reversed(sub_levels):
+                    down = arrays.cap[rows] + state.load[rows]
+                    shielded = arrays.kind[rows] == KIND_BUFFER
+                    if shielded.any():
+                        down[shielded] = arrays.cap[rows][shielded]
+                    state.down_cap[rows] = down
+                    if rows is sub_levels[0]:
+                        continue  # the subtree root's parent lies outside
+                    state.load += np.bincount(
+                        arrays.parent_row[rows],
+                        weights=state.wire_cap[rows] + down,
+                        minlength=capacity,
+                    )
+                changed.update(int(r) for r in flat)
+            else:  # pragma: no cover - defensive against future edit kinds
+                return False
+            tops.append(self._propagate_caps_up(state, node, changed))
+        rows = np.fromiter(changed, dtype=np.int64, count=len(changed))
+        self._refresh_stage(state, rows)
+        self._refresh_wire_delay(state, rows)
+        for top in self._merge_tops(state, tops):
+            self._retime_cone(state, top)
+        state.version = arrays.tree.version
+        self.incremental_updates += 1
+        return True
+
+    def _propagate_caps_up(
+        self, state: _EngineState, node: ClockTreeNode, changed: set[int]
+    ) -> int:
+        """Walk capacitance changes from ``node`` toward the root.
+
+        Stops at the first shielding buffer (whose load changed but whose
+        upstream capacitance did not) or at the root.  Returns the row of the
+        highest driver whose stage delay changed — the dirty-cone top.
+        """
+        arrays = state.arrays
+        walk = node.parent
+        if walk is None:
+            return int(arrays.row_of[id(node)])
+        while True:
+            row = arrays.row_of[id(walk)]
+            child_rows = np.asarray(arrays.children_rows[row], dtype=np.int64)
+            state.load[row] = float(
+                np.sum(state.wire_cap[child_rows] + state.down_cap[child_rows])
+            )
+            changed.add(int(row))
+            if arrays.kind[row] == KIND_BUFFER:
+                return int(row)  # shielded: upstream sees the pin cap only
+            state.down_cap[row] = arrays.cap[row] + state.load[row]
+            if walk.parent is None:
+                return int(row)
+            walk = walk.parent
+
+    def _merge_tops(self, state: _EngineState, tops: list[int]) -> list[int]:
+        """Drop cone tops nested inside another top's subtree."""
+        top_set = set(tops)
+        merged = []
+        for top in sorted(top_set):
+            parent = state.arrays.parent_row[top]
+            while parent >= 0 and parent not in top_set:
+                parent = state.arrays.parent_row[parent]
+            if parent < 0:
+                merged.append(top)
+        return merged
+
+    def _retime_cone(self, state: _EngineState, top: int) -> None:
+        """Recompute arrivals (and slews when valid) strictly below ``top``."""
+        arrays = state.arrays
+        if state.slews_valid and arrays.kind[top] == KIND_BUFFER:
+            # The top buffer's output slew tracks its (changed) load.
+            state.slew_out[top] = self.pdk.buffer.slew(
+                float(state.load[top]), input_slew=float(state.slew_at[top])
+            )
+        frontier = list(arrays.children_rows[top])
+        while frontier:
+            rows = np.asarray(frontier, dtype=np.int64)
+            parents = arrays.parent_row[rows]
+            state.arrival[rows] = (
+                state.arrival[parents] + state.stage[parents] + state.wire_delay[rows]
+            )
+            if state.slews_valid:
+                state.slew_at[rows] = np.sqrt(
+                    state.slew_out[parents] ** 2 + (LN9 * state.wire_delay[rows]) ** 2
+                )
+                self._regenerate_slews(state, rows)
+            frontier = [c for row in frontier for c in arrays.children_rows[row]]
+
+    # ---------------------------------------------------------------- analyze
+    def analyze(self, tree: ClockTree, with_slew: bool = True) -> TimingResult:
+        """Run a full (or incremental) analysis and return the result."""
+        state = self._sync(tree, need_slews=with_slew)
+        arrays = state.arrays
+        sink_rows = self._checked_sink_rows(tree, arrays)
+        if state.result_version != state.version:
+            state.result_version = state.version
+            state.result_arrivals = None
+            state.result_slews = None
+        if state.result_arrivals is None:
+            names = [arrays.nodes[row].name for row in sink_rows]
+            state.result_arrivals = dict(
+                zip(names, state.arrival[sink_rows].tolist())
+            )
+        slews: dict[str, float] = {}
+        if with_slew:
+            if state.result_slews is None:
+                names = list(state.result_arrivals)
+                state.result_slews = dict(
+                    zip(names, state.slew_at[sink_rows].tolist())
+                )
+            slews = dict(state.result_slews)
+        # Hand out copies so callers mutating a TimingResult (the reference
+        # engine builds fresh dicts per call) cannot corrupt the cache.
+        return TimingResult(arrivals=dict(state.result_arrivals), slews=slews)
+
+    @staticmethod
+    def _checked_sink_rows(tree: ClockTree, arrays: TreeArrays) -> np.ndarray:
+        sink_rows = arrays.sink_rows()
+        if sink_rows.size == 0:
+            raise ValueError(f"clock tree {tree.name!r} has no sinks to analyse")
+        return sink_rows
+
+    def latency(self, tree: ClockTree) -> float:
+        """Convenience: maximum sink arrival (ps), straight off the arrays."""
+        state = self._sync(tree, need_slews=False)
+        sink_rows = self._checked_sink_rows(tree, state.arrays)
+        return float(state.arrival[sink_rows].max())
+
+    def skew(self, tree: ClockTree) -> float:
+        """Convenience: global skew (ps), straight off the arrays."""
+        state = self._sync(tree, need_slews=False)
+        sink_rows = self._checked_sink_rows(tree, state.arrays)
+        arrivals = state.arrival[sink_rows]
+        return float(arrivals.max() - arrivals.min())
+
+    # ------------------------------------------------------------------ loads
+    def subtree_capacitances(self, tree: ClockTree) -> dict[int, float]:
+        """Capacitance looking into each node (``id(node) -> fF``)."""
+        state = self._sync(tree, need_slews=False)
+        return {
+            node_id: float(state.down_cap[row])
+            for node_id, row in state.arrays.row_of.items()
+        }
+
+    def driver_loads(self, tree: ClockTree) -> dict[int, float]:
+        """Load (fF) seen by each node when driving its children."""
+        state = self._sync(tree, need_slews=False)
+        return {
+            node_id: float(state.load[row])
+            for node_id, row in state.arrays.row_of.items()
+        }
+
+    def max_capacitance_violations(self, tree: ClockTree) -> list[tuple[str, float]]:
+        """``(driver name, load)`` pairs exceeding the PDK max load."""
+        loads = self.driver_loads(tree)
+        limit = self.pdk.max_capacitance
+        violations = []
+        for node in tree.nodes():
+            if node.kind in (NodeKind.ROOT, NodeKind.BUFFER):
+                load = loads[id(node)]
+                if load > limit + 1e-9:
+                    violations.append((node.name, load))
+        return violations
+
+
+def _attached(node: ClockTreeNode, root: ClockTreeNode) -> bool:
+    while node.parent is not None:
+        node = node.parent
+    return node is root

@@ -48,3 +48,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ours" in out
         assert "openroad_buffered_tree" in out
+
+
+class TestEngineFlag:
+    def test_engine_accepted_on_flow_commands(self):
+        args = build_parser().parse_args(["run", "C4", "--engine", "reference"])
+        assert args.engine == "reference"
+        args = build_parser().parse_args(["dse", "C4", "--workers", "3"])
+        assert args.workers == 3
+        assert args.engine is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "C4", "--engine", "spice"])
+
+    def test_run_with_reference_engine(self, capsys):
+        import os
+
+        assert main(["run", "C4", "--scale", "0.05", "--engine", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        # The engine choice is scoped to the command, not leaked process-wide.
+        assert "REPRO_TIMING_ENGINE" not in os.environ
+
+    def test_compare_engine_reaches_baselines(self, capsys, monkeypatch):
+        """--engine must switch baseline flows too, via the process default."""
+        import repro.timing.factory as factory
+
+        created: list[str] = []
+        original = factory.create_engine
+
+        def spy(pdk, engine=None, **kwargs):
+            result = original(pdk, engine, **kwargs)
+            created.append(type(result).__name__)
+            return result
+
+        monkeypatch.setattr(factory, "create_engine", spy)
+        for module in (
+            "repro.baselines.timing_critical",
+            "repro.evaluation.metrics",
+            "repro.insertion.concurrent",
+            "repro.refinement.skew_refinement",
+        ):
+            monkeypatch.setattr(f"{module}.create_engine", spy)
+        assert main(["compare", "C4", "--scale", "0.05", "--engine", "reference"]) == 0
+        assert len(created) >= 6  # inserter + refiner + evaluate per flow, etc.
+        assert all(name == "ElmoreTimingEngine" for name in created)

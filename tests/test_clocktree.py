@@ -208,3 +208,81 @@ class TestValidation:
         sink.parent = tree.root  # inconsistent with root.children
         with pytest.raises(ConnectivityError):
             tree.validate()
+
+
+class TestEditLog:
+    def test_tree_api_edits_bump_version(self):
+        tree = simple_tree()
+        v0 = tree.version
+        tree.add_buffer(tree.find("a"), Point(10, 5), input_capacitance=0.8)
+        assert tree.version == v0 + 1
+        assert tree.edits_since(v0) is not None
+        assert len(tree.edits_since(v0)) == 1
+        assert tree.edits_since(tree.version) == []
+
+    def test_mark_rewire_and_touch_recorded(self):
+        tree = simple_tree()
+        v0 = tree.version
+        steiner = tree.find("st1")
+        tree.mark_rewire(steiner)
+        tree.touch()
+        edits = tree.edits_since(v0)
+        assert [kind for _v, kind, _n in edits] == ["rewire", "touch"]
+        assert edits[0][2] is steiner
+
+    def test_pruned_log_returns_none(self):
+        tree = simple_tree()
+        v0 = tree.version
+        for _ in range(400):  # force the bounded log to collapse
+            tree.touch()
+        assert tree.edits_since(v0) is None
+
+    def test_find_index_survives_unrecorded_edits(self):
+        tree = simple_tree()
+        assert tree.find("a").name == "a"  # warm the index
+        steiner = tree.find("st1")
+        extra = ClockTreeNode("late", NodeKind.SINK, Point(5, 5), capacitance=1.0)
+        steiner.add_child(extra)  # raw edit the index never saw
+        assert tree.find("late") is extra
+        extra.detach()
+        with pytest.raises(KeyError):
+            tree.find("late")
+
+    def test_counts_fast_path_matches_filters(self):
+        tree = simple_tree()
+        tree.add_buffer(tree.find("a"), Point(10, 5), input_capacitance=0.8)
+        nodes, sinks, buffers, ntsvs = tree.counts()
+        assert nodes == sum(1 for _ in tree.nodes())
+        assert sinks == len(tree.sinks())
+        assert buffers == len(tree.buffers())
+        assert ntsvs == len(tree.ntsvs())
+
+
+class TestPickling:
+    def test_pickle_roundtrip_preserves_structure(self):
+        import pickle
+
+        tree = simple_tree()
+        tree.add_buffer(tree.find("a"), Point(10, 5), input_capacitance=0.8)
+        clone = pickle.loads(pickle.dumps(tree))
+        assert clone.node_count() == tree.node_count()
+        assert clone.find("a").parent.name == tree.find("a").parent.name
+        assert clone.find("b").capacitance == 1.0
+        assert clone.new_name("x") == tree.new_name("x")  # counter preserved
+
+    def test_pickle_survives_deep_chain(self):
+        import pickle
+        import sys
+
+        depth = sys.getrecursionlimit() + 1000
+        root = ClockTreeNode("root", NodeKind.ROOT, Point(0, 0))
+        tree = ClockTree(root)
+        node = root
+        for i in range(depth):
+            child = ClockTreeNode(f"st{i}", NodeKind.STEINER, Point(i + 1.0, 0))
+            node.add_child(child)
+            node = child
+        node.add_child(ClockTreeNode("leaf", NodeKind.SINK, Point(0, 1), capacitance=1.0))
+        clone = pickle.loads(pickle.dumps(tree))
+        assert clone.node_count() == tree.node_count()
+        assert clone.max_depth() == tree.max_depth()

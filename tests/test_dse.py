@@ -107,3 +107,37 @@ class TestDesignSpaceExplorer:
             p.metrics.buffers == buffered.metrics.buffers
             for p in fanout_sweep.points + critical_sweep.points
         )
+
+
+class TestParallelExplore:
+    def test_parallel_sweep_matches_serial(self, pdk, small_design, small_config):
+        """A process-pool sweep returns the identical points in the same order."""
+        explorer = DesignSpaceExplorer(pdk, small_config)
+        thresholds = [0, 20, 10 ** 6]
+        serial = explorer.explore(small_design, fanout_thresholds=thresholds)
+        parallel = explorer.explore(
+            small_design, fanout_thresholds=thresholds, workers=2
+        )
+        assert [p.parameter for p in parallel.points] == [
+            p.parameter for p in serial.points
+        ]
+        for a, b in zip(serial.points, parallel.points):
+            assert a.metrics.latency == pytest.approx(b.metrics.latency, abs=1e-9)
+            assert a.metrics.skew == pytest.approx(b.metrics.skew, abs=1e-9)
+            assert a.metrics.buffers == b.metrics.buffers
+            assert a.metrics.ntsvs == b.metrics.ntsvs
+            assert a.metrics.wirelength == pytest.approx(b.metrics.wirelength)
+
+    def test_engine_choice_does_not_change_results(self, pdk, small_design, small_config):
+        thresholds = [20]
+        vec = DesignSpaceExplorer(
+            pdk, small_config.with_updates(timing_engine="vectorized")
+        ).explore(small_design, fanout_thresholds=thresholds)
+        ref = DesignSpaceExplorer(
+            pdk, small_config.with_updates(timing_engine="reference")
+        ).explore(small_design, fanout_thresholds=thresholds)
+        for a, b in zip(vec.points, ref.points):
+            assert a.metrics.latency == pytest.approx(b.metrics.latency, abs=1e-6)
+            assert a.metrics.skew == pytest.approx(b.metrics.skew, abs=1e-6)
+            assert a.metrics.buffers == b.metrics.buffers
+            assert a.metrics.ntsvs == b.metrics.ntsvs

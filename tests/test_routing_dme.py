@@ -117,3 +117,36 @@ class TestDmeDelayBalance:
         near_left = router.route(terminals_from_points(points), root_location=Point(0, 50))
         near_right = router.route(terminals_from_points(points), root_location=Point(100, 50))
         assert near_left.location.x <= near_right.location.x
+
+
+class TestDeepTopologies:
+    """The DME phases must not recurse: deep chains are legal topologies."""
+
+    @staticmethod
+    def chain_topology(points):
+        """A maximally unbalanced (caterpillar) topology over ``points``."""
+        from repro.routing.topology import TopologyNode
+
+        chain = TopologyNode(terminal_index=0, location_hint=points[0])
+        for index in range(1, len(points)):
+            leaf = TopologyNode(terminal_index=index, location_hint=points[index])
+            chain = TopologyNode(children=[chain, leaf], location_hint=points[index])
+        return chain
+
+    def test_5k_terminal_chain_routes_without_recursion(self, pdk):
+        import sys
+
+        count = 5000
+        points = [Point(float(i), 0.0) for i in range(count)]
+        terminals = terminals_from_points(points)
+        topology = self.chain_topology(points)
+        router = DmeRouter(pdk.front_layer)
+        # The chain is five times deeper than the default recursion limit, so
+        # any recursive bottom-up / embedding / traversal would raise.
+        assert count > sys.getrecursionlimit()
+        tree = router.route(terminals, root_location=Point(0.0, 0.0), topology=topology)
+        leaves = tree.leaves()
+        assert len(leaves) == count
+        assert {leaf.terminal.name for leaf in leaves} == {t.name for t in terminals}
+        # The sinks span 4999 um; the embedded tree must wire at least that.
+        assert tree.wirelength() >= count - 1 - 1e-6

@@ -1,0 +1,357 @@
+"""Differential tests: VectorizedElmoreEngine vs the reference engine.
+
+The vectorized kernel must be numerically indistinguishable (to 1e-9) from
+:class:`ElmoreTimingEngine` on arbitrary trees, for both wire models, with
+and without NLDM delays and nTSVs, and — crucially — after arbitrary
+sequences of incremental edits served from the engine's dirty-cone path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocktree import ClockTree, ClockTreeNode, NodeKind, TreeArrays
+from repro.geometry import Point
+from repro.tech.layers import Side
+from repro.timing import (
+    ElmoreTimingEngine,
+    VectorizedElmoreEngine,
+    WireModel,
+    create_engine,
+)
+
+TOLERANCE = 1e-9
+
+
+# --------------------------------------------------------------- generators
+def random_tree(
+    rng: np.random.Generator,
+    sinks: int = 50,
+    internals: int = 20,
+    backside: bool = True,
+) -> ClockTree:
+    """A seeded random tree exercising every node kind and wire side."""
+    root = ClockTreeNode("root", NodeKind.ROOT, Point(0.0, 0.0))
+    tree = ClockTree(root)
+    nodes = [root]
+    kinds = [NodeKind.STEINER, NodeKind.TAP, NodeKind.BUFFER]
+    if backside:
+        kinds.append(NodeKind.NTSV)
+
+    def random_side() -> Side:
+        if backside and rng.random() < 0.3:
+            return Side.BACK
+        return Side.FRONT
+
+    for i in range(internals):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        capacitance = 0.0
+        if kind is NodeKind.BUFFER:
+            capacitance = float(rng.uniform(0.5, 1.5))
+        elif kind is NodeKind.NTSV:
+            capacitance = 0.004
+        node = ClockTreeNode(
+            f"n{i}",
+            kind,
+            Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            capacitance=capacitance,
+            wire_side=random_side(),
+        )
+        nodes[int(rng.integers(len(nodes)))].add_child(node)
+        nodes.append(node)
+    for i in range(sinks):
+        node = ClockTreeNode(
+            f"s{i}",
+            NodeKind.SINK,
+            Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            capacitance=float(rng.uniform(0.5, 2.0)),
+            wire_side=random_side(),
+        )
+        nodes[int(rng.integers(len(nodes)))].add_child(node)
+    return tree
+
+
+def assert_engines_match(reference, vectorized, tree, context="") -> None:
+    a = reference.analyze(tree)
+    b = vectorized.analyze(tree)
+    assert a.arrivals.keys() == b.arrivals.keys(), context
+    for name in a.arrivals:
+        assert a.arrivals[name] == pytest.approx(b.arrivals[name], abs=TOLERANCE), (
+            context,
+            name,
+        )
+        assert a.slews[name] == pytest.approx(b.slews[name], abs=TOLERANCE), (
+            context,
+            name,
+        )
+    ref_loads = reference.driver_loads(tree)
+    vec_loads = vectorized.driver_loads(tree)
+    assert ref_loads.keys() == vec_loads.keys(), context
+    for key in ref_loads:
+        assert ref_loads[key] == pytest.approx(vec_loads[key], abs=TOLERANCE), context
+    ref_caps = reference.subtree_capacitances(tree)
+    vec_caps = vectorized.subtree_capacitances(tree)
+    for key in ref_caps:
+        assert ref_caps[key] == pytest.approx(vec_caps[key], abs=TOLERANCE), context
+    ref_violations = sorted(reference.max_capacitance_violations(tree))
+    vec_violations = sorted(vectorized.max_capacitance_violations(tree))
+    assert [name for name, _ in ref_violations] == [
+        name for name, _ in vec_violations
+    ], context
+    for (_, ref_load), (_, vec_load) in zip(ref_violations, vec_violations):
+        assert ref_load == pytest.approx(vec_load, abs=TOLERANCE), context
+
+
+# ----------------------------------------------------------- full analysis
+class TestFullAnalysisDifferential:
+    @pytest.mark.parametrize("wire_model", [WireModel.L, WireModel.PI])
+    @pytest.mark.parametrize("use_nldm", [False, True])
+    def test_matches_reference_on_random_trees(self, pdk, wire_model, use_nldm):
+        rng = np.random.default_rng(17)
+        for trial in range(10):
+            tree = random_tree(rng, sinks=40 + 10 * trial, internals=10 + 5 * trial)
+            ref = ElmoreTimingEngine(pdk, wire_model=wire_model, use_nldm=use_nldm)
+            vec = VectorizedElmoreEngine(pdk, wire_model=wire_model, use_nldm=use_nldm)
+            assert_engines_match(ref, vec, tree, context=f"trial {trial}")
+
+    def test_matches_reference_without_backside(self, front_pdk):
+        rng = np.random.default_rng(23)
+        for trial in range(5):
+            tree = random_tree(rng, backside=False)
+            ref = ElmoreTimingEngine(front_pdk)
+            vec = VectorizedElmoreEngine(front_pdk)
+            assert_engines_match(ref, vec, tree, context=f"trial {trial}")
+
+    def test_latency_and_skew_shortcuts(self, pdk):
+        tree = random_tree(np.random.default_rng(5))
+        ref = ElmoreTimingEngine(pdk)
+        vec = VectorizedElmoreEngine(pdk)
+        assert vec.latency(tree) == pytest.approx(ref.latency(tree), abs=TOLERANCE)
+        assert vec.skew(tree) == pytest.approx(ref.skew(tree), abs=TOLERANCE)
+
+    def test_inner_root_kind_node_matches_reference(self, pdk):
+        """A ROOT-kind node grafted internally still gets the source stage."""
+        tree = random_tree(np.random.default_rng(9), sinks=10, internals=5)
+        inner = ClockTreeNode("inner_root", NodeKind.ROOT, Point(5, 5))
+        tree.root.add_child(inner)
+        inner.add_child(
+            ClockTreeNode("s_inner", NodeKind.SINK, Point(6, 6), capacitance=1.0)
+        )
+        assert_engines_match(
+            ElmoreTimingEngine(pdk), VectorizedElmoreEngine(pdk), tree, "inner root"
+        )
+
+    def test_no_sinks_raises(self, pdk):
+        tree = ClockTree(ClockTreeNode("root", NodeKind.ROOT, Point(0, 0)))
+        with pytest.raises(ValueError, match="no sinks"):
+            VectorizedElmoreEngine(pdk).analyze(tree)
+
+    def test_ntsv_without_pdk_cell_raises(self, front_pdk):
+        from dataclasses import replace
+
+        no_via_pdk = replace(front_pdk, ntsv=None)
+        tree = random_tree(np.random.default_rng(3), backside=False)
+        ntsv = ClockTreeNode(
+            "via", NodeKind.NTSV, Point(1, 1), capacitance=0.004
+        )
+        tree.root.add_child(ntsv)
+        ntsv.add_child(
+            ClockTreeNode("s_extra", NodeKind.SINK, Point(2, 2), capacitance=1.0)
+        )
+        with pytest.raises(ValueError, match="nTSVs but the PDK has none"):
+            VectorizedElmoreEngine(no_via_pdk).analyze(tree)
+        with pytest.raises(ValueError, match="nTSVs but the PDK has none"):
+            ElmoreTimingEngine(no_via_pdk).analyze(tree)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_random_trees_match(self, pdk, seed):
+        rng = np.random.default_rng(seed)
+        tree = random_tree(
+            rng,
+            sinks=int(rng.integers(5, 80)),
+            internals=int(rng.integers(0, 40)),
+        )
+        ref = ElmoreTimingEngine(pdk)
+        vec = VectorizedElmoreEngine(pdk)
+        assert_engines_match(ref, vec, tree, context=f"seed {seed}")
+
+
+# ----------------------------------------------------------- incremental
+def random_edit(tree: ClockTree, rng: np.random.Generator, pdk) -> str:
+    """Apply one random structural edit through the recorded-edit API."""
+    choice = rng.random()
+    sinks = tree.sinks()
+    target = sinks[int(rng.integers(len(sinks)))]
+    if choice < 0.35:
+        mid = Point(
+            (target.location.x + target.parent.location.x) / 2.0,
+            (target.location.y + target.parent.location.y) / 2.0,
+        )
+        tree.add_buffer(target, mid, pdk.buffer.input_capacitance)
+        return "add_buffer"
+    if choice < 0.5 and pdk.has_backside:
+        mid = Point(
+            (target.location.x + target.parent.location.x) / 2.0,
+            (target.location.y + target.parent.location.y) / 2.0,
+        )
+        tree.add_ntsv(target, mid, pdk.ntsv.capacitance, upstream_side=target.wire_side)
+        return "add_ntsv"
+    if choice < 0.75:
+        # SkewRefiner-style endpoint rewire: new buffer adopting leaf sinks.
+        endpoint = target.parent
+        buffer_node = ClockTreeNode(
+            tree.new_name("sr_buf"),
+            NodeKind.BUFFER,
+            endpoint.location,
+            capacitance=pdk.buffer.input_capacitance,
+        )
+        endpoint.add_child(buffer_node)
+        for sink in [c for c in list(endpoint.children) if c.is_sink][:2]:
+            sink.detach()
+            buffer_node.add_child(sink)
+        tree.mark_rewire(endpoint)
+        return "rewire_insert"
+    # Undo-style rewire: dissolve a leaf buffer back into its parent.
+    buffers = [
+        b for b in tree.buffers() if b.parent is not None and b.children
+    ]
+    if not buffers:
+        tree.mark_rewire(target.parent)
+        return "rewire_noop"
+    buffer_node = buffers[int(rng.integers(len(buffers)))]
+    parent = buffer_node.parent
+    for child in list(buffer_node.children):
+        child.detach()
+        parent.add_child(child)
+    buffer_node.detach()
+    tree.mark_rewire(parent)
+    return "rewire_remove"
+
+
+class TestIncrementalDifferential:
+    @pytest.mark.parametrize("wire_model", [WireModel.L, WireModel.PI])
+    def test_edit_sequences_match_fresh_reference(self, pdk, wire_model):
+        rng = np.random.default_rng(41)
+        tree = random_tree(rng, sinks=60, internals=30)
+        vec = VectorizedElmoreEngine(pdk, wire_model=wire_model)
+        ref = ElmoreTimingEngine(pdk, wire_model=wire_model)
+        assert_engines_match(ref, vec, tree, context="initial")
+        for step in range(25):
+            kind = random_edit(tree, rng, pdk)
+            assert_engines_match(ref, vec, tree, context=f"step {step} ({kind})")
+        # The whole sequence must have been served incrementally: one compile
+        # for the initial analysis, then dirty-cone updates only.
+        assert vec.full_compiles == 1
+        assert vec.incremental_updates >= 25
+
+    def test_interleaved_queries_and_batched_edits(self, pdk):
+        rng = np.random.default_rng(99)
+        tree = random_tree(rng, sinks=50, internals=25)
+        vec = VectorizedElmoreEngine(pdk)
+        for _ in range(5):
+            # Batch several edits between queries (SkewRefiner batch mode).
+            for _ in range(int(rng.integers(1, 5))):
+                random_edit(tree, rng, pdk)
+            ref = ElmoreTimingEngine(pdk)
+            assert_engines_match(ref, vec, tree, context="batched")
+            # Version-stable repeated queries hit the cache and stay equal.
+            assert vec.skew(tree) == pytest.approx(
+                ref.skew(tree), abs=TOLERANCE
+            )
+
+    def test_incremental_back_wire_without_backside_raises(self, front_pdk):
+        """Reference parity: a back-side wire must raise on the dirty-cone path too."""
+        rng = np.random.default_rng(13)
+        tree = random_tree(rng, backside=False)
+        vec = VectorizedElmoreEngine(front_pdk)
+        vec.analyze(tree)
+        sink = tree.sinks()[0]
+        sink.wire_side = Side.BACK
+        tree.mark_rewire(sink.parent)
+        with pytest.raises(ValueError, match="no back-side"):
+            ElmoreTimingEngine(front_pdk).analyze(tree)
+        with pytest.raises(ValueError, match="no back-side"):
+            vec.analyze(tree)
+
+    def test_unrecorded_touch_forces_recompile(self, pdk):
+        rng = np.random.default_rng(7)
+        tree = random_tree(rng)
+        vec = VectorizedElmoreEngine(pdk)
+        vec.analyze(tree)
+        # An unscoped edit (wire side flip) is only visible via touch().
+        sink = tree.sinks()[0]
+        sink.wire_side = sink.wire_side.opposite
+        tree.touch()
+        assert_engines_match(ElmoreTimingEngine(pdk), vec, tree, context="touch")
+        assert vec.full_compiles == 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_incremental_matches(self, pdk, seed):
+        rng = np.random.default_rng(seed)
+        tree = random_tree(rng, sinks=int(rng.integers(10, 50)), internals=15)
+        vec = VectorizedElmoreEngine(pdk)
+        ref = ElmoreTimingEngine(pdk)
+        vec.analyze(tree)
+        for step in range(6):
+            kind = random_edit(tree, rng, pdk)
+            assert_engines_match(ref, vec, tree, context=f"seed {seed} step {step} {kind}")
+
+
+# ----------------------------------------------------------- infrastructure
+class TestTreeArrays:
+    def test_snapshot_shape(self, pdk):
+        tree = random_tree(np.random.default_rng(1), sinks=20, internals=10)
+        arrays = TreeArrays(tree)
+        assert arrays.size == tree.node_count()
+        assert arrays.parent_row[0] == -1
+        assert len(arrays.sink_rows()) == tree.sink_count()
+        levels = arrays.levels()
+        assert sum(len(level) for level in levels) == arrays.size
+        # Level d+1 rows are exactly the children of level d rows.
+        for depth, rows in enumerate(levels[1:], start=1):
+            for row in rows:
+                parent = arrays.parent_row[row]
+                assert parent in levels[depth - 1]
+
+    def test_splice_patch_tracks_tree(self, pdk):
+        tree = random_tree(np.random.default_rng(2), sinks=10, internals=5)
+        arrays = TreeArrays(tree)
+        sink = tree.sinks()[0]
+        buffer_node = tree.add_buffer(sink, sink.parent.location, 0.8)
+        patch = arrays.apply_splice(buffer_node)
+        assert patch is not None
+        new_row, child_row = patch
+        assert arrays.nodes[new_row] is buffer_node
+        assert arrays.parent_row[child_row] == new_row
+        assert arrays.size == tree.node_count()
+
+    def test_rewire_patch_tombstones_removed_nodes(self, pdk):
+        tree = random_tree(np.random.default_rng(4), sinks=10, internals=5)
+        arrays = TreeArrays(tree)
+        sink = tree.sinks()[0]
+        parent = sink.parent
+        sink.detach()
+        levels = arrays.apply_rewire(parent)
+        assert levels is not None
+        assert id(sink) not in arrays.row_of
+        assert arrays.dead_count == 1
+        assert len(arrays.sink_rows()) == tree.sink_count()
+
+
+class TestEngineFactory:
+    def test_names(self, pdk):
+        assert isinstance(create_engine(pdk, "reference"), ElmoreTimingEngine)
+        assert isinstance(create_engine(pdk, "vectorized"), VectorizedElmoreEngine)
+        assert isinstance(create_engine(pdk), VectorizedElmoreEngine)
+        with pytest.raises(ValueError, match="unknown timing engine"):
+            create_engine(pdk, "magic")
+
+    def test_environment_override(self, pdk, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMING_ENGINE", "reference")
+        assert isinstance(create_engine(pdk), ElmoreTimingEngine)
+        assert isinstance(create_engine(pdk, "vectorized"), VectorizedElmoreEngine)
