@@ -8,7 +8,7 @@ quality of the final double-side tree built on top of each routing.
 
 from __future__ import annotations
 
-from repro.evaluation import evaluate_tree, format_table
+from repro.evaluation import format_table
 from repro.flow import CtsConfig, DoubleSideCTS
 
 from benchmarks.conftest import publish

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the timing kernel.
+
+Compares a fresh bench result file (normally the smoke-mode
+``BENCH_perf_timing.smoke.json`` produced by ``bench_perf_timing.py``)
+against the committed floor thresholds in ``benchmarks/perf_floors.json``
+and exits non-zero when any measured speedup drops below its floor — so a
+kernel regression fails the workflow instead of silently shipping a slower
+engine behind a green check mark.
+
+Usage::
+
+    python benchmarks/check_regression.py                 # smoke results
+    python benchmarks/check_regression.py --mode full \
+        --results BENCH_perf_timing.json                  # full-run results
+
+Flows without a committed floor (e.g. ``full_analysis``, which is dominated
+by compile cost and too noisy on shared runners) are reported but never
+gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FLOORS = Path(__file__).resolve().parent / "perf_floors.json"
+DEFAULT_RESULTS = REPO_ROOT / "BENCH_perf_timing.smoke.json"
+
+
+def check(rows: list[dict], floors: dict[str, float]) -> list[str]:
+    """Return one failure message per row below its committed floor."""
+    failures: list[str] = []
+    gated = 0
+    for row in rows:
+        floor = floors.get(row.get("flow", ""))
+        status = "  (ungated)"
+        if floor is not None:
+            gated += 1
+            if row["speedup"] < floor:
+                status = f"  REGRESSION (floor {floor}x)"
+                failures.append(
+                    f"{row['flow']} @ {row['sinks']} sinks: speedup "
+                    f"{row['speedup']}x fell below the committed floor {floor}x"
+                )
+            else:
+                status = f"  ok (floor {floor}x)"
+        print(
+            f"{row['flow']:>20} sinks={row['sinks']:>5} "
+            f"speedup={row['speedup']:9.2f}x{status}"
+        )
+    if gated == 0:
+        failures.append("no gated flows found in the results file")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help=f"bench result JSON to check (default: {DEFAULT_RESULTS.name})",
+    )
+    parser.add_argument(
+        "--floors",
+        type=Path,
+        default=DEFAULT_FLOORS,
+        help="committed floor thresholds (default: benchmarks/perf_floors.json)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="which floor set to apply (default: smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"error: results file {args.results} not found; run the bench first")
+        return 2
+    rows = json.loads(args.results.read_text())
+    floors = json.loads(args.floors.read_text())[args.mode]
+
+    failures = check(rows, floors)
+    if failures:
+        print("\nPerf regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPerf regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

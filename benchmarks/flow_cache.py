@@ -18,7 +18,7 @@ from repro.baselines import (
 )
 from repro.clocktree import ClockTree
 from repro.evaluation import ClockTreeMetrics, evaluate_tree
-from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.flow import CtsConfig, SingleSideCTS
 from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig
 from repro.netlist.design import Design
 from repro.refinement import SkewRefiner

@@ -16,7 +16,7 @@ Quick start::
     print(result.metrics.as_row())
 """
 
-from repro.tech import asap7_backside, Pdk, Side
+from repro.tech import asap7_backside, CornerSet, Pdk, Scenario, Side
 from repro.tech.pdk import asap7_frontside
 from repro.netlist import Design, ClockNet, ClockSink, ClockSource
 from repro.designs import load_design, benchmark_suite, BENCHMARK_SPECS
@@ -40,6 +40,8 @@ __all__ = [
     "asap7_frontside",
     "Pdk",
     "Side",
+    "Scenario",
+    "CornerSet",
     "Design",
     "ClockNet",
     "ClockSink",

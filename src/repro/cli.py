@@ -5,6 +5,8 @@ Examples::
     dscts run C4 --scale 0.25                 # our flow on a scaled riscv32i
     dscts compare C4 C5 --scale 0.2           # Table III style comparison
     dscts dse C4 --scale 0.25 --fanout 20 100 400 --workers 4
+    dscts run C4 --corners tt,ss,ff           # multi-corner sign-off columns
+    dscts dse C4 --corners signoff            # Pareto on worst-corner skew
     dscts table2                              # print the benchmark statistics
 
 Every flow command accepts ``--engine {reference,vectorized}`` to pick the
@@ -12,6 +14,13 @@ timing engine: ``vectorized`` (the default) runs the array-based incremental
 kernel, ``reference`` the per-node Elmore implementation — useful to
 cross-check results or debug suspected kernel issues.  ``dse --workers N``
 evaluates the sweep grid on ``N`` parallel processes.
+
+``--corners SPEC`` evaluates every flow result across a PVT corner set —
+preset names (``tt``, ``ss``, ``ff``, ``hot``, ``cold``), the ``signoff``
+shorthand for all five, or inline custom corners
+(``name:rscale:cscale:derate``).  The vectorized engine batches all corners
+in one pass; with corners active the DSE scores sweep points on worst-corner
+skew/latency instead of nominal.
 """
 
 from __future__ import annotations
@@ -25,8 +34,9 @@ from repro.designs import load_design, table_ii_rows
 from repro.dse import DesignSpaceExplorer
 from repro.evaluation import ComparisonTable, format_table
 from repro.evaluation.reporting import format_metrics, format_ratio_summary
+from repro.evaluation.reporting import format_corner_table
 from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
-from repro.tech import asap7_backside
+from repro.tech import CornerSet, asap7_backside
 from repro.timing import ENGINE_NAMES
 
 
@@ -43,6 +53,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="timing engine: 'vectorized' (fast array kernel, default) or "
         "'reference' (per-node Elmore, for differential checks)",
+    )
+    parser.add_argument(
+        "--corners",
+        default=None,
+        metavar="SPEC",
+        help="comma-separated PVT corner set for multi-corner sign-off: "
+        "preset names (tt,ss,ff,hot,cold), 'signoff' for all five, or "
+        "custom name:rscale:cscale:derate[:ntsvscale] entries (ntsvscale "
+        "defaults to rscale)",
     )
 
 
@@ -78,7 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_for(args: argparse.Namespace) -> CtsConfig:
-    return CtsConfig(timing_engine=args.engine)
+    corners = None
+    if getattr(args, "corners", None):
+        corners = CornerSet.parse(args.corners)
+    return CtsConfig(timing_engine=args.engine, corners=corners)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -86,6 +108,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     design = load_design(args.design, scale=args.scale, include_combinational=False)
     result = DoubleSideCTS(pdk, _config_for(args)).run(design)
     print(format_metrics(result.metrics))
+    if result.metrics.corner_skews:
+        print(format_corner_table(result.metrics))
     return 0
 
 

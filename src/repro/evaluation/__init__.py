@@ -8,7 +8,7 @@ examples.
 
 from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
 from repro.evaluation.comparison import ComparisonRow, ComparisonTable, geometric_mean_ratio
-from repro.evaluation.reporting import format_table, format_metrics
+from repro.evaluation.reporting import format_corner_table, format_table, format_metrics
 
 __all__ = [
     "ClockTreeMetrics",
@@ -18,4 +18,5 @@ __all__ = [
     "geometric_mean_ratio",
     "format_table",
     "format_metrics",
+    "format_corner_table",
 ]

@@ -38,13 +38,34 @@ def format_table(
 
 def format_metrics(metrics: ClockTreeMetrics) -> str:
     """One-line human readable summary of a clock tree's quality."""
-    return (
+    line = (
         f"[{metrics.design}/{metrics.flow}] latency={metrics.latency:.2f}ps "
         f"skew={metrics.skew:.2f}ps buffers={metrics.buffers} "
         f"ntsvs={metrics.ntsvs} wl={metrics.wirelength:.0f}um "
         f"(back {metrics.backside_fraction * 100:.0f}%) "
         f"runtime={metrics.runtime:.3f}s"
     )
+    if metrics.corner_skews:
+        line += (
+            f" worst_skew={metrics.worst_skew:.2f}ps"
+            f"@{metrics.worst_skew_corner}"
+        )
+    return line
+
+
+def format_corner_table(metrics: ClockTreeMetrics) -> str:
+    """Per-corner skew/latency sign-off table (empty note without corners)."""
+    if not metrics.corner_skews:
+        return "(nominal corner only)"
+    rows = [
+        {
+            "corner": corner,
+            "skew_ps": round(skew, 3),
+            "latency_ps": round(metrics.corner_latencies.get(corner, 0.0), 3),
+        }
+        for corner, skew in metrics.corner_skews.items()
+    ]
+    return format_table(rows)
 
 
 def format_ratio_summary(summary: Mapping[str, Mapping[str, float]]) -> str:

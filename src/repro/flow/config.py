@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.insertion.moes import MoesWeights
 from repro.insertion.patterns import InsertionMode
+from repro.tech.corners import CornerSet
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,11 @@ class CtsConfig:
         enable_skew_refinement: disable to reproduce the "w/o SR" bars.
         timing_engine: timing engine used by every flow step (``"vectorized"``
             or ``"reference"``); ``None`` uses the library default.
+        corners: PVT corner set for multi-corner sign-off; ``None`` evaluates
+            the nominal corner only.  Construction steps (insertion, skew
+            refinement) always optimise the nominal corner; the final metrics
+            (and the DSE scoring) report every corner of the set, and the
+            worst-corner skew/latency drive the DSE Pareto objectives.
     """
 
     high_cluster_size: int = 3000
@@ -51,6 +57,7 @@ class CtsConfig:
     skew_strategy: str = "pad_fast"
     enable_skew_refinement: bool = True
     timing_engine: str | None = None
+    corners: CornerSet | None = None
 
     def with_updates(self, **kwargs) -> "CtsConfig":
         """Return a copy with the given fields replaced."""

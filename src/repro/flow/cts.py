@@ -82,6 +82,7 @@ class DoubleSideCTS:
             flow=self.flow_name,
             runtime=runtime,
             engine=self.config.timing_engine,
+            corners=self.config.corners,
         )
         return CtsRunResult(
             design_name=name,

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 
 from repro.clocktree import ClockTree
 from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig, InsertionResult
-from repro.insertion.patterns import InsertionMode
 from repro.tech.cells import BufferCell
 from repro.tech.layers import LayerRC
 from repro.tech.pdk import Pdk

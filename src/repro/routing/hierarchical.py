@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.clustering import Cluster, DualLevelClustering, dual_level_clustering
-from repro.geometry import Point
 from repro.netlist.clock import ClockNet
 from repro.routing.dme import DmeRouter, DmeTerminal, EmbeddedNode
 from repro.tech.layers import Side

@@ -13,10 +13,14 @@ process:
 * :mod:`repro.tech.pdk` — the :class:`Pdk` bundle plus the
   :func:`asap7_backside` factory that assembles the exact technology used in
   the paper's experiments.
+* :mod:`repro.tech.corners` — :class:`Scenario` / :class:`CornerSet`
+  operating points (PVT corners and derates) for multi-corner timing
+  sign-off on top of any of the above PDKs.
 """
 
 from repro.tech.layers import LayerRC, MetalStack, Side, TABLE_I_LAYERS
 from repro.tech.cells import BufferCell, NtsvCell
+from repro.tech.corners import CornerSet, PRESET_SCENARIOS, Scenario
 from repro.tech.nldm import NldmTable
 from repro.tech.pdk import Pdk, asap7_backside
 
@@ -30,4 +34,7 @@ __all__ = [
     "NldmTable",
     "Pdk",
     "asap7_backside",
+    "Scenario",
+    "CornerSet",
+    "PRESET_SCENARIOS",
 ]

@@ -1,0 +1,309 @@
+"""Operating-point scenarios (PVT corners) for multi-corner timing sign-off.
+
+The paper evaluates its double-side CTS flow at a single operating point; a
+production deployment must sign off skew and latency across process/voltage/
+temperature corners and derate scenarios.  This module captures one operating
+point as a :class:`Scenario` — per-corner wire R/C scaling, a buffer-delay
+derate, an nTSV resistance scale, and an optional NLDM-mode override — and a
+whole sign-off set as a :class:`CornerSet`.
+
+A scenario is *applied* to a nominal :class:`~repro.tech.pdk.Pdk` with
+:meth:`Scenario.apply_to`, which returns a derived PDK with scaled layer
+parasitics and a derated buffer cell.  Both timing engines consume the same
+derived PDKs, which is what keeps the batched vectorized kernel and the
+per-corner reference loop numerically identical (the executable-spec
+property of :mod:`repro.timing.factory` extends to every corner).
+
+Presets follow the usual sign-off shorthand:
+
+========  =====================================================
+``tt``    typical/typical — the nominal operating point
+``ss``    slow/slow — resistive wires, derated (slower) buffers
+``ff``    fast/fast — faster wires and buffers
+``hot``   high-temperature derate on top of nominal process
+``cold``  low-temperature speed-up
+========  =====================================================
+
+Custom corners can be written inline as ``name:rscale:cscale:derate`` (with
+an optional fourth ``:ntsvscale`` field), e.g. ``wc:1.2:1.1:1.25``.  When
+``:ntsvscale`` is omitted the nTSV resistance tracks the wire R scale
+(``rscale``) — vias sit in the same interconnect stack — so pass an explicit
+``:1.0`` for a wires-only or buffer-only corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.tech.layers import MetalStack
+from repro.tech.pdk import Pdk
+
+#: Name given to the implicitly inserted nominal scenario (see
+#: :meth:`CornerSet.ensure_nominal`).
+NOMINAL_NAME = "tt"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One operating point: how a nominal PDK is scaled at this corner.
+
+    Attributes:
+        name: short corner label (``"tt"``, ``"ss"``, ...); must not contain
+            the ``,`` / ``:`` characters used by the inline spec syntax.
+        wire_res_scale: multiplier on every routing layer's unit resistance.
+        wire_cap_scale: multiplier on every routing layer's unit capacitance.
+        buffer_derate: multiplier on the buffer delay (intrinsic delay, drive
+            resistance, output slew, and any attached NLDM tables).
+        ntsv_res_scale: multiplier on the nTSV series resistance.
+        use_nldm: per-corner override of the engine's NLDM mode; ``None``
+            inherits the engine default.
+    """
+
+    name: str
+    wire_res_scale: float = 1.0
+    wire_cap_scale: float = 1.0
+    buffer_derate: float = 1.0
+    ntsv_res_scale: float = 1.0
+    use_nldm: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or any(ch in self.name for ch in ",:"):
+            raise ValueError(f"invalid scenario name {self.name!r}")
+        for attr in ("wire_res_scale", "wire_cap_scale", "buffer_derate", "ntsv_res_scale"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"scenario {self.name!r}: {attr} must be positive")
+
+    @property
+    def is_nominal(self) -> bool:
+        """True when this scenario leaves the PDK (and NLDM mode) untouched."""
+        return (
+            self.wire_res_scale == 1.0
+            and self.wire_cap_scale == 1.0
+            and self.buffer_derate == 1.0
+            and self.ntsv_res_scale == 1.0
+            and self.use_nldm is None
+        )
+
+    @classmethod
+    def nominal(cls, name: str = NOMINAL_NAME) -> "Scenario":
+        """The identity scenario (unit scales everywhere)."""
+        return cls(name=name)
+
+    # ------------------------------------------------------------------ apply
+    def apply_to(self, pdk: Pdk) -> Pdk:
+        """Return ``pdk`` scaled to this corner (``pdk`` itself when nominal).
+
+        Node capacitances stored on the clock tree (sink pins, buffer input
+        pins, nTSV cells) are corner-independent; only the wire parasitics,
+        the buffer's delay/slew characteristics, and the nTSV series
+        resistance change with the operating point.
+        """
+        if (
+            self.wire_res_scale == 1.0
+            and self.wire_cap_scale == 1.0
+            and self.buffer_derate == 1.0
+            and self.ntsv_res_scale == 1.0
+        ):
+            return pdk
+        stack = pdk.stack
+        layers = [
+            replace(
+                layer,
+                unit_resistance=layer.unit_resistance * self.wire_res_scale,
+                unit_capacitance=layer.unit_capacitance * self.wire_cap_scale,
+            )
+            for layer in stack
+        ]
+        scaled_stack = MetalStack(
+            layers,
+            front_clock_layer=stack.front_clock_layer.name,
+            back_clock_layer=stack.back_clock_layer.name,
+        )
+        buffer = pdk.buffer
+        if self.buffer_derate != 1.0:
+            derate = self.buffer_derate
+            buffer = replace(
+                buffer,
+                intrinsic_delay=buffer.intrinsic_delay * derate,
+                drive_resistance=buffer.drive_resistance * derate,
+                output_slew=buffer.output_slew * derate,
+                nldm_delay=None if buffer.nldm_delay is None else buffer.nldm_delay.scaled(derate),
+                nldm_slew=None if buffer.nldm_slew is None else buffer.nldm_slew.scaled(derate),
+            )
+        ntsv = pdk.ntsv
+        if ntsv is not None and self.ntsv_res_scale != 1.0:
+            ntsv = replace(ntsv, resistance=ntsv.resistance * self.ntsv_res_scale)
+        return replace(
+            pdk, name=f"{pdk.name}@{self.name}", stack=scaled_stack, buffer=buffer, ntsv=ntsv
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary row used by reports and the CLI."""
+        return {
+            "corner": self.name,
+            "wire_res_scale": self.wire_res_scale,
+            "wire_cap_scale": self.wire_cap_scale,
+            "buffer_derate": self.buffer_derate,
+            "ntsv_res_scale": self.ntsv_res_scale,
+            "nldm": "inherit" if self.use_nldm is None else str(self.use_nldm).lower(),
+        }
+
+
+#: Built-in scenario presets addressable by name in ``CornerSet.parse``.
+PRESET_SCENARIOS: dict[str, Scenario] = {
+    "tt": Scenario.nominal("tt"),
+    "ss": Scenario("ss", wire_res_scale=1.15, wire_cap_scale=1.08, buffer_derate=1.18,
+                   ntsv_res_scale=1.15),
+    "ff": Scenario("ff", wire_res_scale=0.88, wire_cap_scale=0.94, buffer_derate=0.85,
+                   ntsv_res_scale=0.88),
+    "hot": Scenario("hot", wire_res_scale=1.08, wire_cap_scale=1.02, buffer_derate=1.10,
+                    ntsv_res_scale=1.08),
+    "cold": Scenario("cold", wire_res_scale=0.96, wire_cap_scale=0.99, buffer_derate=0.93,
+                     ntsv_res_scale=0.96),
+}
+
+#: The corner list used when a flow asks for "full sign-off" without naming
+#: corners explicitly (CLI ``--corners signoff``).
+SIGNOFF_SPEC = "tt,ss,ff,hot,cold"
+
+
+@dataclass(frozen=True)
+class CornerSet:
+    """An ordered, uniquely named collection of :class:`Scenario` members.
+
+    The first nominal member (unit scales, no NLDM override) acts as the
+    *primary* corner: single-corner engine APIs (``analyze`` / ``skew`` /
+    ``latency``) report it, while the ``*_per_corner`` and ``worst_*`` APIs
+    cover the whole set.  :meth:`ensure_nominal` inserts one at the front
+    when the set has none, so every engine always has a primary corner.
+    """
+
+    scenarios: tuple[Scenario, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("a corner set needs at least one scenario")
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate corner names in {names}")
+
+    # ----------------------------------------------------------- collection
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    @property
+    def names(self) -> list[str]:
+        return [scenario.name for scenario in self.scenarios]
+
+    def nominal_index(self) -> int | None:
+        """Index of the first nominal member, or None when there is none."""
+        for index, scenario in enumerate(self.scenarios):
+            if scenario.is_nominal:
+                return index
+        return None
+
+    def ensure_nominal(self) -> "CornerSet":
+        """This set, with a nominal scenario prepended when it has none."""
+        if self.nominal_index() is not None:
+            return self
+        name = NOMINAL_NAME
+        if name in self.names:  # a non-nominal scenario squatting on "tt"
+            name = "nominal"
+        if name in self.names:
+            raise ValueError(
+                "corner set has no nominal scenario and both fallback names "
+                f"are taken: {self.names}"
+            )
+        return CornerSet((Scenario.nominal(name), *self.scenarios))
+
+    # --------------------------------------------------------- construction
+    @classmethod
+    def nominal(cls) -> "CornerSet":
+        """The single-corner set equivalent to classic nominal analysis."""
+        return cls((Scenario.nominal(),))
+
+    @classmethod
+    def signoff(cls) -> "CornerSet":
+        """The default five-corner sign-off set (tt, ss, ff, hot, cold)."""
+        return cls.parse(SIGNOFF_SPEC)
+
+    @classmethod
+    def parse(cls, spec: str) -> "CornerSet":
+        """Parse a comma-separated corner spec.
+
+        Each entry is a preset name (``tt``, ``ss``, ``ff``, ``hot``,
+        ``cold``), the shorthand ``signoff`` for the full preset list, or an
+        inline custom corner ``name:rscale:cscale:derate[:ntsvscale]``.
+        An omitted ``ntsvscale`` defaults to ``rscale`` (the via resistance
+        tracks the wire resistance corner), not to 1.0.
+        """
+        scenarios: list[Scenario] = []
+        for raw in spec.split(","):
+            item = raw.strip()
+            if not item:
+                continue
+            if item == "signoff":
+                scenarios.extend(PRESET_SCENARIOS[name] for name in SIGNOFF_SPEC.split(","))
+                continue
+            if ":" not in item:
+                try:
+                    scenarios.append(PRESET_SCENARIOS[item])
+                except KeyError:
+                    raise ValueError(
+                        f"unknown corner preset {item!r}; expected one of "
+                        f"{sorted(PRESET_SCENARIOS)} or name:rscale:cscale:derate"
+                    ) from None
+                continue
+            fields = item.split(":")
+            if len(fields) not in (4, 5):
+                raise ValueError(
+                    f"malformed corner spec {item!r}; expected "
+                    "name:rscale:cscale:derate[:ntsvscale]"
+                )
+            name = fields[0]
+            try:
+                values = [float(value) for value in fields[1:]]
+            except ValueError:
+                raise ValueError(f"non-numeric scale in corner spec {item!r}") from None
+            ntsv_scale = values[3] if len(values) == 4 else values[0]
+            scenarios.append(
+                Scenario(
+                    name,
+                    wire_res_scale=values[0],
+                    wire_cap_scale=values[1],
+                    buffer_derate=values[2],
+                    ntsv_res_scale=ntsv_scale,
+                )
+            )
+        if not scenarios:
+            raise ValueError(f"corner spec {spec!r} names no corners")
+        return cls(tuple(scenarios))
+
+    @classmethod
+    def resolve(cls, value: "CornerSet | Scenario | Iterable[Scenario] | str | None") -> "CornerSet":
+        """Coerce any accepted ``corners=`` argument into a :class:`CornerSet`.
+
+        ``None`` resolves to the nominal single-corner set, a string is
+        parsed with :meth:`parse`, a scenario or an iterable of scenarios is
+        wrapped directly.
+        """
+        if value is None:
+            return cls.nominal()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Scenario):
+            return cls((value,))
+        if isinstance(value, str):
+            return cls.parse(value)
+        return cls(tuple(value))
+
+    def describe(self) -> list[dict[str, object]]:
+        """Summary rows (one per scenario) for reports and the CLI."""
+        return [scenario.describe() for scenario in self.scenarios]

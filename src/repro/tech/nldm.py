@@ -116,6 +116,23 @@ class NldmTable:
             + v11 * ts * tc
         )
 
+    def scaled(self, factor: float) -> "NldmTable":
+        """Return a table with every value multiplied by ``factor``.
+
+        Used by PVT scenarios to derate a characterised cell without
+        re-characterising it; the axes (input slew, output load) are
+        unchanged so clamping behaviour is preserved.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        if factor == 1.0:
+            return self
+        return NldmTable(
+            self.slew_axis,
+            self.cap_axis,
+            tuple(tuple(value * factor for value in row) for row in self.values),
+        )
+
     def max_value(self) -> float:
         """Largest characterised value (used by sanity checks)."""
         return float(np.max(np.asarray(self.values)))

@@ -7,7 +7,7 @@ Table I, the BUFx4 clock buffer, and the nTSV cell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.tech.cells import BufferCell, NtsvCell, default_buffer, default_ntsv
 from repro.tech.layers import LayerRC, MetalStack, Side

@@ -24,8 +24,15 @@ Two interchangeable engines implement these models:
 Both engines produce identical results to well below 1e-9 ps (only the
 floating-point summation order differs); the equivalence is enforced by the
 randomized differential tests in ``tests/test_timing_vectorized.py``.
+
+Both engines also speak **multi-corner**: pass ``corners=`` to
+:func:`create_engine` (or to either constructor) to evaluate a whole
+:class:`~repro.tech.corners.CornerSet` — batched along a leading scenario
+axis in the vectorized kernel, as a per-corner loop in the reference engine.
+``tests/test_timing_corners.py`` enforces the per-corner 1e-9 equivalence.
 """
 
+from repro.tech.corners import CornerSet, Scenario
 from repro.timing.elmore import ElmoreTimingEngine, WireModel
 from repro.timing.analysis import TimingResult
 from repro.timing.factory import (
@@ -39,6 +46,8 @@ from repro.timing.slew import SlewAnalyzer, ramp_slew
 from repro.timing.vectorized import VectorizedElmoreEngine
 
 __all__ = [
+    "CornerSet",
+    "Scenario",
     "ElmoreTimingEngine",
     "VectorizedElmoreEngine",
     "TimingEngine",

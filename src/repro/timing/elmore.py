@@ -13,6 +13,7 @@ import enum
 from typing import Mapping
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 from repro.timing.analysis import TimingResult
@@ -68,18 +69,28 @@ class ElmoreWireModel:
 
 
 class ElmoreTimingEngine(ElmoreWireModel):
-    """Computes per-node loads and per-sink arrival times of a clock tree."""
+    """Computes per-node loads and per-sink arrival times of a clock tree.
+
+    Multi-corner analysis is a plain per-corner loop: every scenario of the
+    resolved :class:`CornerSet` gets its own child engine built against
+    ``scenario.apply_to(pdk)``.  This is deliberately naive — it is the
+    executable specification the batched vectorized kernel is differentially
+    tested against.
+    """
 
     def __init__(
         self,
         pdk: Pdk,
         wire_model: WireModel = WireModel.L,
         use_nldm: bool = False,
+        corners: CornerSet | Scenario | str | None = None,
     ) -> None:
         self.pdk = pdk
         self.wire_model = wire_model
         self.use_nldm = use_nldm
+        self.corners = CornerSet.resolve(corners).ensure_nominal()
         self._slew = SlewAnalyzer(pdk)
+        self._corner_engines: list["ElmoreTimingEngine"] | None = None
 
     # ------------------------------------------------------------------ loads
     def subtree_capacitances(self, tree: ClockTree) -> dict[int, float]:
@@ -196,3 +207,52 @@ class ElmoreTimingEngine(ElmoreWireModel):
     def skew(self, tree: ClockTree) -> float:
         """Convenience: global skew (ps)."""
         return self.analyze(tree, with_slew=False).skew
+
+    # ---------------------------------------------------------- corner loop
+    def _engines_per_corner(self) -> list["ElmoreTimingEngine"]:
+        """One single-corner reference engine per scenario (lazily built)."""
+        if self._corner_engines is None:
+            self._corner_engines = [
+                ElmoreTimingEngine(
+                    scenario.apply_to(self.pdk),
+                    wire_model=self.wire_model,
+                    use_nldm=(
+                        self.use_nldm
+                        if scenario.use_nldm is None
+                        else scenario.use_nldm
+                    ),
+                )
+                for scenario in self.corners
+            ]
+        return self._corner_engines
+
+    def analyze_corners(
+        self, tree: ClockTree, with_slew: bool = True
+    ) -> dict[str, TimingResult]:
+        """Per-corner loop over fresh single-corner analyses."""
+        return {
+            scenario.name: engine.analyze(tree, with_slew=with_slew)
+            for scenario, engine in zip(self.corners, self._engines_per_corner())
+        }
+
+    def skew_per_corner(self, tree: ClockTree) -> dict[str, float]:
+        """Global skew (ps) of every corner (one full analysis each)."""
+        return {
+            scenario.name: engine.skew(tree)
+            for scenario, engine in zip(self.corners, self._engines_per_corner())
+        }
+
+    def latency_per_corner(self, tree: ClockTree) -> dict[str, float]:
+        """Maximum sink arrival (ps) of every corner (one analysis each)."""
+        return {
+            scenario.name: engine.latency(tree)
+            for scenario, engine in zip(self.corners, self._engines_per_corner())
+        }
+
+    def worst_skew(self, tree: ClockTree) -> float:
+        """The largest skew (ps) across the corner set."""
+        return max(self.skew_per_corner(tree).values())
+
+    def worst_latency(self, tree: ClockTree) -> float:
+        """The largest latency (ps) across the corner set."""
+        return max(self.latency_per_corner(tree).values())

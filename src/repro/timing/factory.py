@@ -7,12 +7,21 @@ vectorized production kernel and the reference implementation — per call
 site, per flow (``CtsConfig.timing_engine``), from the CLI (``--engine``),
 or globally via the ``REPRO_TIMING_ENGINE`` environment variable (useful for
 differential debugging of a whole benchmark run).
+
+Multi-corner sign-off goes through the same factory: pass ``corners=`` (a
+:class:`~repro.tech.corners.CornerSet`, a single scenario, or a spec string
+like ``"tt,ss,ff"``) and the returned engine batches every corner — the
+vectorized kernel in one level-synchronous pass sharing a single tree
+compile, the reference engine as a per-corner loop.  Never hand-roll
+per-corner PDK loops at call sites; the factory keeps both engines on the
+same corner semantics.
 """
 
 from __future__ import annotations
 
 import os
 
+from repro.tech.corners import CornerSet, Scenario
 from repro.tech.pdk import Pdk
 from repro.timing.elmore import ElmoreTimingEngine, WireModel
 from repro.timing.vectorized import VectorizedElmoreEngine
@@ -36,6 +45,7 @@ def create_engine(
     engine: str | None = None,
     wire_model: WireModel = WireModel.L,
     use_nldm: bool = False,
+    corners: CornerSet | Scenario | str | None = None,
 ) -> TimingEngine:
     """Build the requested timing engine.
 
@@ -46,12 +56,20 @@ def create_engine(
         wire_model: L-type lumped (paper) or PI wire reduction.
         use_nldm: look buffer delays up in the NLDM table instead of the
             linear model.
+        corners: operating points to evaluate — a
+            :class:`~repro.tech.corners.CornerSet`, a single scenario, or a
+            spec string such as ``"tt,ss,ff"``; None analyses the nominal
+            corner only (the classic single-corner behaviour).
     """
     name = engine if engine is not None else default_engine_name()
     if name == "reference":
-        return ElmoreTimingEngine(pdk, wire_model=wire_model, use_nldm=use_nldm)
+        return ElmoreTimingEngine(
+            pdk, wire_model=wire_model, use_nldm=use_nldm, corners=corners
+        )
     if name == "vectorized":
-        return VectorizedElmoreEngine(pdk, wire_model=wire_model, use_nldm=use_nldm)
+        return VectorizedElmoreEngine(
+            pdk, wire_model=wire_model, use_nldm=use_nldm, corners=corners
+        )
     raise ValueError(
         f"unknown timing engine {name!r}; expected one of {ENGINE_NAMES}"
     )

@@ -19,7 +19,18 @@ first shielding buffer (or the root), and re-times just that driver's cone
 instead of the whole tree.  A single end-point buffer insertion on a large
 tree therefore costs O(cone) instead of O(tree).
 
-Results match the reference engine to well below 1e-9 ps; the only permitted
+**Multi-corner batching**: every numeric array carries a leading scenario
+axis of size ``K = len(corners)`` (:class:`~repro.tech.corners.CornerSet`).
+One tree compile is shared across the whole corner batch, the
+level-synchronous passes evaluate all corners at once, and the dirty-cone
+incremental path stays corner-batched — so K-corner sign-off costs far less
+than K sequential analyses.  The single-corner API (:meth:`analyze`,
+:meth:`skew`, :meth:`latency`, load queries) reports the *primary* (nominal)
+corner; :meth:`analyze_corners`, :meth:`skew_per_corner`,
+:meth:`worst_skew` and friends cover the batch.
+
+Results match the reference engine to well below 1e-9 ps per corner (the
+reference loops over ``scenario.apply_to(pdk)`` PDKs); the only permitted
 difference is floating-point summation order.  Use the reference engine for
 differential testing (see :mod:`repro.timing.factory`).
 """
@@ -30,6 +41,7 @@ import numpy as np
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.clocktree.arrays import KIND_BUFFER, KIND_NTSV, KIND_ROOT, TreeArrays
+from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 from repro.timing.analysis import TimingResult
@@ -41,7 +53,11 @@ _MAX_INCREMENTAL_EDITS = 64
 
 
 class _EngineState:
-    """Cached arrays for one compiled tree (all indexed by TreeArrays row)."""
+    """Cached arrays for one compiled tree.
+
+    Every numeric array has shape ``(corners, capacity)``: axis 0 is the
+    scenario batch, axis 1 the TreeArrays row.
+    """
 
     __slots__ = (
         "arrays",
@@ -61,29 +77,31 @@ class _EngineState:
         "result_slews",
     )
 
-    def __init__(self, arrays: TreeArrays) -> None:
+    def __init__(self, arrays: TreeArrays, corner_count: int) -> None:
         self.arrays = arrays
         self.version = -1
         self.result_version = -1
         self.result_arrivals: dict[str, float] | None = None
         self.result_slews: dict[str, float] | None = None
         n = arrays.capacity
-        self.wire_cap = np.zeros(n)
-        self.wire_res = np.zeros(n)
-        self.down_cap = np.zeros(n)
-        self.load = np.zeros(n)
-        self.stage = np.zeros(n)
-        self.wire_delay = np.zeros(n)
-        self.arrival = np.zeros(n)
-        self.slew_at = np.zeros(n)
-        self.slew_out = np.zeros(n)
+        k = corner_count
+        self.wire_cap = np.zeros((k, n))
+        self.wire_res = np.zeros((k, n))
+        self.down_cap = np.zeros((k, n))
+        self.load = np.zeros((k, n))
+        self.stage = np.zeros((k, n))
+        self.wire_delay = np.zeros((k, n))
+        self.arrival = np.zeros((k, n))
+        self.slew_at = np.zeros((k, n))
+        self.slew_out = np.zeros((k, n))
         self.slews_valid = False
 
     def ensure_capacity(self) -> None:
         """Grow the numeric arrays in lockstep with the TreeArrays snapshot."""
         n = self.arrays.capacity
-        if self.wire_cap.shape[0] >= n:
+        if self.wire_cap.shape[1] >= n:
             return
+        k = self.wire_cap.shape[0]
         for name in (
             "wire_cap",
             "wire_res",
@@ -96,8 +114,8 @@ class _EngineState:
             "slew_out",
         ):
             old = getattr(self, name)
-            grown = np.zeros(n)
-            grown[: old.shape[0]] = old
+            grown = np.zeros((k, n))
+            grown[:, : old.shape[1]] = old
             setattr(self, name, grown)
 
 
@@ -109,6 +127,8 @@ class VectorizedElmoreEngine(ElmoreWireModel):
     engines apart.
 
     Attributes:
+        corners: the resolved :class:`CornerSet` this engine batches over
+            (the nominal single-corner set by default).
         full_compiles: number of from-scratch compiles performed (telemetry).
         incremental_updates: number of edit batches applied incrementally.
     """
@@ -118,13 +138,55 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         pdk: Pdk,
         wire_model: WireModel = WireModel.L,
         use_nldm: bool = False,
+        corners: CornerSet | Scenario | str | None = None,
     ) -> None:
         self.pdk = pdk
         self.wire_model = wire_model
         self.use_nldm = use_nldm
+        self.corners = CornerSet.resolve(corners).ensure_nominal()
         self.full_compiles = 0
         self.incremental_updates = 0
         self._state: _EngineState | None = None
+        self._primary = self.corners.nominal_index()
+        self._compile_corner_tables()
+
+    def _compile_corner_tables(self) -> None:
+        """Precompute the per-corner technology vectors the passes consume."""
+        pdk = self.pdk
+        self._corner_pdks = [scenario.apply_to(pdk) for scenario in self.corners]
+        self._buffers = [corner_pdk.buffer for corner_pdk in self._corner_pdks]
+        self._buf_intrinsic = np.array([b.intrinsic_delay for b in self._buffers])
+        self._buf_drive = np.array([b.drive_resistance for b in self._buffers])
+        self._front_c = np.array(
+            [p.front_layer.unit_capacitance for p in self._corner_pdks]
+        )
+        self._front_r = np.array(
+            [p.front_layer.unit_resistance for p in self._corner_pdks]
+        )
+        if pdk.has_backside:
+            self._back_c = np.array(
+                [p.back_layer.unit_capacitance for p in self._corner_pdks]
+            )
+            self._back_r = np.array(
+                [p.back_layer.unit_resistance for p in self._corner_pdks]
+            )
+        else:
+            self._back_c = self._front_c
+            self._back_r = self._front_r
+        if pdk.ntsv is not None:
+            self._ntsv_r = np.array([p.ntsv.resistance for p in self._corner_pdks])
+            self._ntsv_c = np.array([p.ntsv.capacitance for p in self._corner_pdks])
+        else:
+            self._ntsv_r = None
+            self._ntsv_c = None
+        nldm_flags = [
+            self.use_nldm if scenario.use_nldm is None else scenario.use_nldm
+            for scenario in self.corners
+        ]
+        self._nldm_corners = [k for k, flag in enumerate(nldm_flags) if flag]
+        self._linear_corners = np.asarray(
+            [k for k, flag in enumerate(nldm_flags) if not flag], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------ sync
     def invalidate(self) -> None:
@@ -147,7 +209,7 @@ class VectorizedElmoreEngine(ElmoreWireModel):
 
     def _compile(self, tree: ClockTree) -> _EngineState:
         arrays = TreeArrays(tree)
-        state = _EngineState(arrays)
+        state = _EngineState(arrays, len(self.corners))
         self._refresh_wire(state, arrays.alive_rows())
         self._full_caps(state)
         self._refresh_stage(state, arrays.alive_rows())
@@ -163,16 +225,11 @@ class VectorizedElmoreEngine(ElmoreWireModel):
     def _refresh_wire(self, state: _EngineState, rows: np.ndarray) -> None:
         """Recompute the parent-wire R/C of ``rows`` from the snapshot."""
         arrays = state.arrays
-        front = self.pdk.front_layer
         length = arrays.edge_length[rows]
         if self.pdk.has_backside:
-            back = self.pdk.back_layer
-            unit_c = np.where(
-                arrays.wire_front[rows], front.unit_capacitance, back.unit_capacitance
-            )
-            unit_r = np.where(
-                arrays.wire_front[rows], front.unit_resistance, back.unit_resistance
-            )
+            front = arrays.wire_front[rows]
+            unit_c = np.where(front[None, :], self._front_c[:, None], self._back_c[:, None])
+            unit_r = np.where(front[None, :], self._front_r[:, None], self._back_r[:, None])
         else:
             back_rows = rows[~arrays.wire_front[rows]]
             if back_rows.size and np.any(arrays.parent_row[back_rows] >= 0):
@@ -180,28 +237,37 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 # resources must raise, on the incremental path too (the
                 # root's wire side is meaningless and stays exempt).
                 self.pdk.clock_layer(Side.BACK)
-            unit_c = front.unit_capacitance
-            unit_r = front.unit_resistance
-        state.wire_cap[rows] = unit_c * length
-        state.wire_res[rows] = unit_r * length
+            unit_c = self._front_c[:, None]
+            unit_r = self._front_r[:, None]
+        state.wire_cap[:, rows] = unit_c * length[None, :]
+        state.wire_res[:, rows] = unit_r * length[None, :]
+
+    @staticmethod
+    def _scatter_add(weights: np.ndarray, parents: np.ndarray, capacity: int) -> np.ndarray:
+        """Per-corner ``bincount`` scatter: (K, r) weights into (K, capacity)."""
+        k = weights.shape[0]
+        if k == 1:  # single-corner fast path: plain 1-D bincount
+            return np.bincount(parents, weights=weights[0], minlength=capacity)[None, :]
+        flat = (np.arange(k, dtype=np.int64)[:, None] * capacity + parents[None, :]).ravel()
+        return np.bincount(
+            flat, weights=weights.ravel(), minlength=k * capacity
+        ).reshape(k, capacity)
 
     def _full_caps(self, state: _EngineState) -> None:
         """Bottom-up subtree capacitances and driver loads, level by level."""
         arrays = state.arrays
-        capacity = state.load.shape[0]
-        state.load[arrays.alive_rows()] = 0.0
+        capacity = state.load.shape[1]
+        state.load[:, arrays.alive_rows()] = 0.0
         for rows in reversed(arrays.levels()):
-            down = arrays.cap[rows] + state.load[rows]
+            down = arrays.cap[rows][None, :] + state.load[:, rows]
             shielded = arrays.kind[rows] == KIND_BUFFER
             if shielded.any():
-                down[shielded] = arrays.cap[rows][shielded]
-            state.down_cap[rows] = down
+                down[:, shielded] = arrays.cap[rows][shielded][None, :]
+            state.down_cap[:, rows] = down
             parents = arrays.parent_row[rows]
             if parents[0] >= 0:  # every non-root level scatters into its parents
-                state.load += np.bincount(
-                    parents,
-                    weights=state.wire_cap[rows] + down,
-                    minlength=capacity,
+                state.load += self._scatter_add(
+                    state.wire_cap[:, rows] + down, parents, capacity
                 )
 
     def _refresh_stage(self, state: _EngineState, rows: np.ndarray) -> None:
@@ -210,63 +276,72 @@ class VectorizedElmoreEngine(ElmoreWireModel):
             return
         arrays = state.arrays
         kinds = arrays.kind[rows]
-        state.stage[rows] = 0.0
+        state.stage[:, rows] = 0.0
         buffer_rows = rows[kinds == KIND_BUFFER]
         if buffer_rows.size:
-            buffer = self.pdk.buffer
-            if self.use_nldm:
-                # The reference engine propagates a constant source slew.
-                for row in buffer_rows:
-                    state.stage[row] = buffer.delay(
-                        float(state.load[row]), input_slew=SOURCE_SLEW
-                    )
-            else:
-                state.stage[buffer_rows] = (
-                    buffer.intrinsic_delay
-                    + buffer.drive_resistance * state.load[buffer_rows]
+            linear = self._linear_corners
+            if linear.size == len(self._buffers):  # every corner is linear
+                state.stage[:, buffer_rows] = (
+                    self._buf_intrinsic[:, None]
+                    + self._buf_drive[:, None] * state.load[:, buffer_rows]
                 )
+            elif linear.size:
+                state.stage[linear[:, None], buffer_rows[None, :]] = (
+                    self._buf_intrinsic[linear][:, None]
+                    + self._buf_drive[linear][:, None]
+                    * state.load[linear[:, None], buffer_rows[None, :]]
+                )
+            for k in self._nldm_corners:
+                # The reference engine propagates a constant source slew.
+                buffer = self._buffers[k]
+                for row in buffer_rows:
+                    state.stage[k, row] = buffer.delay(
+                        float(state.load[k, row]), input_slew=SOURCE_SLEW
+                    )
         ntsv_rows = rows[kinds == KIND_NTSV]
         if ntsv_rows.size:
-            ntsv = self.pdk.ntsv
-            if ntsv is None:
+            if self._ntsv_r is None:
                 raise ValueError("tree contains nTSVs but the PDK has none")
-            state.stage[ntsv_rows] = ntsv.resistance * (
-                ntsv.capacitance + state.load[ntsv_rows]
+            state.stage[:, ntsv_rows] = self._ntsv_r[:, None] * (
+                self._ntsv_c[:, None] + state.load[:, ntsv_rows]
             )
         root_rows = rows[kinds == KIND_ROOT]
         if root_rows.size:
             # Dispatch by kind like the reference engine (a ROOT-kind node
             # grafted as an internal node still drives with the source R).
-            loads = state.load[root_rows]
-            state.stage[root_rows] = np.where(
+            loads = state.load[:, root_rows]
+            state.stage[:, root_rows] = np.where(
                 loads == 0, 0.0, self._root_resistance() * loads
             )
 
     def _refresh_wire_delay(self, state: _EngineState, rows: np.ndarray) -> None:
         """Recompute the Elmore delay of the parent wire of each of ``rows``."""
-        wire_cap = state.wire_cap[rows]
+        wire_cap = state.wire_cap[:, rows]
         if self.wire_model is WireModel.PI:
             wire_cap = wire_cap / 2.0
-        state.wire_delay[rows] = state.wire_res[rows] * (
-            wire_cap + state.down_cap[rows]
+        state.wire_delay[:, rows] = state.wire_res[:, rows] * (
+            wire_cap + state.down_cap[:, rows]
         )
 
     def _full_arrivals(self, state: _EngineState) -> None:
-        state.arrival[0] = 0.0
+        state.arrival[:, 0] = 0.0
         for rows in state.arrays.levels()[1:]:
             parents = state.arrays.parent_row[rows]
-            state.arrival[rows] = (
-                state.arrival[parents] + state.stage[parents] + state.wire_delay[rows]
+            state.arrival[:, rows] = (
+                state.arrival[:, parents]
+                + state.stage[:, parents]
+                + state.wire_delay[:, rows]
             )
 
     def _full_slews(self, state: _EngineState) -> None:
         arrays = state.arrays
-        state.slew_at[0] = SOURCE_SLEW
-        state.slew_out[0] = SOURCE_SLEW
+        state.slew_at[:, 0] = SOURCE_SLEW
+        state.slew_out[:, 0] = SOURCE_SLEW
         for rows in arrays.levels()[1:]:
             parents = arrays.parent_row[rows]
-            state.slew_at[rows] = np.sqrt(
-                state.slew_out[parents] ** 2 + (LN9 * state.wire_delay[rows]) ** 2
+            state.slew_at[:, rows] = np.sqrt(
+                state.slew_out[:, parents] ** 2
+                + (LN9 * state.wire_delay[:, rows]) ** 2
             )
             self._regenerate_slews(state, rows)
         state.slews_valid = True
@@ -275,20 +350,23 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         """Compute the post-node slew of ``rows`` from their arriving slew."""
         arrays = state.arrays
         kinds = arrays.kind[rows]
-        state.slew_out[rows] = state.slew_at[rows]
+        state.slew_out[:, rows] = state.slew_at[:, rows]
         buffer_rows = rows[kinds == KIND_BUFFER]
         if buffer_rows.size:
-            buffer = self.pdk.buffer
-            for row in buffer_rows:
-                state.slew_out[row] = buffer.slew(
-                    float(state.load[row]), input_slew=float(state.slew_at[row])
-                )
+            for k, buffer in enumerate(self._buffers):
+                for row in buffer_rows:
+                    state.slew_out[k, row] = buffer.slew(
+                        float(state.load[k, row]),
+                        input_slew=float(state.slew_at[k, row]),
+                    )
         ntsv_rows = rows[kinds == KIND_NTSV]
-        if ntsv_rows.size and self.pdk.ntsv is not None:
-            ntsv = self.pdk.ntsv
-            step = LN9 * (ntsv.resistance * (ntsv.capacitance + state.load[ntsv_rows]))
-            state.slew_out[ntsv_rows] = np.sqrt(
-                state.slew_at[ntsv_rows] ** 2 + step**2
+        if ntsv_rows.size and self._ntsv_r is not None:
+            step = LN9 * (
+                self._ntsv_r[:, None]
+                * (self._ntsv_c[:, None] + state.load[:, ntsv_rows])
+            )
+            state.slew_out[:, ntsv_rows] = np.sqrt(
+                state.slew_at[:, ntsv_rows] ** 2 + step**2
             )
 
     # ------------------------------------------------------------ incremental
@@ -316,13 +394,15 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 self._refresh_wire(
                     state, np.asarray([new_row, child_row], dtype=np.int64)
                 )
-                state.load[new_row] = (
-                    state.wire_cap[child_row] + state.down_cap[child_row]
+                state.load[:, new_row] = (
+                    state.wire_cap[:, child_row] + state.down_cap[:, child_row]
                 )
                 if arrays.kind[new_row] == KIND_BUFFER:
-                    state.down_cap[new_row] = arrays.cap[new_row]
+                    state.down_cap[:, new_row] = arrays.cap[new_row]
                 else:
-                    state.down_cap[new_row] = arrays.cap[new_row] + state.load[new_row]
+                    state.down_cap[:, new_row] = (
+                        arrays.cap[new_row] + state.load[:, new_row]
+                    )
                 changed.update((int(new_row), int(child_row)))
             elif edit_kind == "rewire":
                 sub_levels = arrays.apply_rewire(node)
@@ -331,20 +411,20 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 state.ensure_capacity()
                 flat = np.concatenate(sub_levels)
                 self._refresh_wire(state, flat)
-                state.load[flat] = 0.0
-                capacity = state.load.shape[0]
+                state.load[:, flat] = 0.0
+                capacity = state.load.shape[1]
                 for rows in reversed(sub_levels):
-                    down = arrays.cap[rows] + state.load[rows]
+                    down = arrays.cap[rows][None, :] + state.load[:, rows]
                     shielded = arrays.kind[rows] == KIND_BUFFER
                     if shielded.any():
-                        down[shielded] = arrays.cap[rows][shielded]
-                    state.down_cap[rows] = down
+                        down[:, shielded] = arrays.cap[rows][shielded][None, :]
+                    state.down_cap[:, rows] = down
                     if rows is sub_levels[0]:
                         continue  # the subtree root's parent lies outside
-                    state.load += np.bincount(
+                    state.load += self._scatter_add(
+                        state.wire_cap[:, rows] + down,
                         arrays.parent_row[rows],
-                        weights=state.wire_cap[rows] + down,
-                        minlength=capacity,
+                        capacity,
                     )
                 changed.update(int(r) for r in flat)
             else:  # pragma: no cover - defensive against future edit kinds
@@ -375,13 +455,14 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         while True:
             row = arrays.row_of[id(walk)]
             child_rows = np.asarray(arrays.children_rows[row], dtype=np.int64)
-            state.load[row] = float(
-                np.sum(state.wire_cap[child_rows] + state.down_cap[child_rows])
+            state.load[:, row] = np.sum(
+                state.wire_cap[:, child_rows] + state.down_cap[:, child_rows],
+                axis=1,
             )
             changed.add(int(row))
             if arrays.kind[row] == KIND_BUFFER:
                 return int(row)  # shielded: upstream sees the pin cap only
-            state.down_cap[row] = arrays.cap[row] + state.load[row]
+            state.down_cap[:, row] = arrays.cap[row] + state.load[:, row]
             if walk.parent is None:
                 return int(row)
             walk = walk.parent
@@ -403,26 +484,31 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         arrays = state.arrays
         if state.slews_valid and arrays.kind[top] == KIND_BUFFER:
             # The top buffer's output slew tracks its (changed) load.
-            state.slew_out[top] = self.pdk.buffer.slew(
-                float(state.load[top]), input_slew=float(state.slew_at[top])
-            )
+            for k, buffer in enumerate(self._buffers):
+                state.slew_out[k, top] = buffer.slew(
+                    float(state.load[k, top]),
+                    input_slew=float(state.slew_at[k, top]),
+                )
         frontier = list(arrays.children_rows[top])
         while frontier:
             rows = np.asarray(frontier, dtype=np.int64)
             parents = arrays.parent_row[rows]
-            state.arrival[rows] = (
-                state.arrival[parents] + state.stage[parents] + state.wire_delay[rows]
+            state.arrival[:, rows] = (
+                state.arrival[:, parents]
+                + state.stage[:, parents]
+                + state.wire_delay[:, rows]
             )
             if state.slews_valid:
-                state.slew_at[rows] = np.sqrt(
-                    state.slew_out[parents] ** 2 + (LN9 * state.wire_delay[rows]) ** 2
+                state.slew_at[:, rows] = np.sqrt(
+                    state.slew_out[:, parents] ** 2
+                    + (LN9 * state.wire_delay[:, rows]) ** 2
                 )
                 self._regenerate_slews(state, rows)
             frontier = [c for row in frontier for c in arrays.children_rows[row]]
 
     # ---------------------------------------------------------------- analyze
     def analyze(self, tree: ClockTree, with_slew: bool = True) -> TimingResult:
-        """Run a full (or incremental) analysis and return the result."""
+        """Run a full (or incremental) analysis; reports the primary corner."""
         state = self._sync(tree, need_slews=with_slew)
         arrays = state.arrays
         sink_rows = self._checked_sink_rows(tree, arrays)
@@ -433,19 +519,38 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         if state.result_arrivals is None:
             names = [arrays.nodes[row].name for row in sink_rows]
             state.result_arrivals = dict(
-                zip(names, state.arrival[sink_rows].tolist())
+                zip(names, state.arrival[self._primary][sink_rows].tolist())
             )
         slews: dict[str, float] = {}
         if with_slew:
             if state.result_slews is None:
                 names = list(state.result_arrivals)
                 state.result_slews = dict(
-                    zip(names, state.slew_at[sink_rows].tolist())
+                    zip(names, state.slew_at[self._primary][sink_rows].tolist())
                 )
             slews = dict(state.result_slews)
         # Hand out copies so callers mutating a TimingResult (the reference
         # engine builds fresh dicts per call) cannot corrupt the cache.
         return TimingResult(arrivals=dict(state.result_arrivals), slews=slews)
+
+    def analyze_corners(
+        self, tree: ClockTree, with_slew: bool = True
+    ) -> dict[str, TimingResult]:
+        """One batched pass, one :class:`TimingResult` per corner name."""
+        state = self._sync(tree, need_slews=with_slew)
+        arrays = state.arrays
+        sink_rows = self._checked_sink_rows(tree, arrays)
+        names = [arrays.nodes[row].name for row in sink_rows]
+        results: dict[str, TimingResult] = {}
+        for k, scenario in enumerate(self.corners):
+            arrivals = dict(zip(names, state.arrival[k, sink_rows].tolist()))
+            slews = (
+                dict(zip(names, state.slew_at[k, sink_rows].tolist()))
+                if with_slew
+                else {}
+            )
+            results[scenario.name] = TimingResult(arrivals=arrivals, slews=slews)
+        return results
 
     @staticmethod
     def _checked_sink_rows(tree: ClockTree, arrays: TreeArrays) -> np.ndarray:
@@ -455,32 +560,58 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         return sink_rows
 
     def latency(self, tree: ClockTree) -> float:
-        """Convenience: maximum sink arrival (ps), straight off the arrays."""
+        """Convenience: maximum sink arrival (ps) at the primary corner."""
         state = self._sync(tree, need_slews=False)
         sink_rows = self._checked_sink_rows(tree, state.arrays)
-        return float(state.arrival[sink_rows].max())
+        return float(state.arrival[self._primary][sink_rows].max())
 
     def skew(self, tree: ClockTree) -> float:
-        """Convenience: global skew (ps), straight off the arrays."""
+        """Convenience: global skew (ps) at the primary corner."""
         state = self._sync(tree, need_slews=False)
         sink_rows = self._checked_sink_rows(tree, state.arrays)
-        arrivals = state.arrival[sink_rows]
+        arrivals = state.arrival[self._primary][sink_rows]
         return float(arrivals.max() - arrivals.min())
+
+    # ---------------------------------------------------------- corner batch
+    def skew_per_corner(self, tree: ClockTree) -> dict[str, float]:
+        """Global skew (ps) of every corner, from one batched pass."""
+        state = self._sync(tree, need_slews=False)
+        sink_rows = self._checked_sink_rows(tree, state.arrays)
+        arrivals = state.arrival[:, sink_rows]
+        skews = arrivals.max(axis=1) - arrivals.min(axis=1)
+        return dict(zip(self.corners.names, skews.tolist()))
+
+    def latency_per_corner(self, tree: ClockTree) -> dict[str, float]:
+        """Maximum sink arrival (ps) of every corner, from one batched pass."""
+        state = self._sync(tree, need_slews=False)
+        sink_rows = self._checked_sink_rows(tree, state.arrays)
+        latencies = state.arrival[:, sink_rows].max(axis=1)
+        return dict(zip(self.corners.names, latencies.tolist()))
+
+    def worst_skew(self, tree: ClockTree) -> float:
+        """The largest skew (ps) across the corner batch."""
+        return max(self.skew_per_corner(tree).values())
+
+    def worst_latency(self, tree: ClockTree) -> float:
+        """The largest latency (ps) across the corner batch."""
+        return max(self.latency_per_corner(tree).values())
 
     # ------------------------------------------------------------------ loads
     def subtree_capacitances(self, tree: ClockTree) -> dict[int, float]:
         """Capacitance looking into each node (``id(node) -> fF``)."""
         state = self._sync(tree, need_slews=False)
+        down_cap = state.down_cap[self._primary]
         return {
-            node_id: float(state.down_cap[row])
+            node_id: float(down_cap[row])
             for node_id, row in state.arrays.row_of.items()
         }
 
     def driver_loads(self, tree: ClockTree) -> dict[int, float]:
         """Load (fF) seen by each node when driving its children."""
         state = self._sync(tree, need_slews=False)
+        loads = state.load[self._primary]
         return {
-            node_id: float(state.load[row])
+            node_id: float(loads[row])
             for node_id, row in state.arrays.row_of.items()
         }
 

@@ -65,11 +65,14 @@ class TestEngineFlag:
     def test_run_with_reference_engine(self, capsys):
         import os
 
+        # The CI matrix runs the suite with REPRO_TIMING_ENGINE pre-set; the
+        # contract is restoration of the previous value, not absence.
+        before = os.environ.get("REPRO_TIMING_ENGINE")
         assert main(["run", "C4", "--scale", "0.05", "--engine", "reference"]) == 0
         out = capsys.readouterr().out
         assert "latency" in out
         # The engine choice is scoped to the command, not leaked process-wide.
-        assert "REPRO_TIMING_ENGINE" not in os.environ
+        assert os.environ.get("REPRO_TIMING_ENGINE") == before
 
     def test_compare_engine_reaches_baselines(self, capsys, monkeypatch):
         """--engine must switch baseline flows too, via the process default."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.flow import CtsConfig, DoubleSideCTS
 from repro.insertion.moes import MoesWeights
 from repro.timing import ElmoreTimingEngine
 

@@ -12,7 +12,7 @@ from repro.insertion import (
     select_min_latency,
 )
 from repro.insertion.moes import pareto_front
-from repro.insertion.patterns import P_BUFFER, P_NTSV2
+from repro.insertion.patterns import P_BUFFER
 from repro.tech.layers import Side
 
 

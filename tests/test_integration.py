@@ -18,7 +18,7 @@ from repro.baselines import (
 from repro.baselines.openroad_cts import OpenRoadCtsConfig
 from repro.dse import DesignSpaceExplorer
 from repro.evaluation import ComparisonTable, evaluate_tree
-from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.flow import DoubleSideCTS, SingleSideCTS
 from repro.timing import ElmoreTimingEngine
 
 

@@ -7,11 +7,10 @@ from hypothesis import strategies as st
 
 from repro.clustering import KMeans
 from repro.dse.pareto import is_dominated, pareto_front
-from repro.geometry import Point, Rect, TiltedRect, bounding_box, merging_region
+from repro.geometry import Point, TiltedRect, bounding_box, merging_region
 from repro.insertion import CandidateSolution, prune_dominated, prune_per_side
 from repro.refinement import adaptive_scale_factor, refined_endpoint_count
 from repro.tech.layers import Side, TABLE_I_LAYERS
-from repro.tech.nldm import NldmTable
 
 import numpy as np
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.flow import CtsConfig, DoubleSideCTS
+from repro.flow import DoubleSideCTS
 from repro.refinement import (
     SkewRefiner,
     adaptive_scale_factor,

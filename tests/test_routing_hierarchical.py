@@ -5,7 +5,7 @@ import pytest
 from repro.clocktree import NodeKind
 from repro.routing import HierarchicalClockRouter
 from repro.tech.layers import Side
-from tests.conftest import make_grid_clock_net, make_random_clock_net
+from tests.conftest import make_random_clock_net
 
 
 class TestHierarchicalRouting:

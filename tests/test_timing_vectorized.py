@@ -344,7 +344,10 @@ class TestTreeArrays:
 
 
 class TestEngineFactory:
-    def test_names(self, pdk):
+    def test_names(self, pdk, monkeypatch):
+        # The CI matrix pre-sets REPRO_TIMING_ENGINE; this test checks the
+        # un-overridden default, so clear it.
+        monkeypatch.delenv("REPRO_TIMING_ENGINE", raising=False)
         assert isinstance(create_engine(pdk, "reference"), ElmoreTimingEngine)
         assert isinstance(create_engine(pdk, "vectorized"), VectorizedElmoreEngine)
         assert isinstance(create_engine(pdk), VectorizedElmoreEngine)
