@@ -11,6 +11,10 @@ Times four access patterns on generated 500 / 2000 / 8000-sink clock trees:
 * ``batched_corners`` — K-corner sign-off in one batched engine (shared tree
   compile, leading scenario axis) vs. K sequential single-corner vectorized
   analyses.
+* ``corner_aware_refine`` — the corner-aware skew-refinement trial loop:
+  SkewRefiner-style endpoint buffer edits scored on worst-corner skew by one
+  corner-batched incremental engine vs. K sequential single-corner engines
+  each replaying the same edit.
 
 Results are printed and written to ``BENCH_perf_timing.json`` at the repo
 root — or to ``BENCH_perf_timing.smoke.json`` in smoke mode, so quick CI
@@ -246,12 +250,77 @@ def bench_corners(sink_count: int, pdk, spec: str = BENCH_CORNERS) -> dict:
     }
 
 
+def bench_corner_refine(sink_count: int, pdk, spec: str = BENCH_CORNERS) -> dict:
+    """Corner-aware refinement trial scoring: batched vs. per-corner loop.
+
+    Replays the skew refiner's inner loop — an endpoint buffer edit recorded
+    with ``mark_rewire`` followed by the trial score (per-corner skew *and*
+    latency, exactly what ``SkewRefiner._measure`` reads) — and compares one
+    corner-batched incremental engine (what ``SkewRefiner(corners=...)``
+    uses) against K sequential single-corner vectorized engines that each
+    replay the same edit (what a naive per-corner wrapper would do).
+    """
+    tree = synthetic_tree(sink_count)
+    corners = CornerSet.parse(spec)
+    batched = VectorizedElmoreEngine(pdk, corners=corners)
+    sequential_engines = [
+        VectorizedElmoreEngine(scenario.apply_to(pdk)) for scenario in corners
+    ]
+    batched.worst_skew(tree)  # compile once; edits go the incremental path
+    for engine in sequential_engines:
+        engine.skew(tree)
+
+    taps = [node for node in tree.nodes() if node.kind is NodeKind.TAP]
+    rng = np.random.default_rng(7)
+    bat_samples: list[float] = []
+    seq_samples: list[float] = []
+    for _ in range(INCREMENTAL_EDITS):
+        tap = taps[int(rng.integers(len(taps)))]
+        buffer_node = ClockTreeNode(
+            tree.new_name("sr_buf"),
+            NodeKind.BUFFER,
+            tap.location,
+            capacitance=pdk.buffer.input_capacitance,
+        )
+        tap.add_child(buffer_node)
+        for sink in [c for c in list(tap.children) if c.is_sink][:2]:
+            sink.detach()
+            buffer_node.add_child(sink)
+        tree.mark_rewire(tap)
+        start = time.perf_counter()
+        worst_batched = max(batched.skew_per_corner(tree).values())
+        max(batched.latency_per_corner(tree).values())
+        bat_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        worst_sequential = max(engine.skew(tree) for engine in sequential_engines)
+        max(engine.latency(tree) for engine in sequential_engines)
+        seq_samples.append(time.perf_counter() - start)
+        if abs(worst_batched - worst_sequential) > 1e-9:
+            raise AssertionError(
+                f"corner-aware refine drift {abs(worst_batched - worst_sequential)} "
+                f"exceeds 1e-9 on {sink_count} sinks"
+            )
+    bat_samples.sort()
+    seq_samples.sort()
+    t_bat = bat_samples[len(bat_samples) // 2]
+    t_seq = seq_samples[len(seq_samples) // 2]
+    return {
+        "flow": "corner_aware_refine",
+        "sinks": sink_count,
+        "corners": len(corners),
+        "reference_s": round(t_seq, 9),
+        "vectorized_s": round(t_bat, 9),
+        "speedup": round(t_seq / t_bat, 2),
+    }
+
+
 def run_bench() -> list[dict]:
     pdk = asap7_backside()
     rows: list[dict] = []
     for sink_count in bench_sizes():
         rows.extend(bench_size(sink_count, pdk))
         rows.append(bench_corners(sink_count, pdk))
+        rows.append(bench_corner_refine(sink_count, pdk))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")
     for row in rows:
         label = row["flow"]

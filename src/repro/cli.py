@@ -20,7 +20,10 @@ preset names (``tt``, ``ss``, ``ff``, ``hot``, ``cold``), the ``signoff``
 shorthand for all five, or inline custom corners
 (``name:rscale:cscale:derate``).  The vectorized engine batches all corners
 in one pass; with corners active the DSE scores sweep points on worst-corner
-skew/latency instead of nominal.
+skew/latency instead of nominal.  Adding ``--corner-aware-construction``
+moves the corner batch into the optimisation loops themselves: the insertion
+DP and the skew refinement then optimise worst-corner objectives
+(``dscts run C4 --corners signoff --corner-aware-construction``).
 """
 
 from __future__ import annotations
@@ -63,6 +66,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "custom name:rscale:cscale:derate[:ntsvscale] entries (ntsvscale "
         "defaults to rscale)",
     )
+    parser.add_argument(
+        "--corner-aware-construction",
+        action="store_true",
+        help="optimise the construction steps (insertion DP, skew "
+        "refinement) against worst-corner objectives over the --corners "
+        "batch instead of nominal timing (requires --corners)",
+    )
+    parser.add_argument(
+        "--nominal-skew-budget",
+        type=float,
+        default=0.0,
+        metavar="PS",
+        help="nominal skew (ps) a corner-aware skew refinement may give "
+        "away while improving the worst corner (default: 0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,7 +118,23 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
     corners = None
     if getattr(args, "corners", None):
         corners = CornerSet.parse(args.corners)
-    return CtsConfig(timing_engine=args.engine, corners=corners)
+    corner_aware = bool(getattr(args, "corner_aware_construction", False))
+    if corner_aware and corners is None:
+        raise SystemExit("error: --corner-aware-construction requires --corners")
+    budget = float(getattr(args, "nominal_skew_budget", 0.0))
+    if budget < 0:
+        raise SystemExit("error: --nominal-skew-budget must be non-negative")
+    if budget and not corner_aware:
+        raise SystemExit(
+            "error: --nominal-skew-budget only applies with "
+            "--corner-aware-construction"
+        )
+    return CtsConfig(
+        timing_engine=args.engine,
+        corners=corners,
+        corner_aware_construction=corner_aware,
+        nominal_skew_budget=budget,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

@@ -15,7 +15,11 @@ When the configuration carries a :class:`~repro.tech.corners.CornerSet`
 (``CtsConfig.corners``), every sweep point is additionally signed off across
 the corner batch and the Pareto objectives switch from nominal to
 worst-corner latency/skew — the DSE then optimises what a production flow
-actually tapes out against.
+actually tapes out against.  With ``CtsConfig.corner_aware_construction``
+the sweep points are additionally *built* corner-aware: every configuration's
+insertion DP and skew refinement optimise worst-corner objectives, so the
+frontier traced is over trees constructed for sign-off, not merely scored
+against it.
 """
 
 from __future__ import annotations
@@ -215,6 +219,7 @@ def _insert_and_refine(
             default_mode=config.default_mode,
         ),
         engine=config.timing_engine,
+        corners=config.construction_corners(),
     )
     inserter.run(tree, fanout_threshold=fanout_threshold)
     if config.enable_skew_refinement:
@@ -224,6 +229,8 @@ def _insert_and_refine(
             max_endpoints=config.max_refined_endpoints,
             strategy=config.skew_strategy,
             engine=config.timing_engine,
+            corners=config.construction_corners(),
+            nominal_skew_budget=config.nominal_skew_budget,
         ).refine(tree)
 
 

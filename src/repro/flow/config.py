@@ -35,10 +35,17 @@ class CtsConfig:
         timing_engine: timing engine used by every flow step (``"vectorized"``
             or ``"reference"``); ``None`` uses the library default.
         corners: PVT corner set for multi-corner sign-off; ``None`` evaluates
-            the nominal corner only.  Construction steps (insertion, skew
-            refinement) always optimise the nominal corner; the final metrics
-            (and the DSE scoring) report every corner of the set, and the
-            worst-corner skew/latency drive the DSE Pareto objectives.
+            the nominal corner only.  The final metrics (and the DSE scoring)
+            report every corner of the set, and the worst-corner skew/latency
+            drive the DSE Pareto objectives.
+        corner_aware_construction: when True (and ``corners`` is set), the
+            construction steps themselves — insertion DP and skew refinement
+            — optimise worst-corner objectives over the corner batch instead
+            of nominal timing (CLI ``--corner-aware-construction``).
+        nominal_skew_budget: how much nominal skew (ps) a corner-aware skew
+            refinement may give away while chasing the worst corner; 0 means
+            the nominal skew must never regress past its pre-refinement
+            value.
     """
 
     high_cluster_size: int = 3000
@@ -58,6 +65,14 @@ class CtsConfig:
     enable_skew_refinement: bool = True
     timing_engine: str | None = None
     corners: CornerSet | None = None
+    corner_aware_construction: bool = False
+    nominal_skew_budget: float = 0.0
+
+    def construction_corners(self) -> CornerSet | None:
+        """The corner set construction steps optimise against (or None)."""
+        if not self.corner_aware_construction:
+            return None
+        return self.corners
 
     def with_updates(self, **kwargs) -> "CtsConfig":
         """Return a copy with the given fields replaced."""

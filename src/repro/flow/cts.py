@@ -108,7 +108,10 @@ class DoubleSideCTS:
 
     def _insert(self, tree: ClockTree) -> InsertionResult:
         inserter = ConcurrentInserter(
-            self.pdk, self._insertion_config(), engine=self.config.timing_engine
+            self.pdk,
+            self._insertion_config(),
+            engine=self.config.timing_engine,
+            corners=self.config.construction_corners(),
         )
         return inserter.run(tree, fanout_threshold=self.config.fanout_threshold)
 
@@ -121,6 +124,8 @@ class DoubleSideCTS:
             max_endpoints=self.config.max_refined_endpoints,
             strategy=self.config.skew_strategy,
             engine=self.config.timing_engine,
+            corners=self.config.construction_corners(),
+            nominal_skew_budget=self.config.nominal_skew_budget,
         )
         return refiner.refine(tree)
 

@@ -5,6 +5,16 @@ below (and including) a DP node's edge.  It records everything the DP needs
 to keep going upward (side at the upstream end, effective capacitance, path
 delays) and everything the multi-objective selection needs (buffer and nTSV
 counts), together with back-pointers for the top-down decision step.
+
+**Multi-corner candidates.**  When the insertion DP runs corner-aware
+(``ConcurrentInserter(..., corners=...)``), every candidate additionally
+carries per-corner tuples of (capacitance, max delay, min delay) — one entry
+per scenario of the resolved :class:`~repro.tech.corners.CornerSet`, in
+corner order.  The scalar fields then mirror the *primary* (nominal) corner,
+so nominal-only consumers keep working unchanged, while dominance pruning
+and the multi-objective selection switch to the ``worst_*`` properties
+(worst corner across the batch).  Candidates without corner tuples behave
+exactly as before: the worst values degenerate to the scalar fields.
 """
 
 from __future__ import annotations
@@ -17,6 +27,31 @@ from repro.tech.layers import Side
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.insertion.patterns import EdgePattern
 
+#: The three per-corner tuples of a candidate (cap, max delay, min delay).
+CornerTuples = tuple[
+    "tuple[float, ...] | None",
+    "tuple[float, ...] | None",
+    "tuple[float, ...] | None",
+]
+
+
+def merged_corner_tuples(
+    a: "CandidateSolution", b: "CandidateSolution"
+) -> CornerTuples:
+    """Element-wise merge of two candidates' corner tuples at a shared vertex.
+
+    Capacitances add, the worst path delay is the per-corner max, the best
+    the per-corner min — the multi-corner form of the classic merge rule.
+    Returns ``(None, None, None)`` when either side is nominal-only.
+    """
+    if a.corner_capacitance is None or b.corner_capacitance is None:
+        return None, None, None
+    return (
+        tuple(x + y for x, y in zip(a.corner_capacitance, b.corner_capacitance)),
+        tuple(max(x, y) for x, y in zip(a.corner_max_delay, b.corner_max_delay)),
+        tuple(min(x, y) for x, y in zip(a.corner_min_delay, b.corner_min_delay)),
+    )
+
 
 @dataclass
 class CandidateSolution:
@@ -25,17 +60,20 @@ class CandidateSolution:
     Attributes:
         up_side: side type of the edge's upstream (root-facing) end-point.
         capacitance: effective capacitance (fF) seen looking down into the
-            edge from the upstream end-point.
+            edge from the upstream end-point (primary corner).
         max_delay: worst path delay (ps) from the upstream end-point to any
-            sink in the subtree.
+            sink in the subtree (primary corner).
         min_delay: best (smallest) such path delay; tracked so that skew can
-            be estimated for every candidate.
+            be estimated for every candidate (primary corner).
         buffer_count: buffers used by the whole subtree under this candidate.
         ntsv_count: nTSVs used by the whole subtree under this candidate.
         pattern: pattern chosen for this DP node's edge (None for the virtual
             base solution of a leaf DP node before its first insertion).
         children: the predecessor-node candidates this one was merged from;
             recorded dependencies for the top-down decision (Step 4).
+        corner_capacitance / corner_max_delay / corner_min_delay: optional
+            per-corner tuples (one entry per scenario, corner order) carried
+            by corner-aware DP runs; ``None`` for nominal-only candidates.
     """
 
     up_side: Side
@@ -46,6 +84,9 @@ class CandidateSolution:
     ntsv_count: int = 0
     pattern: Optional["EdgePattern"] = None
     children: tuple["CandidateSolution", ...] = field(default=(), repr=False)
+    corner_capacitance: tuple[float, ...] | None = None
+    corner_max_delay: tuple[float, ...] | None = None
+    corner_min_delay: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.capacitance < 0:
@@ -54,6 +95,18 @@ class CandidateSolution:
             raise ValueError("candidate min delay exceeds max delay")
         if self.buffer_count < 0 or self.ntsv_count < 0:
             raise ValueError("candidate resource counts must be non-negative")
+        corner_fields = (
+            self.corner_capacitance,
+            self.corner_max_delay,
+            self.corner_min_delay,
+        )
+        present = [f for f in corner_fields if f is not None]
+        if present and (
+            len(present) != 3 or len({len(f) for f in present}) != 1
+        ):
+            raise ValueError(
+                "corner tuples must be given together and share one length"
+            )
 
     @property
     def skew(self) -> float:
@@ -65,13 +118,53 @@ class CandidateSolution:
         """Total inserted cells (buffers + nTSVs)."""
         return self.buffer_count + self.ntsv_count
 
+    # -------------------------------------------------- worst-corner views
+    @property
+    def worst_capacitance(self) -> float:
+        """Largest effective capacitance across the corner batch (fF)."""
+        if self.corner_capacitance is None:
+            return self.capacitance
+        return max(self.corner_capacitance)
+
+    @property
+    def worst_max_delay(self) -> float:
+        """Largest worst-path delay across the corner batch (ps)."""
+        if self.corner_max_delay is None:
+            return self.max_delay
+        return max(self.corner_max_delay)
+
+    @property
+    def worst_skew(self) -> float:
+        """Largest per-corner subtree skew across the corner batch (ps)."""
+        if self.corner_max_delay is None or self.corner_min_delay is None:
+            return self.skew
+        return max(
+            hi - lo
+            for hi, lo in zip(self.corner_max_delay, self.corner_min_delay)
+        )
+
     def dominates(self, other: "CandidateSolution", tol: float = 1e-9) -> bool:
         """Van Ginneken dominance on (capacitance, max delay).
 
         A candidate dominates another when it is no worse in both effective
         capacitance and worst path delay (and the two share the same upstream
-        side, which the caller is responsible for grouping by).
+        side, which the caller is responsible for grouping by).  Corner-aware
+        candidates compare *per corner*: dominance requires being no worse in
+        both dimensions at every corner of the batch.  This vector rule is
+        the sound one — downstream pattern/merge deltas are per-corner
+        monotone, so a per-corner dominator stays at least as good at every
+        corner, whereas comparing only worst-corner scalars could discard a
+        candidate that a corner-skewed downstream edge would have made the
+        better sign-off tree.
         """
+        if self.corner_capacitance is not None and other.corner_capacitance is not None:
+            return all(
+                a <= b + tol
+                for a, b in zip(self.corner_capacitance, other.corner_capacitance)
+            ) and all(
+                a <= b + tol
+                for a, b in zip(self.corner_max_delay, other.corner_max_delay)
+            )
         return (
             self.capacitance <= other.capacitance + tol
             and self.max_delay <= other.max_delay + tol
@@ -79,7 +172,17 @@ class CandidateSolution:
 
     def strictly_dominates(self, other: "CandidateSolution", tol: float = 1e-9) -> bool:
         """Dominates *and* is strictly better in at least one dimension."""
-        return self.dominates(other, tol) and (
+        if not self.dominates(other, tol):
+            return False
+        if self.corner_capacitance is not None and other.corner_capacitance is not None:
+            return any(
+                a < b - tol
+                for a, b in zip(self.corner_capacitance, other.corner_capacitance)
+            ) or any(
+                a < b - tol
+                for a, b in zip(self.corner_max_delay, other.corner_max_delay)
+            )
+        return (
             self.capacitance < other.capacitance - tol
             or self.max_delay < other.max_delay - tol
         )
@@ -92,6 +195,9 @@ class CandidateSolution:
         min_delay: float,
         added_buffers: int,
         added_ntsvs: int,
+        corner_capacitance: tuple[float, ...] | None = None,
+        corner_max_delay: tuple[float, ...] | None = None,
+        corner_min_delay: tuple[float, ...] | None = None,
     ) -> "CandidateSolution":
         """Return a new candidate obtained by applying ``pattern`` above this one."""
         return CandidateSolution(
@@ -103,6 +209,9 @@ class CandidateSolution:
             ntsv_count=self.ntsv_count + added_ntsvs,
             pattern=pattern,
             children=(self,),
+            corner_capacitance=corner_capacitance,
+            corner_max_delay=corner_max_delay,
+            corner_min_delay=corner_min_delay,
         )
 
     @staticmethod
@@ -111,12 +220,15 @@ class CandidateSolution:
 
         The merge is only legal when both upstream sides agree (the paper's
         connectivity constraint); the caller must enforce that before calling.
+        Corner tuples, when present on both, merge element-wise (sum of
+        capacitances, max/min of the path delays per corner).
         """
         if a.up_side is not b.up_side:
             raise ValueError(
                 "cannot merge candidates with different upstream sides "
                 f"({a.up_side.value} vs {b.up_side.value})"
             )
+        corner_cap, corner_max, corner_min = merged_corner_tuples(a, b)
         return CandidateSolution(
             up_side=a.up_side,
             capacitance=a.capacitance + b.capacitance,
@@ -126,4 +238,7 @@ class CandidateSolution:
             ntsv_count=a.ntsv_count + b.ntsv_count,
             pattern=None,
             children=(a, b),
+            corner_capacitance=corner_cap,
+            corner_max_delay=corner_max,
+            corner_min_delay=corner_min,
         )

@@ -17,6 +17,17 @@ Implements the four steps of Section III-C.2 and Fig. 7:
    chosen pattern of every DP node is realised on the clock tree (buffer and
    nTSV nodes are inserted, wire sides assigned), producing a legal
    double-side clock tree without any extra legalisation step.
+
+**Corner-aware construction.**  Pass ``corners=`` (a
+:class:`~repro.tech.corners.CornerSet`, a scenario, or a spec string) to run
+the whole DP against a PVT corner batch: every candidate carries per-corner
+(capacitance, max delay, min delay) tuples evaluated against the
+``scenario.apply_to(pdk)`` corner PDKs, pruning switches to worst-corner
+dominance, and the MOES / min-latency selection scores the worst-corner
+delay — so the selected tree optimises what multi-corner sign-off actually
+measures.  The scalar candidate fields keep mirroring the primary (nominal)
+corner, and a nominal-only run (``corners=None``) is bit-identical to the
+classic single-corner DP.
 """
 
 from __future__ import annotations
@@ -26,11 +37,17 @@ from typing import Callable, Sequence
 
 from repro.clocktree import ClockTree
 from repro.geometry.point import point_toward
-from repro.insertion.candidate import CandidateSolution
-from repro.insertion.dp_tree import DpNode, DpTree, build_dp_tree
+from repro.insertion.candidate import CandidateSolution, merged_corner_tuples
+from repro.insertion.dp_tree import (
+    DpNode,
+    DpTree,
+    attach_corner_bases,
+    build_dp_tree,
+)
 from repro.insertion.moes import MoesWeights, select_by_moes, select_min_latency
 from repro.insertion.patterns import EdgePattern, InsertionMode, patterns_for
 from repro.insertion.pruning import prune_per_side
+from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 from repro.timing import TimingResult, create_engine
@@ -54,6 +71,11 @@ class InsertionConfig:
             mode assignment callable or fanout threshold overrides it.
         root_resistance: drive resistance (kOhm) of the clock source, used to
             translate root candidates into latency estimates.
+        corners: PVT corner batch the DP optimises against (a
+            :class:`~repro.tech.corners.CornerSet`, a scenario, or a spec
+            string); ``None`` keeps the classic nominal-only cost model.  An
+            explicit ``corners=`` argument to :class:`ConcurrentInserter`
+            takes precedence.
     """
 
     weights: MoesWeights = field(default_factory=MoesWeights)
@@ -63,6 +85,7 @@ class InsertionConfig:
     max_candidates_per_side: int | None = 16
     default_mode: InsertionMode = InsertionMode.FULL
     root_resistance: float = 0.1
+    corners: CornerSet | Scenario | str | None = None
 
     def __post_init__(self) -> None:
         if self.selection not in ("moes", "min_latency"):
@@ -71,7 +94,12 @@ class InsertionConfig:
 
 @dataclass
 class InsertionResult:
-    """Outcome of the concurrent buffer and nTSV insertion."""
+    """Outcome of the concurrent buffer and nTSV insertion.
+
+    ``timing`` always reports the primary (nominal) corner;
+    ``timing_per_corner`` carries one result per scenario when the DP ran
+    corner-aware (and is ``None`` for nominal-only runs).
+    """
 
     tree: ClockTree
     dp_tree: DpTree
@@ -80,6 +108,7 @@ class InsertionResult:
     timing: TimingResult
     inserted_buffers: int
     inserted_ntsvs: int
+    timing_per_corner: dict[str, TimingResult] | None = None
 
     @property
     def latency(self) -> float:
@@ -89,14 +118,32 @@ class InsertionResult:
     def skew(self) -> float:
         return self.timing.skew
 
+    @property
+    def worst_latency(self) -> float:
+        """Largest latency across the corner batch (nominal when no corners)."""
+        if not self.timing_per_corner:
+            return self.latency
+        return max(r.latency for r in self.timing_per_corner.values())
+
+    @property
+    def worst_skew(self) -> float:
+        """Largest skew across the corner batch (nominal when no corners)."""
+        if not self.timing_per_corner:
+            return self.skew
+        return max(r.skew for r in self.timing_per_corner.values())
+
     def summary(self) -> dict[str, float | int]:
-        return {
+        summary: dict[str, float | int] = {
             "latency_ps": round(self.timing.latency, 3),
             "skew_ps": round(self.timing.skew, 3),
             "buffers": self.inserted_buffers,
             "ntsvs": self.inserted_ntsvs,
             "root_candidates": len(self.root_candidates),
         }
+        if self.timing_per_corner:
+            summary["worst_latency_ps"] = round(self.worst_latency, 3)
+            summary["worst_skew_ps"] = round(self.worst_skew, 3)
+        return summary
 
 
 class ConcurrentInserter:
@@ -107,10 +154,22 @@ class ConcurrentInserter:
         pdk: Pdk,
         config: InsertionConfig | None = None,
         engine: str | None = None,
+        corners: CornerSet | Scenario | str | None = None,
     ) -> None:
         self.pdk = pdk
         self.config = config if config is not None else InsertionConfig()
-        self._engine = create_engine(pdk, engine)
+        if corners is None:
+            corners = self.config.corners
+        self._engine = create_engine(pdk, engine, corners=corners)
+        # The engine resolves the corner set (nominal prepended when absent)
+        # and derives the per-corner PDKs, so DP candidate tuples and engine
+        # corner batches share one order and one technology.
+        self.corners = self._engine.corners
+        self._corner_aware = corners is not None and len(self.corners) > 1
+        self._primary = self._engine.primary_index
+        self._corner_pdks = (
+            self._engine.corner_pdks if self._corner_aware else [pdk]
+        )
 
     # ----------------------------------------------------------------- public
     def run(
@@ -135,7 +194,11 @@ class ConcurrentInserter:
                 self.pdk,
                 max_segment_length=self.config.max_segment_length,
                 default_mode=self.config.default_mode,
+                corner_pdks=self._corner_pdks if self._corner_aware else None,
             )
+        elif self._corner_aware:
+            # A pre-built DP tree may lack (or carry stale) corner bases.
+            attach_corner_bases(dp_tree, self._corner_pdks)
         if mode_of is not None:
             dp_tree.configure_modes(mode_of)
         if fanout_threshold is not None:
@@ -147,6 +210,11 @@ class ConcurrentInserter:
         self._top_down(dp_tree, candidates, selected)
 
         timing = self._engine.analyze(tree)
+        timing_per_corner = (
+            self._engine.analyze_corners(tree, with_slew=False)
+            if self._corner_aware
+            else None
+        )
         return InsertionResult(
             tree=tree,
             dp_tree=dp_tree,
@@ -155,6 +223,7 @@ class ConcurrentInserter:
             timing=timing,
             inserted_buffers=tree.buffer_count(),
             inserted_ntsvs=tree.ntsv_count(),
+            timing_per_corner=timing_per_corner,
         )
 
     # ------------------------------------------------------- step 2: bottom-up
@@ -201,6 +270,7 @@ class ConcurrentInserter:
         lists one candidate per predecessor, in predecessor order, which is
         what the top-down decision retraces.
         """
+        corner_aware = self._corner_aware
         if dp_node.is_leaf:
             return [
                 CandidateSolution(
@@ -208,6 +278,15 @@ class ConcurrentInserter:
                     capacitance=dp_node.base_capacitance,
                     max_delay=dp_node.base_max_delay,
                     min_delay=dp_node.base_min_delay,
+                    corner_capacitance=(
+                        dp_node.corner_base_capacitance if corner_aware else None
+                    ),
+                    corner_max_delay=(
+                        dp_node.corner_base_max_delay if corner_aware else None
+                    ),
+                    corner_min_delay=(
+                        dp_node.corner_base_min_delay if corner_aware else None
+                    ),
                 )
             ]
 
@@ -225,6 +304,9 @@ class ConcurrentInserter:
                         buffer_count=c.buffer_count,
                         ntsv_count=c.ntsv_count,
                         children=(c,),
+                        corner_capacitance=c.corner_capacitance,
+                        corner_max_delay=c.corner_max_delay,
+                        corner_min_delay=c.corner_min_delay,
                     )
                     for c in pred_cands
                 ]
@@ -235,6 +317,9 @@ class ConcurrentInserter:
                 for cand in pred_cands:
                     if cand.up_side is not combo.up_side:
                         continue  # connectivity constraint at the shared vertex
+                    corner_cap, corner_max, corner_min = merged_corner_tuples(
+                        combo, cand
+                    )
                     next_combos.append(
                         CandidateSolution(
                             up_side=combo.up_side,
@@ -244,6 +329,9 @@ class ConcurrentInserter:
                             buffer_count=combo.buffer_count + cand.buffer_count,
                             ntsv_count=combo.ntsv_count + cand.ntsv_count,
                             children=combo.children + (cand,),
+                            corner_capacitance=corner_cap,
+                            corner_max_delay=corner_max,
+                            corner_min_delay=corner_min,
                         )
                     )
             combos = next_combos
@@ -258,11 +346,22 @@ class ConcurrentInserter:
         for combo in combos:
             max_delay = combo.max_delay
             min_delay = combo.min_delay
+            corner_max = combo.corner_max_delay
+            corner_min = combo.corner_min_delay
             if dp_node.has_direct_sinks:
                 if combo.up_side is not Side.FRONT:
                     continue  # leaf nets are front-side: the vertex must be front
                 max_delay = max(max_delay, dp_node.base_max_delay)
                 min_delay = min(min_delay, dp_node.base_min_delay)
+                if corner_aware:
+                    corner_max = tuple(
+                        max(a, b)
+                        for a, b in zip(corner_max, dp_node.corner_base_max_delay)
+                    )
+                    corner_min = tuple(
+                        min(a, b)
+                        for a, b in zip(corner_min, dp_node.corner_base_min_delay)
+                    )
             finalized.append(
                 CandidateSolution(
                     up_side=combo.up_side,
@@ -272,6 +371,19 @@ class ConcurrentInserter:
                     buffer_count=combo.buffer_count,
                     ntsv_count=combo.ntsv_count,
                     children=combo.children,
+                    corner_capacitance=(
+                        tuple(
+                            cap + base
+                            for cap, base in zip(
+                                combo.corner_capacitance,
+                                dp_node.corner_base_capacitance,
+                            )
+                        )
+                        if corner_aware
+                        else None
+                    ),
+                    corner_max_delay=corner_max,
+                    corner_min_delay=corner_min,
                 )
             )
         if not finalized:
@@ -311,24 +423,26 @@ class ConcurrentInserter:
                     results.append(candidate)
         return results
 
-    def _apply_pattern(
+    def _pattern_cost(
         self,
         pattern: EdgePattern,
         length: float,
-        base: CandidateSolution,
-        enforce_driver_load: bool = True,
-    ) -> CandidateSolution | None:
-        """Electrical effect of implementing one edge with ``pattern``.
+        cap: float,
+        corner_pdk: Pdk,
+        enforce_driver_load: bool,
+    ) -> tuple[float, float] | None:
+        """(added delay, new upstream cap) of one pattern at one corner.
 
         Matches the realisation in :meth:`_realize_pattern` and therefore the
-        Elmore engine exactly (Eq. (1) / Eq. (2) of the paper).  Returns None
-        when the pattern would make an inserted buffer drive more than the
-        PDK's maximum load (and ``enforce_driver_load`` is set).
+        Elmore engine exactly (Eq. (1) / Eq. (2) of the paper) — per corner,
+        because ``corner_pdk`` is the ``scenario.apply_to(pdk)`` technology of
+        one operating point.  Returns None when the pattern would make an
+        inserted buffer drive more than the PDK's maximum load (and
+        ``enforce_driver_load`` is set).
         """
-        front = self.pdk.front_layer
-        back = self.pdk.back_layer if self.pdk.has_backside else None
-        buffer = self.pdk.buffer
-        cap = base.capacitance
+        front = corner_pdk.front_layer
+        back = corner_pdk.back_layer if corner_pdk.has_backside else None
+        buffer = corner_pdk.buffer
         delay = 0.0
 
         if pattern.name == "P2_Wiring_F":
@@ -342,15 +456,15 @@ class ConcurrentInserter:
             half = length / 2.0
             delay += front.wire_delay(half, cap)
             cap += front.wire_capacitance(half)
-            if enforce_driver_load and cap > self.pdk.max_capacitance + 1e-9:
+            if enforce_driver_load and cap > corner_pdk.max_capacitance + 1e-9:
                 return None
             delay += buffer.delay(cap)
             cap = buffer.input_capacitance
             delay += front.wire_delay(half, cap)
             cap += front.wire_capacitance(half)
         elif pattern.name == "P4_nTSV1":
-            assert back is not None and self.pdk.ntsv is not None
-            ntsv = self.pdk.ntsv
+            assert back is not None and corner_pdk.ntsv is not None
+            ntsv = corner_pdk.ntsv
             delay += ntsv.delay(cap)
             cap += ntsv.capacitance
             delay += back.wire_delay(length, cap)
@@ -358,29 +472,82 @@ class ConcurrentInserter:
             delay += ntsv.delay(cap)
             cap += ntsv.capacitance
         elif pattern.name == "P5_nTSV2":
-            assert back is not None and self.pdk.ntsv is not None
-            ntsv = self.pdk.ntsv
+            assert back is not None and corner_pdk.ntsv is not None
+            ntsv = corner_pdk.ntsv
             delay += ntsv.delay(cap)
             cap += ntsv.capacitance
             delay += back.wire_delay(length, cap)
             cap += back.wire_capacitance(length)
         elif pattern.name == "P6_nTSV3":
-            assert back is not None and self.pdk.ntsv is not None
-            ntsv = self.pdk.ntsv
+            assert back is not None and corner_pdk.ntsv is not None
+            ntsv = corner_pdk.ntsv
             delay += back.wire_delay(length, cap)
             cap += back.wire_capacitance(length)
             delay += ntsv.delay(cap)
             cap += ntsv.capacitance
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown pattern {pattern.name!r}")
+        return delay, cap
 
+    def _apply_pattern(
+        self,
+        pattern: EdgePattern,
+        length: float,
+        base: CandidateSolution,
+        enforce_driver_load: bool = True,
+    ) -> CandidateSolution | None:
+        """Electrical effect of implementing one edge with ``pattern``.
+
+        Nominal runs evaluate the single-corner cost; corner-aware runs
+        evaluate the per-corner loop over the corner PDKs (the executable
+        spec of the corner cost model) and keep the scalar fields mirroring
+        the primary corner.  A pattern illegal at *any* corner (buffer
+        overload) is rejected outright — the constraint is physical.
+        """
+        if not self._corner_aware:
+            cost = self._pattern_cost(
+                pattern, length, base.capacitance, self.pdk, enforce_driver_load
+            )
+            if cost is None:
+                return None
+            delay, cap = cost
+            return base.with_pattern(
+                pattern,
+                capacitance=cap,
+                max_delay=base.max_delay + delay,
+                min_delay=base.min_delay + delay,
+                added_buffers=pattern.buffer_count,
+                added_ntsvs=pattern.ntsv_count,
+            )
+
+        caps: list[float] = []
+        max_delays: list[float] = []
+        min_delays: list[float] = []
+        for k, corner_pdk in enumerate(self._corner_pdks):
+            cost = self._pattern_cost(
+                pattern,
+                length,
+                base.corner_capacitance[k],
+                corner_pdk,
+                enforce_driver_load,
+            )
+            if cost is None:
+                return None
+            delay, cap = cost
+            caps.append(cap)
+            max_delays.append(base.corner_max_delay[k] + delay)
+            min_delays.append(base.corner_min_delay[k] + delay)
+        primary = self._primary
         return base.with_pattern(
             pattern,
-            capacitance=cap,
-            max_delay=base.max_delay + delay,
-            min_delay=base.min_delay + delay,
+            capacitance=caps[primary],
+            max_delay=max_delays[primary],
+            min_delay=min_delays[primary],
             added_buffers=pattern.buffer_count,
             added_ntsvs=pattern.ntsv_count,
+            corner_capacitance=tuple(caps),
+            corner_max_delay=tuple(max_delays),
+            corner_min_delay=tuple(min_delays),
         )
 
     # -------------------------------------------------------- step 3: selection
@@ -390,6 +557,7 @@ class ConcurrentInserter:
         candidates: dict[int, list[CandidateSolution]],
     ) -> list[CandidateSolution]:
         """Combine the root DP nodes at the clock source (front side only)."""
+        corner_aware = self._corner_aware
         combos: list[CandidateSolution] = []
         first = True
         for root_dp in dp_tree.root_nodes:
@@ -410,25 +578,38 @@ class ConcurrentInserter:
                         buffer_count=c.buffer_count,
                         ntsv_count=c.ntsv_count,
                         children=(c,),
+                        corner_capacitance=c.corner_capacitance,
+                        corner_max_delay=c.corner_max_delay,
+                        corner_min_delay=c.corner_min_delay,
                     )
                     for c in cands
                 ]
                 first = False
                 continue
-            combos = [
-                CandidateSolution(
-                    up_side=Side.FRONT,
-                    capacitance=combo.capacitance + cand.capacitance,
-                    max_delay=max(combo.max_delay, cand.max_delay),
-                    min_delay=min(combo.min_delay, cand.min_delay),
-                    buffer_count=combo.buffer_count + cand.buffer_count,
-                    ntsv_count=combo.ntsv_count + cand.ntsv_count,
-                    children=combo.children + (cand,),
-                )
-                for combo in combos
-                for cand in cands
-            ]
-        # Account for the clock source driving the root load.
+            next_combos = []
+            for combo in combos:
+                for cand in cands:
+                    corner_cap, corner_max, corner_min = merged_corner_tuples(
+                        combo, cand
+                    )
+                    next_combos.append(
+                        CandidateSolution(
+                            up_side=Side.FRONT,
+                            capacitance=combo.capacitance + cand.capacitance,
+                            max_delay=max(combo.max_delay, cand.max_delay),
+                            min_delay=min(combo.min_delay, cand.min_delay),
+                            buffer_count=combo.buffer_count + cand.buffer_count,
+                            ntsv_count=combo.ntsv_count + cand.ntsv_count,
+                            children=combo.children + (cand,),
+                            corner_capacitance=corner_cap,
+                            corner_max_delay=corner_max,
+                            corner_min_delay=corner_min,
+                        )
+                    )
+            combos = next_combos
+        # Account for the clock source driving the root load.  The source
+        # drive resistance is corner-independent, but the driven load is not,
+        # so each corner gets its own source delay.
         final = []
         for combo in combos:
             source_delay = self.config.root_resistance * combo.capacitance
@@ -441,6 +622,27 @@ class ConcurrentInserter:
                     buffer_count=combo.buffer_count,
                     ntsv_count=combo.ntsv_count,
                     children=combo.children,
+                    corner_capacitance=combo.corner_capacitance,
+                    corner_max_delay=(
+                        tuple(
+                            d + self.config.root_resistance * cap
+                            for d, cap in zip(
+                                combo.corner_max_delay, combo.corner_capacitance
+                            )
+                        )
+                        if corner_aware
+                        else None
+                    ),
+                    corner_min_delay=(
+                        tuple(
+                            d + self.config.root_resistance * cap
+                            for d, cap in zip(
+                                combo.corner_min_delay, combo.corner_capacitance
+                            )
+                        )
+                        if corner_aware
+                        else None
+                    ),
                 )
             )
         return final

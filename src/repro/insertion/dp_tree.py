@@ -14,7 +14,7 @@ a physically long route (part of the double-side design space formulation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.geometry.point import point_toward
@@ -42,6 +42,10 @@ class DpNode:
             children (the leaf net stays on the front side).
         base_max_delay / base_min_delay: worst / best delay (ps) from the
             downstream vertex through the leaf net to its direct sinks.
+        corner_base_capacitance / corner_base_max_delay /
+        corner_base_min_delay: per-corner tuples of the same three base
+            quantities, populated by :func:`attach_corner_bases` for
+            corner-aware DP runs; ``None`` on nominal-only trees.
     """
 
     index: int
@@ -53,6 +57,9 @@ class DpNode:
     base_capacitance: float = 0.0
     base_max_delay: float = 0.0
     base_min_delay: float = 0.0
+    corner_base_capacitance: tuple[float, ...] | None = None
+    corner_base_max_delay: tuple[float, ...] | None = None
+    corner_base_min_delay: tuple[float, ...] | None = None
 
     @property
     def is_leaf(self) -> bool:
@@ -159,11 +166,54 @@ def segment_long_edges(tree: ClockTree, max_segment_length: float) -> int:
     return added
 
 
+def _leaf_net_base(tree_node: ClockTreeNode, front_layer) -> tuple[float, float, float]:
+    """Static (cap, max delay, min delay) of one vertex's direct leaf net.
+
+    The leaf net stays on the front side, so the only technology input is the
+    front clock layer — which is what varies per corner when the DP runs
+    corner-aware (see :func:`attach_corner_bases`).
+    """
+    base_cap = tree_node.capacitance
+    base_max = 0.0
+    base_min = float("inf")
+    has_sink_child = False
+    for child in tree_node.children:
+        if not child.is_sink:
+            continue
+        has_sink_child = True
+        length = child.edge_length()
+        base_cap += front_layer.wire_capacitance(length) + child.capacitance
+        delay = front_layer.wire_delay(length, child.capacitance)
+        base_max = max(base_max, delay)
+        base_min = min(base_min, delay)
+    if not has_sink_child:
+        base_min = 0.0
+    return base_cap, base_max, base_min
+
+
+def attach_corner_bases(dp_tree: DpTree, corner_pdks: Sequence[Pdk]) -> None:
+    """Populate per-corner leaf-net bases on every DP node.
+
+    ``corner_pdks`` is the corner-scaled PDK list (one
+    ``scenario.apply_to(pdk)`` per scenario, corner order) of a resolved
+    :class:`~repro.tech.corners.CornerSet`.  Idempotent: re-attaching with a
+    different corner set simply overwrites the tuples, so a DP tree built
+    nominal-only (or for another corner set) can be reused.
+    """
+    layers = [corner_pdk.front_layer for corner_pdk in corner_pdks]
+    for dp_node in dp_tree.nodes:
+        bases = [_leaf_net_base(dp_node.tree_child, layer) for layer in layers]
+        dp_node.corner_base_capacitance = tuple(b[0] for b in bases)
+        dp_node.corner_base_max_delay = tuple(b[1] for b in bases)
+        dp_node.corner_base_min_delay = tuple(b[2] for b in bases)
+
+
 def build_dp_tree(
     tree: ClockTree,
     pdk: Pdk,
     max_segment_length: float | None = 200.0,
     default_mode: InsertionMode = InsertionMode.FULL,
+    corner_pdks: Sequence[Pdk] | None = None,
 ) -> DpTree:
     """Build the DP tree over the trunk edges of ``tree``.
 
@@ -174,6 +224,8 @@ def build_dp_tree(
         max_segment_length: maximum trunk edge length (um) before the edge is
             subdivided; ``None`` disables segmentation.
         default_mode: initial insertion mode of every DP node.
+        corner_pdks: when given, per-corner leaf-net bases are attached for a
+            corner-aware DP run (see :func:`attach_corner_bases`).
 
     Returns:
         The :class:`DpTree` with nodes listed in bottom-up (children before
@@ -194,21 +246,7 @@ def build_dp_tree(
             for child in tree_node.children
             if not child.is_sink and id(child) in dp_by_tree_node
         ]
-        base_cap = tree_node.capacitance
-        base_max = 0.0
-        base_min = float("inf")
-        has_sink_child = False
-        for child in tree_node.children:
-            if not child.is_sink:
-                continue
-            has_sink_child = True
-            length = child.edge_length()
-            base_cap += front_layer.wire_capacitance(length) + child.capacitance
-            delay = front_layer.wire_delay(length, child.capacitance)
-            base_max = max(base_max, delay)
-            base_min = min(base_min, delay)
-        if not has_sink_child:
-            base_min = 0.0
+        base_cap, base_max, base_min = _leaf_net_base(tree_node, front_layer)
         dp_node = DpNode(
             index=len(nodes),
             tree_child=tree_node,
@@ -230,4 +268,7 @@ def build_dp_tree(
     ]
     if not root_nodes:
         raise ValueError("the clock tree has no trunk edges to optimise")
-    return DpTree(nodes=nodes, root_nodes=root_nodes, clock_tree=tree)
+    dp_tree = DpTree(nodes=nodes, root_nodes=root_nodes, clock_tree=tree)
+    if corner_pdks is not None:
+        attach_corner_bases(dp_tree, corner_pdks)
+    return dp_tree

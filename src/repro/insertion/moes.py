@@ -8,6 +8,11 @@ final solution is the candidate minimising
 
 with the paper's defaults alpha=1, beta=10, gamma=1.  A pure minimum-latency
 selector is also provided for the Fig. 10 comparison (w/ vs w/o MOES).
+
+Corner-aware DP runs score the latency term on the candidate's *worst-corner*
+delay (``CandidateSolution.worst_max_delay``), so the selected tree signs off
+across the whole corner batch; nominal-only candidates reduce to the classic
+scalar behaviour because their worst values equal the scalar fields.
 """
 
 from __future__ import annotations
@@ -37,9 +42,9 @@ class MoesWeights:
             raise ValueError("at least one MOES weight must be positive")
 
     def score(self, candidate: CandidateSolution) -> float:
-        """Evaluate Eq. (3) for a root candidate."""
+        """Evaluate Eq. (3) for a root candidate (worst-corner latency)."""
         return (
-            self.alpha * candidate.max_delay
+            self.alpha * candidate.worst_max_delay
             + self.beta * candidate.buffer_count
             + self.gamma * candidate.ntsv_count
         )
@@ -60,11 +65,15 @@ def select_min_latency(candidates: Sequence[CandidateSolution]) -> CandidateSolu
     """Return the root candidate with the smallest worst-path delay.
 
     Ties are broken by fewer resources, which mirrors how a latency-only
-    objective would still prefer cheaper implementations.
+    objective would still prefer cheaper implementations.  Corner-aware
+    candidates are ranked by their worst-corner delay.
     """
     if not candidates:
         raise ValueError("cannot select from an empty candidate set")
-    return min(candidates, key=lambda c: (c.max_delay, c.resource_count, c.capacitance))
+    return min(
+        candidates,
+        key=lambda c: (c.worst_max_delay, c.resource_count, c.worst_capacitance),
+    )
 
 
 def pareto_front(

@@ -6,6 +6,14 @@ capacitance and worst path delay are both no better than another candidate
 on the same side can never be part of an optimal-latency solution and is
 dropped.  A separate filter removes candidates violating the maximum
 driven-capacitance constraint.
+
+Corner-aware DP runs prune on **per-corner vector dominance**
+(:meth:`CandidateSolution.dominates`): a candidate dies only when another
+same-side candidate is no worse in capacitance *and* delay at every corner
+of the batch — the sound multi-corner extension, since downstream deltas are
+per-corner monotone.  The maximum-load filter likewise must hold at every
+corner (worst-corner capacitance).  Nominal-only candidates keep the classic
+scalar staircase unchanged.
 """
 
 from __future__ import annotations
@@ -20,10 +28,14 @@ from repro.tech.layers import Side
 def filter_max_cap(
     candidates: Iterable[CandidateSolution], max_capacitance: float
 ) -> list[CandidateSolution]:
-    """Drop candidates whose effective capacitance exceeds the PDK limit."""
+    """Drop candidates whose effective capacitance exceeds the PDK limit.
+
+    Corner-aware candidates are filtered on their worst-corner capacitance:
+    the constraint is physical and must hold at every operating point.
+    """
     if max_capacitance <= 0:
         raise ValueError("max capacitance must be positive")
-    return [c for c in candidates if c.capacitance <= max_capacitance + 1e-9]
+    return [c for c in candidates if c.worst_capacitance <= max_capacitance + 1e-9]
 
 
 def prune_dominated(
@@ -40,22 +52,31 @@ def prune_dominated(
     """
     if not candidates:
         return []
-    # Sort by capacitance, then delay: a sweep keeps the lower-left staircase.
-    ordered = sorted(candidates, key=lambda c: (c.capacitance, c.max_delay, c.resource_count))
+    corner_aware = candidates[0].corner_capacitance is not None
+    # Sort by capacitance, then delay (worst-corner values for corner-aware
+    # sets; identical to the scalars otherwise): a sweep keeps the
+    # lower-left staircase.
+    ordered = sorted(
+        candidates,
+        key=lambda c: (c.worst_capacitance, c.worst_max_delay, c.resource_count),
+    )
     kept: list[CandidateSolution] = []
     best_delay = float("inf")
     best_resources = float("inf")
     for cand in ordered:
-        dominated = cand.max_delay >= best_delay - tol
+        if corner_aware:
+            # Vector dominance: a per-corner dominator sorts no later than
+            # its victims (up to tol), so testing against the kept set
+            # suffices.
+            dominated = any(keeper.dominates(cand, tol) for keeper in kept)
+        else:
+            dominated = cand.max_delay >= best_delay - tol
         if dominated and keep_resource_diversity:
             dominated = cand.resource_count >= best_resources
         if not dominated:
             kept.append(cand)
             best_delay = min(best_delay, cand.max_delay)
             best_resources = min(best_resources, cand.resource_count)
-        elif keep_resource_diversity and cand.resource_count < best_resources:
-            kept.append(cand)
-            best_resources = cand.resource_count
     return kept
 
 
@@ -106,11 +127,14 @@ def _beam_select(
     high-capacitance solutions that leave no head-room for the wires above
     them, so the beam samples the staircase evenly: the lowest-capacitance
     and the lowest-delay candidates are always retained and the rest are
-    taken at even intervals in between.
+    taken at even intervals in between.  Corner-aware runs walk the
+    worst-corner staircase, matching the dominance sweep.
     """
-    ordered = sorted(candidates, key=lambda c: (c.capacitance, c.max_delay))
+    ordered = sorted(
+        candidates, key=lambda c: (c.worst_capacitance, c.worst_max_delay)
+    )
     if beam_width <= 1:
-        return [min(ordered, key=lambda c: c.max_delay)]
+        return [min(ordered, key=lambda c: c.worst_max_delay)]
     last = len(ordered) - 1
     indices = {round(i * last / (beam_width - 1)) for i in range(beam_width)}
     return [ordered[i] for i in sorted(indices)]

@@ -9,6 +9,12 @@ where ``N`` is the sink count, ``m`` the hard cap (33 in the paper), and
 (``N / 10000 <= 0.6``), decreasing linearly to ``t = 0.06`` at
 ``N / 10000 >= 1.0``.  Larger designs therefore refine a smaller *fraction*
 of their sinks, keeping the refinement cost bounded.
+
+The budget is deliberately independent of the PVT corner count: a
+corner-aware refinement run (``SkewRefiner(..., corners=...)``) scores each
+of the same ``n`` trial edits with one corner-batched engine pass, so adding
+corners changes the per-trial cost model, not how many end-points are
+touched — which keeps nominal and corner-aware runs directly comparable.
 """
 
 from __future__ import annotations

@@ -15,28 +15,94 @@ Two orderings are provided (see DESIGN.md, "Interpretation notes"):
 * ``shield_slow``: refine the end-points whose sinks arrive latest.  The
   buffer decouples the leaf-net load from the trunk, which can reduce the
   slow paths when the shielding gain exceeds the buffer delay.
+
+**Corner-aware refinement.**  Pass ``corners=`` to optimise the worst corner
+of a PVT batch instead of the nominal point: end-points are ranked by the
+arrivals of the *worst-skew corner*, and an edit is accepted only when it
+improves the worst-corner skew without degrading the worst-corner latency
+or regressing the nominal skew beyond ``nominal_skew_budget``.  Every trial
+is scored by one corner-batched (incremental) engine pass — the engine is
+created once and never re-instantiated in the loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.refinement.adaptive import refined_endpoint_count
+from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 from repro.timing import TimingResult, create_engine
 
 
 @dataclass
+class _TimingSnapshot:
+    """One measurement of the tree: per-corner skew/latency scalars.
+
+    The trial loop only ever needs these scalars (one batched
+    ``skew_per_corner``/``latency_per_corner`` pass each, served from the
+    engine's cached sink-arrival matrix); the full per-sink ``nominal`` and
+    ``ranking`` results are attached — by :meth:`SkewRefiner._attach_arrivals`
+    while the tree is in this snapshot's state — only where arrivals are
+    actually consulted: the initial measurement, accepted trials, and the
+    report.  Nominal-only refinement carries a single (primary) corner.
+    """
+
+    corner_skews: dict[str, float]
+    corner_latencies: dict[str, float]
+    primary: str
+    nominal: TimingResult | None = None
+    ranking: TimingResult | None = None
+
+    @property
+    def nominal_skew(self) -> float:
+        return self.corner_skews[self.primary]
+
+    @property
+    def nominal_latency(self) -> float:
+        return self.corner_latencies[self.primary]
+
+    @property
+    def worst_skew(self) -> float:
+        return max(self.corner_skews.values())
+
+    @property
+    def worst_latency(self) -> float:
+        return max(self.corner_latencies.values())
+
+    @property
+    def worst_corner(self) -> str:
+        """Name of the worst-skew corner (the primary when nominal-only)."""
+        return max(self.corner_skews, key=self.corner_skews.__getitem__)
+
+    def violates(self, fraction: float) -> bool:
+        """Skew-trigger check: any corner exceeding ``fraction`` x latency."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        return any(
+            self.corner_skews[name] > fraction * self.corner_latencies[name]
+            for name in self.corner_skews
+        )
+
+
+@dataclass
 class SkewRefinementReport:
-    """Before/after record of one skew refinement run."""
+    """Before/after record of one skew refinement run.
+
+    ``before``/``after`` always report the nominal (primary) corner; the
+    ``corner_skews_*`` dicts carry the whole batch for corner-aware runs
+    (and stay empty for nominal-only refinement).
+    """
 
     triggered: bool
     refined_endpoints: int
     added_buffers: int
     before: TimingResult
     after: TimingResult
+    corner_skews_before: dict[str, float] = field(default_factory=dict)
+    corner_skews_after: dict[str, float] = field(default_factory=dict)
 
     @property
     def skew_reduction(self) -> float:
@@ -48,8 +114,27 @@ class SkewRefinementReport:
         """Latency change (ps); small positive values are expected."""
         return self.after.latency - self.before.latency
 
+    @property
+    def worst_skew_before(self) -> float:
+        """Worst-corner skew before refinement (nominal when no corners)."""
+        if not self.corner_skews_before:
+            return self.before.skew
+        return max(self.corner_skews_before.values())
+
+    @property
+    def worst_skew_after(self) -> float:
+        """Worst-corner skew after refinement (nominal when no corners)."""
+        if not self.corner_skews_after:
+            return self.after.skew
+        return max(self.corner_skews_after.values())
+
+    @property
+    def worst_skew_reduction(self) -> float:
+        """Worst-corner skew improvement (ps); positive when it decreased."""
+        return self.worst_skew_before - self.worst_skew_after
+
     def summary(self) -> dict[str, float | int | bool]:
-        return {
+        summary: dict[str, float | int | bool] = {
             "triggered": self.triggered,
             "refined_endpoints": self.refined_endpoints,
             "added_buffers": self.added_buffers,
@@ -58,6 +143,10 @@ class SkewRefinementReport:
             "latency_before_ps": round(self.before.latency, 3),
             "latency_after_ps": round(self.after.latency, 3),
         }
+        if self.corner_skews_before:
+            summary["worst_skew_before_ps"] = round(self.worst_skew_before, 3)
+            summary["worst_skew_after_ps"] = round(self.worst_skew_after, 3)
+        return summary
 
 
 class SkewRefiner:
@@ -71,63 +160,70 @@ class SkewRefiner:
         strategy: str = "pad_fast",
         force: bool = False,
         engine: str | None = None,
+        corners: CornerSet | Scenario | str | None = None,
+        nominal_skew_budget: float = 0.0,
     ) -> None:
         if not 0 < skew_trigger_fraction <= 1:
             raise ValueError("the skew trigger fraction must be in (0, 1]")
         if strategy not in ("pad_fast", "shield_slow"):
             raise ValueError(f"unknown refinement strategy {strategy!r}")
+        if nominal_skew_budget < 0:
+            raise ValueError("the nominal skew budget must be non-negative")
         self.pdk = pdk
         self.skew_trigger_fraction = skew_trigger_fraction
         self.max_endpoints = max_endpoints
         self.strategy = strategy
         self.force = force
+        self.nominal_skew_budget = nominal_skew_budget
         # The refiner's trial loop re-times the tree after every endpoint
         # edit; the (default) vectorized engine serves those queries from its
         # incremental re-timing path because every edit below is recorded
-        # with ``tree.mark_rewire``.
-        self._engine = create_engine(pdk, engine)
+        # with ``tree.mark_rewire`` — corner-batched when corners are given,
+        # so one pass scores all K corners of a trial.
+        self._engine = create_engine(pdk, engine, corners=corners)
+        self._corner_aware = corners is not None and len(self._engine.corners) > 1
+        self._primary_name = self._engine.corners[self._engine.primary_index].name
+        self._corner_pdks = (
+            dict(zip(self._engine.corners.names, self._engine.corner_pdks))
+            if self._corner_aware
+            else {}
+        )
 
     # ----------------------------------------------------------------- public
+    @property
+    def corners(self) -> CornerSet:
+        """The resolved corner set the refiner optimises against."""
+        return self._engine.corners
+
     def refine(self, tree: ClockTree) -> SkewRefinementReport:
         """Refine ``tree`` in place and return the before/after report."""
-        before = self._engine.analyze(tree)
-        if not self.force and not before.skew_violates(self.skew_trigger_fraction):
-            return SkewRefinementReport(
-                triggered=False,
-                refined_endpoints=0,
-                added_buffers=0,
-                before=before,
-                after=before,
-            )
+        before = self._measure(tree, with_arrivals=True)
+        if not self.force and not before.violates(self.skew_trigger_fraction):
+            return self._report(False, 0, 0, before, before)
 
         endpoints = self._end_points(tree)
         sink_count = tree.sink_count()
         budget = refined_endpoint_count(sink_count, self.max_endpoints)
-        ranked = self._rank_endpoints(tree, endpoints, before)[:budget]
+        ranked = self._rank_endpoints(tree, endpoints, before.ranking)[:budget]
 
         added, after = self._refine_batch(tree, ranked, before)
         if added == 0:
             added, after = self._refine_greedy(tree, ranked, before)
-        return SkewRefinementReport(
-            triggered=True,
-            refined_endpoints=len(ranked),
-            added_buffers=added,
-            before=before,
-            after=after,
-        )
+        return self._report(True, len(ranked), added, before, after)
 
     def _refine_batch(
         self,
         tree: ClockTree,
         ranked: list[ClockTreeNode],
-        before: TimingResult,
-    ) -> tuple[int, TimingResult]:
+        before: _TimingSnapshot,
+    ) -> tuple[int, _TimingSnapshot]:
         """Refine all budgeted end-points at once.
 
         The end-point buffers interact through the shared trunk (shielding a
         leaf net speeds up every sibling path), so refining them together
         lets those interactions cancel; the batch is accepted only when it
-        improves skew without degrading latency.
+        improves skew without degrading latency (worst-corner skew/latency
+        when the refiner runs corner-aware).
         """
         inserted: list[tuple[ClockTreeNode, ClockTreeNode]] = []
         for endpoint in ranked:
@@ -136,38 +232,35 @@ class SkewRefiner:
                 inserted.append((endpoint, buffer_node))
         if not inserted:
             return 0, before
-        after = self._engine.analyze(tree)
-        accepted = (
-            after.skew < before.skew - 1e-9
-            and after.latency <= before.latency + 1e-6
-        )
-        if not accepted:
+        after = self._measure(tree)
+        if not self._improves(after, before, before):
             for endpoint, buffer_node in inserted:
                 self._remove_endpoint_buffer(tree, endpoint, buffer_node)
             return 0, before
+        self._attach_arrivals(after, tree)
         return len(inserted), after
 
     def _refine_greedy(
         self,
         tree: ClockTree,
         ranked: list[ClockTreeNode],
-        before: TimingResult,
-    ) -> tuple[int, TimingResult]:
+        before: _TimingSnapshot,
+    ) -> tuple[int, _TimingSnapshot]:
         """Refine end-points one at a time, keeping only improving insertions."""
         added = 0
         current = before
         for endpoint in ranked:
-            if not self.force and not current.skew_violates(self.skew_trigger_fraction):
+            if not self.force and not current.violates(self.skew_trigger_fraction):
                 break
             buffer_node = self._insert_endpoint_buffer(tree, endpoint, current)
             if buffer_node is None:
                 continue
-            trial = self._engine.analyze(tree)
-            improves = (
-                trial.skew < current.skew - 1e-9
-                and trial.latency <= current.latency + 1e-6
-            )
-            if improves:
+            trial = self._measure(tree)
+            if self._improves(trial, current, before):
+                # The accepted trial becomes the snapshot later padded-sink
+                # selections consult, so it needs arrivals (the tree is in
+                # exactly this trial's state here).
+                self._attach_arrivals(trial, tree)
                 current = trial
                 added += 1
             else:
@@ -175,6 +268,95 @@ class SkewRefiner:
         return added, current
 
     # --------------------------------------------------------------- internals
+    def _measure(
+        self, tree: ClockTree, with_arrivals: bool = False
+    ) -> _TimingSnapshot:
+        """One engine pass over the tree (corner-batched when corner-aware).
+
+        The corner-aware per-trial hot path reads only per-corner
+        skew/latency scalars — both batched calls sync the same cached
+        engine state (the vectorized engine serves them from its cached
+        sink-arrival matrix), so a trial never builds K per-sink
+        dictionaries.  The nominal path keeps the classic single
+        ``analyze`` per trial (one full traversal on the reference engine),
+        which also makes its arrivals free to attach.  Slews are skipped
+        throughout: nothing in the refiner reads them.
+        """
+        if not self._corner_aware:
+            nominal = self._engine.analyze(tree, with_slew=False)
+            return _TimingSnapshot(
+                corner_skews={self._primary_name: nominal.skew},
+                corner_latencies={self._primary_name: nominal.latency},
+                primary=self._primary_name,
+                nominal=nominal,
+                ranking=nominal,
+            )
+        snapshot = _TimingSnapshot(
+            corner_skews=self._engine.skew_per_corner(tree),
+            corner_latencies=self._engine.latency_per_corner(tree),
+            primary=self._primary_name,
+        )
+        if with_arrivals:
+            self._attach_arrivals(snapshot, tree)
+        return snapshot
+
+    def _attach_arrivals(self, snapshot: _TimingSnapshot, tree: ClockTree) -> None:
+        """Materialise the per-sink results arrivals consumers need.
+
+        Must be called while ``tree`` is in exactly the state ``snapshot``
+        measured — i.e. on the initial snapshot, on an accepted trial, or on
+        the final state — never on a rejected (reverted) trial.
+        """
+        if snapshot.nominal is not None:
+            return  # nominal-path snapshots are born with arrivals
+        per_corner = self._engine.analyze_corners(tree, with_slew=False)
+        snapshot.nominal = per_corner[snapshot.primary]
+        snapshot.ranking = per_corner[snapshot.worst_corner]
+
+    def _improves(
+        self,
+        trial: _TimingSnapshot,
+        current: _TimingSnapshot,
+        initial: _TimingSnapshot,
+    ) -> bool:
+        """Accept/reject rule for one trial edit (or the whole batch).
+
+        Nominal runs keep the classic rule: skew strictly improves, latency
+        does not degrade.  Corner-aware runs apply the same rule to the
+        worst-corner skew/latency, plus a guard that the *nominal* skew never
+        regresses more than ``nominal_skew_budget`` past its initial value.
+        """
+        if not self._corner_aware:
+            return (
+                trial.nominal_skew < current.nominal_skew - 1e-9
+                and trial.nominal_latency <= current.nominal_latency + 1e-6
+            )
+        return (
+            trial.worst_skew < current.worst_skew - 1e-9
+            and trial.worst_latency <= current.worst_latency + 1e-6
+            and trial.nominal_skew
+            <= initial.nominal_skew + self.nominal_skew_budget + 1e-9
+        )
+
+    def _report(
+        self,
+        triggered: bool,
+        refined_endpoints: int,
+        added_buffers: int,
+        before: _TimingSnapshot,
+        after: _TimingSnapshot,
+    ) -> SkewRefinementReport:
+        corner_aware = self._corner_aware
+        return SkewRefinementReport(
+            triggered=triggered,
+            refined_endpoints=refined_endpoints,
+            added_buffers=added_buffers,
+            before=before.nominal,
+            after=after.nominal,
+            corner_skews_before=dict(before.corner_skews) if corner_aware else {},
+            corner_skews_after=dict(after.corner_skews) if corner_aware else {},
+        )
+
     @staticmethod
     def _end_points(tree: ClockTree) -> list[ClockTreeNode]:
         """End-points eligible for refinement: tap nodes (low centroids).
@@ -198,7 +380,9 @@ class SkewRefiner:
 
         ``pad_fast`` processes the clusters whose sinks arrive earliest (they
         define the minimum arrival and therefore the skew); ``shield_slow``
-        processes the clusters whose sinks arrive latest.
+        processes the clusters whose sinks arrive latest.  Corner-aware runs
+        rank by the worst-skew corner's arrivals (``timing`` is that
+        corner's result then).
         """
         scored: list[tuple[float, ClockTreeNode]] = []
         for endpoint in endpoints:
@@ -221,8 +405,20 @@ class SkewRefiner:
             if node.is_sink and node.name in timing.arrivals
         ]
 
+    def _estimation_pdk(self, snapshot: _TimingSnapshot) -> Pdk:
+        """Technology used to estimate the padded-sink buffer delay.
+
+        Corner-aware runs estimate at the worst-skew corner — the operating
+        point the accept/reject rule is trying to improve.
+        """
+        if not self._corner_aware:
+            return self.pdk
+        return self._corner_pdks[snapshot.worst_corner]
+
     def _padded_sinks(
-        self, endpoint: ClockTreeNode, timing: TimingResult
+        self,
+        endpoint: ClockTreeNode,
+        snapshot: _TimingSnapshot,
     ) -> list[ClockTreeNode]:
         """Select the sinks of the cluster that the end-point buffer will drive.
 
@@ -237,8 +433,12 @@ class SkewRefiner:
             return []
         if self.strategy == "shield_slow":
             return sink_children
+        timing = snapshot.ranking
+        if timing is None:  # pragma: no cover - internal misuse guard
+            raise RuntimeError("padded-sink selection needs an arrivals snapshot")
+        est_pdk = self._estimation_pdk(snapshot)
         latency = timing.latency
-        layer = self.pdk.front_layer
+        layer = est_pdk.front_layer
         selected = sink_children
         # Two fixed-point passes: the buffer delay depends on the selected load.
         for _ in range(2):
@@ -247,7 +447,7 @@ class SkewRefiner:
                 + c.capacitance
                 for c in selected
             )
-            added_delay = self.pdk.buffer.delay(load)
+            added_delay = est_pdk.buffer.delay(load)
             selected = [
                 c
                 for c in sink_children
@@ -258,14 +458,14 @@ class SkewRefiner:
         return selected
 
     def _insert_endpoint_buffer(
-        self, tree: ClockTree, endpoint: ClockTreeNode, timing: TimingResult
+        self, tree: ClockTree, endpoint: ClockTreeNode, snapshot: _TimingSnapshot
     ) -> ClockTreeNode | None:
         """Insert one buffer at the end-point, re-parenting (part of) its leaf net.
 
         Returns the inserted buffer node, or None when no sink of the cluster
         can profit from the buffer.
         """
-        padded = self._padded_sinks(endpoint, timing)
+        padded = self._padded_sinks(endpoint, snapshot)
         if not padded:
             return None
         buffer_node = ClockTreeNode(

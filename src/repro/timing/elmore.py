@@ -92,6 +92,22 @@ class ElmoreTimingEngine(ElmoreWireModel):
         self._slew = SlewAnalyzer(pdk)
         self._corner_engines: list["ElmoreTimingEngine"] | None = None
 
+    @property
+    def corner_pdks(self) -> list[Pdk]:
+        """The per-corner ``scenario.apply_to(pdk)`` technologies, corner order.
+
+        Exposed (mirroring the vectorized engine) so corner-aware
+        construction code shares the engine's corner resolution instead of
+        re-deriving PDKs at call sites.
+        """
+        return [engine.pdk for engine in self._engines_per_corner()]
+
+    @property
+    def primary_index(self) -> int:
+        """Index of the primary (nominal) corner in :attr:`corners`."""
+        index = self.corners.nominal_index()
+        return 0 if index is None else index
+
     # ------------------------------------------------------------------ loads
     def subtree_capacitances(self, tree: ClockTree) -> dict[int, float]:
         """Capacitance looking into each node from its parent wire.

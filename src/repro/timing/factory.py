@@ -15,6 +15,13 @@ vectorized kernel in one level-synchronous pass sharing a single tree
 compile, the reference engine as a per-corner loop.  Never hand-roll
 per-corner PDK loops at call sites; the factory keeps both engines on the
 same corner semantics.
+
+The construction optimizers follow the same contract: ``ConcurrentInserter``
+and ``SkewRefiner`` take ``corners=`` and resolve it through this factory,
+so a corner-aware refinement scores every trial edit with one corner-batched
+(incremental) pass and a corner-aware DP shares the engine's resolved corner
+order for its per-candidate cost tuples.  Construction code must not build
+per-corner engines in its loops.
 """
 
 from __future__ import annotations

@@ -40,7 +40,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
-from repro.clocktree.arrays import KIND_BUFFER, KIND_NTSV, KIND_ROOT, TreeArrays
+from repro.clocktree.arrays import (
+    KIND_BUFFER,
+    KIND_NTSV,
+    KIND_ROOT,
+    KIND_SINK,
+    TreeArrays,
+)
 from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
@@ -75,6 +81,9 @@ class _EngineState:
         "result_version",
         "result_arrivals",
         "result_slews",
+        "sink_rows_cache",
+        "sink_arrival",
+        "sink_col",
     )
 
     def __init__(self, arrays: TreeArrays, corner_count: int) -> None:
@@ -83,6 +92,13 @@ class _EngineState:
         self.result_version = -1
         self.result_arrivals: dict[str, float] | None = None
         self.result_slews: dict[str, float] | None = None
+        # Contiguous (corners, sinks) gather of the sink arrivals, kept fresh
+        # across incremental edits so skew/latency queries skip the per-call
+        # fancy-index gather (the dominant cost of the refinement trial loop
+        # on large trees).  None until the first query builds it.
+        self.sink_rows_cache: np.ndarray | None = None
+        self.sink_arrival: np.ndarray | None = None
+        self.sink_col: dict[int, int] | None = None
         n = arrays.capacity
         k = corner_count
         self.wire_cap = np.zeros((k, n))
@@ -95,6 +111,11 @@ class _EngineState:
         self.slew_at = np.zeros((k, n))
         self.slew_out = np.zeros((k, n))
         self.slews_valid = False
+
+    def drop_sink_arrivals(self) -> None:
+        self.sink_rows_cache = None
+        self.sink_arrival = None
+        self.sink_col = None
 
     def ensure_capacity(self) -> None:
         """Grow the numeric arrays in lockstep with the TreeArrays snapshot."""
@@ -149,6 +170,20 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         self._state: _EngineState | None = None
         self._primary = self.corners.nominal_index()
         self._compile_corner_tables()
+
+    @property
+    def corner_pdks(self) -> list[Pdk]:
+        """The per-corner ``scenario.apply_to(pdk)`` technologies, corner order.
+
+        Exposed so corner-aware construction code shares the engine's corner
+        resolution instead of re-deriving PDKs at call sites.
+        """
+        return list(self._corner_pdks)
+
+    @property
+    def primary_index(self) -> int:
+        """Index of the primary (nominal) corner in :attr:`corners`."""
+        return self._primary
 
     def _compile_corner_tables(self) -> None:
         """Precompute the per-corner technology vectors the passes consume."""
@@ -412,7 +447,6 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 flat = np.concatenate(sub_levels)
                 self._refresh_wire(state, flat)
                 state.load[:, flat] = 0.0
-                capacity = state.load.shape[1]
                 for rows in reversed(sub_levels):
                     down = arrays.cap[rows][None, :] + state.load[:, rows]
                     shielded = arrays.kind[rows] == KIND_BUFFER
@@ -421,11 +455,13 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                     state.down_cap[:, rows] = down
                     if rows is sub_levels[0]:
                         continue  # the subtree root's parent lies outside
-                    state.load += self._scatter_add(
-                        state.wire_cap[:, rows] + down,
-                        arrays.parent_row[rows],
-                        capacity,
-                    )
+                    # The scatter targets only the (few) subtree parents, so
+                    # it stays O(subtree) instead of O(capacity) per level —
+                    # what keeps the dirty-cone path cone-local on big trees.
+                    contribution = state.wire_cap[:, rows] + down
+                    parents = arrays.parent_row[rows]
+                    for k in range(contribution.shape[0]):
+                        np.add.at(state.load[k], parents, contribution[k])
                 changed.update(int(r) for r in flat)
             else:  # pragma: no cover - defensive against future edit kinds
                 return False
@@ -433,8 +469,10 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         rows = np.fromiter(changed, dtype=np.int64, count=len(changed))
         self._refresh_stage(state, rows)
         self._refresh_wire_delay(state, rows)
+        retimed: list[int] = []
         for top in self._merge_tops(state, tops):
-            self._retime_cone(state, top)
+            self._retime_cone(state, top, retimed)
+        self._patch_sink_arrivals(state, retimed)
         state.version = arrays.tree.version
         self.incremental_updates += 1
         return True
@@ -479,8 +517,14 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 merged.append(top)
         return merged
 
-    def _retime_cone(self, state: _EngineState, top: int) -> None:
-        """Recompute arrivals (and slews when valid) strictly below ``top``."""
+    def _retime_cone(
+        self, state: _EngineState, top: int, retimed: list[int] | None = None
+    ) -> None:
+        """Recompute arrivals (and slews when valid) strictly below ``top``.
+
+        ``retimed`` (when given) collects every row whose arrival was
+        rewritten, so the cached sink-arrival gather can be patched in place.
+        """
         arrays = state.arrays
         if state.slews_valid and arrays.kind[top] == KIND_BUFFER:
             # The top buffer's output slew tracks its (changed) load.
@@ -491,6 +535,8 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 )
         frontier = list(arrays.children_rows[top])
         while frontier:
+            if retimed is not None:
+                retimed.extend(frontier)
             rows = np.asarray(frontier, dtype=np.int64)
             parents = arrays.parent_row[rows]
             state.arrival[:, rows] = (
@@ -506,6 +552,58 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 self._regenerate_slews(state, rows)
             frontier = [c for row in frontier for c in arrays.children_rows[row]]
 
+    # ------------------------------------------------------ sink arrival cache
+    def _sink_arrival_matrix(self, state: _EngineState) -> np.ndarray:
+        """The (corners, sinks) sink-arrival gather, cached across edits.
+
+        Built lazily from the current arrival array; incremental updates keep
+        it fresh via :meth:`_patch_sink_arrivals`, so repeated skew/latency
+        queries in an edit loop avoid re-gathering every sink each time.
+        """
+        sink_rows = state.arrays.sink_rows()
+        if (
+            state.sink_arrival is None
+            or state.sink_rows_cache is not sink_rows
+            and not np.array_equal(state.sink_rows_cache, sink_rows)
+        ):
+            state.sink_rows_cache = sink_rows
+            state.sink_arrival = state.arrival[:, sink_rows].copy()
+            state.sink_col = {int(row): col for col, row in enumerate(sink_rows)}
+        else:
+            state.sink_rows_cache = sink_rows
+        return state.sink_arrival
+
+    def _patch_sink_arrivals(self, state: _EngineState, retimed: list[int]) -> None:
+        """Refresh the cached sink-arrival columns touched by an edit batch.
+
+        When the edit changed the sink *set* itself (a retimed row is not a
+        known column, or sinks vanished) the cache is dropped and rebuilt on
+        the next query.
+        """
+        if state.sink_arrival is None or state.sink_col is None:
+            return
+        sink_rows = state.arrays.sink_rows()
+        if state.sink_rows_cache is not sink_rows and not np.array_equal(
+            state.sink_rows_cache, sink_rows
+        ):
+            state.drop_sink_arrivals()
+            return
+        state.sink_rows_cache = sink_rows
+        kind = state.arrays.kind
+        cols = []
+        rows = []
+        for row in retimed:
+            if kind[row] != KIND_SINK:
+                continue
+            col = state.sink_col.get(int(row))
+            if col is None:  # pragma: no cover - caught by the set check above
+                state.drop_sink_arrivals()
+                return
+            cols.append(col)
+            rows.append(row)
+        if cols:
+            state.sink_arrival[:, cols] = state.arrival[:, rows]
+
     # ---------------------------------------------------------------- analyze
     def analyze(self, tree: ClockTree, with_slew: bool = True) -> TimingResult:
         """Run a full (or incremental) analysis; reports the primary corner."""
@@ -519,7 +617,10 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         if state.result_arrivals is None:
             names = [arrays.nodes[row].name for row in sink_rows]
             state.result_arrivals = dict(
-                zip(names, state.arrival[self._primary][sink_rows].tolist())
+                zip(
+                    names,
+                    self._sink_arrival_matrix(state)[self._primary].tolist(),
+                )
             )
         slews: dict[str, float] = {}
         if with_slew:
@@ -541,9 +642,10 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         arrays = state.arrays
         sink_rows = self._checked_sink_rows(tree, arrays)
         names = [arrays.nodes[row].name for row in sink_rows]
+        sink_arrival = self._sink_arrival_matrix(state)
         results: dict[str, TimingResult] = {}
         for k, scenario in enumerate(self.corners):
-            arrivals = dict(zip(names, state.arrival[k, sink_rows].tolist()))
+            arrivals = dict(zip(names, sink_arrival[k].tolist()))
             slews = (
                 dict(zip(names, state.slew_at[k, sink_rows].tolist()))
                 if with_slew
@@ -562,30 +664,30 @@ class VectorizedElmoreEngine(ElmoreWireModel):
     def latency(self, tree: ClockTree) -> float:
         """Convenience: maximum sink arrival (ps) at the primary corner."""
         state = self._sync(tree, need_slews=False)
-        sink_rows = self._checked_sink_rows(tree, state.arrays)
-        return float(state.arrival[self._primary][sink_rows].max())
+        self._checked_sink_rows(tree, state.arrays)
+        return float(self._sink_arrival_matrix(state)[self._primary].max())
 
     def skew(self, tree: ClockTree) -> float:
         """Convenience: global skew (ps) at the primary corner."""
         state = self._sync(tree, need_slews=False)
-        sink_rows = self._checked_sink_rows(tree, state.arrays)
-        arrivals = state.arrival[self._primary][sink_rows]
+        self._checked_sink_rows(tree, state.arrays)
+        arrivals = self._sink_arrival_matrix(state)[self._primary]
         return float(arrivals.max() - arrivals.min())
 
     # ---------------------------------------------------------- corner batch
     def skew_per_corner(self, tree: ClockTree) -> dict[str, float]:
         """Global skew (ps) of every corner, from one batched pass."""
         state = self._sync(tree, need_slews=False)
-        sink_rows = self._checked_sink_rows(tree, state.arrays)
-        arrivals = state.arrival[:, sink_rows]
+        self._checked_sink_rows(tree, state.arrays)
+        arrivals = self._sink_arrival_matrix(state)
         skews = arrivals.max(axis=1) - arrivals.min(axis=1)
         return dict(zip(self.corners.names, skews.tolist()))
 
     def latency_per_corner(self, tree: ClockTree) -> dict[str, float]:
         """Maximum sink arrival (ps) of every corner, from one batched pass."""
         state = self._sync(tree, need_slews=False)
-        sink_rows = self._checked_sink_rows(tree, state.arrays)
-        latencies = state.arrival[:, sink_rows].max(axis=1)
+        self._checked_sink_rows(tree, state.arrays)
+        latencies = self._sink_arrival_matrix(state).max(axis=1)
         return dict(zip(self.corners.names, latencies.tolist()))
 
     def worst_skew(self, tree: ClockTree) -> float:
