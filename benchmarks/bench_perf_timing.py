@@ -15,6 +15,12 @@ Times four access patterns on generated 500 / 2000 / 8000-sink clock trees:
   SkewRefiner-style endpoint buffer edits scored on worst-corner skew by one
   corner-batched incremental engine vs. K sequential single-corner engines
   each replaying the same edit.
+* ``insertion_dp`` / ``insertion_dp_corners`` — the two insertion-DP
+  backends end-to-end (``ConcurrentInserter.run`` on a routed 500/2000-sink
+  tree): the array-based candidate-frontier engine vs. the per-candidate
+  object DP, nominal and at K=5 corners, in the Pareto-rich
+  ``keep_resource_diversity`` configuration where the DP dominates the flow
+  runtime.
 
 Results are printed and written to ``BENCH_perf_timing.json`` at the repo
 root — or to ``BENCH_perf_timing.smoke.json`` in smoke mode, so quick CI
@@ -38,7 +44,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.designs import random_sink_cloud
 from repro.geometry import Point
+from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig
+from repro.routing.hierarchical import HierarchicalClockRouter
 from repro.tech import CornerSet, asap7_backside
 from repro.timing import ElmoreTimingEngine, VectorizedElmoreEngine
 
@@ -51,6 +60,10 @@ INCREMENTAL_EDITS = 20
 
 #: Corner batch used by the ``batched_corners`` pattern.
 BENCH_CORNERS = "tt,ss,ff,hot,cold"
+
+#: Sink counts the insertion-DP backend rows run on (the object DP at K=5 on
+#: the 8000-sink tree would dominate the whole bench runtime).
+INSERTION_DP_SIZES = (500, 2000)
 
 
 def smoke_mode() -> bool:
@@ -314,6 +327,61 @@ def bench_corner_refine(sink_count: int, pdk, spec: str = BENCH_CORNERS) -> dict
     }
 
 
+def bench_insertion_dp(sink_count: int, pdk, corners_spec: str | None = None) -> dict:
+    """Insertion-DP backends end-to-end: object DP vs. candidate frontiers.
+
+    Routes a sink cloud once, then replays ``ConcurrentInserter.run`` (DP
+    tree build, bottom-up candidate generation, selection, realisation,
+    final timing) on a fresh tree copy per round and per backend.  The
+    inserter runs the Pareto-rich ``keep_resource_diversity`` configuration:
+    with diverse candidate frontiers the DP — not routing or timing — is the
+    flow bottleneck, and the array backend's broadcast merges and pairwise
+    dominance sweeps replace the object DP's per-candidate loops (whose cost
+    grows with frontier size times corner count).  The sparse default-beam
+    nominal DP is roughly a wash between backends and is not what this row
+    gates.
+    """
+    routed = HierarchicalClockRouter(pdk).route(random_sink_cloud(sink_count)).tree
+    corners = CornerSet.parse(corners_spec) if corners_spec else None
+
+    def run_backend(backend: str):
+        samples = []
+        result = None
+        for _ in range(3):
+            tree = routed.copy()
+            config = InsertionConfig(dp_backend=backend, keep_resource_diversity=True)
+            start = time.perf_counter()
+            result = ConcurrentInserter(pdk, config, corners=corners).run(tree)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return samples[len(samples) // 2], result
+
+    t_ref, ref = run_backend("reference")
+    t_vec, vec = run_backend("vectorized")
+
+    # Sanity: the two backends are decision-identical.
+    if (
+        ref.inserted_buffers != vec.inserted_buffers
+        or ref.inserted_ntsvs != vec.inserted_ntsvs
+        or abs(ref.skew - vec.skew) > 1e-9
+    ):
+        raise AssertionError(
+            f"DP backends diverge on {sink_count} sinks "
+            f"(corners={corners_spec!r})"
+        )
+
+    row = {
+        "flow": "insertion_dp_corners" if corners_spec else "insertion_dp",
+        "sinks": sink_count,
+        "reference_s": round(t_ref, 6),
+        "vectorized_s": round(t_vec, 6),
+        "speedup": round(t_ref / t_vec, 2),
+    }
+    if corners_spec:
+        row["corners"] = len(corners)
+    return row
+
+
 def run_bench() -> list[dict]:
     pdk = asap7_backside()
     rows: list[dict] = []
@@ -321,6 +389,9 @@ def run_bench() -> list[dict]:
         rows.extend(bench_size(sink_count, pdk))
         rows.append(bench_corners(sink_count, pdk))
         rows.append(bench_corner_refine(sink_count, pdk))
+        if sink_count in INSERTION_DP_SIZES:
+            rows.append(bench_insertion_dp(sink_count, pdk))
+            rows.append(bench_insertion_dp(sink_count, pdk, BENCH_CORNERS))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")
     for row in rows:
         label = row["flow"]

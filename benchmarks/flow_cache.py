@@ -77,6 +77,7 @@ def _run_ours(pdk: Pdk, design: Design, config: CtsConfig, selection: str) -> Ou
             max_segment_length=config.max_segment_length,
             keep_resource_diversity=config.keep_resource_diversity,
             max_candidates_per_side=config.max_candidates_per_side,
+            dp_backend=config.dp_backend,
         ),
     )
     insertion = inserter.run(routing.tree)

@@ -12,8 +12,11 @@ Examples::
 Every flow command accepts ``--engine {reference,vectorized}`` to pick the
 timing engine: ``vectorized`` (the default) runs the array-based incremental
 kernel, ``reference`` the per-node Elmore implementation — useful to
-cross-check results or debug suspected kernel issues.  ``dse --workers N``
-evaluates the sweep grid on ``N`` parallel processes.
+cross-check results or debug suspected kernel issues.  The analogous
+``--dp-backend {reference,vectorized}`` switches the insertion DP between
+the array-based candidate-frontier engine (default) and the per-candidate
+object DP (the executable spec); both build identical trees.  ``dse
+--workers N`` evaluates the sweep grid on ``N`` parallel processes.
 
 ``--corners SPEC`` evaluates every flow result across a PVT corner set —
 preset names (``tt``, ``ss``, ``ff``, ``hot``, ``cold``), the ``signoff``
@@ -39,6 +42,7 @@ from repro.evaluation import ComparisonTable, format_table
 from repro.evaluation.reporting import format_metrics, format_ratio_summary
 from repro.evaluation.reporting import format_corner_table
 from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.insertion.frontier import DP_BACKEND_NAMES
 from repro.tech import CornerSet, asap7_backside
 from repro.timing import ENGINE_NAMES
 
@@ -56,6 +60,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="timing engine: 'vectorized' (fast array kernel, default) or "
         "'reference' (per-node Elmore, for differential checks)",
+    )
+    parser.add_argument(
+        "--dp-backend",
+        choices=DP_BACKEND_NAMES,
+        default=None,
+        help="insertion-DP backend: 'vectorized' (array-based candidate "
+        "frontiers, default) or 'reference' (per-candidate object DP, for "
+        "differential checks)",
     )
     parser.add_argument(
         "--corners",
@@ -131,6 +143,7 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
         )
     return CtsConfig(
         timing_engine=args.engine,
+        dp_backend=getattr(args, "dp_backend", None),
         corners=corners,
         corner_aware_construction=corner_aware,
         nominal_skew_budget=budget,
@@ -195,20 +208,26 @@ def main(argv: list[str] | None = None) -> int:
         "dse": _cmd_dse,
         "table2": _cmd_table2,
     }
-    engine = getattr(args, "engine", None)
-    if not engine:
+    # Make the engine / DP-backend choices the process defaults for the
+    # duration of the command so baseline flows (which have no knobs of
+    # their own) honour them too.
+    overrides = {}
+    if getattr(args, "engine", None):
+        overrides["REPRO_TIMING_ENGINE"] = args.engine
+    if getattr(args, "dp_backend", None):
+        overrides["REPRO_DP_BACKEND"] = args.dp_backend
+    if not overrides:
         return handlers[args.command](args)
-    # Make the choice the process default for the duration of the command so
-    # baseline flows (which have no engine knob of their own) honour it too.
-    previous = os.environ.get("REPRO_TIMING_ENGINE")
-    os.environ["REPRO_TIMING_ENGINE"] = engine
+    previous = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
     try:
         return handlers[args.command](args)
     finally:
-        if previous is None:
-            os.environ.pop("REPRO_TIMING_ENGINE", None)
-        else:
-            os.environ["REPRO_TIMING_ENGINE"] = previous
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,7 +7,11 @@ realistic, non-uniform sink distributions.  Real DEF files can be used
 instead through :mod:`repro.lefdef`.
 """
 
-from repro.designs.generator import PlacementGenerator, PlacementSpec
+from repro.designs.generator import (
+    PlacementGenerator,
+    PlacementSpec,
+    random_sink_cloud,
+)
 from repro.designs.suite import (
     BENCHMARK_SPECS,
     benchmark_suite,
@@ -18,6 +22,7 @@ from repro.designs.suite import (
 __all__ = [
     "PlacementGenerator",
     "PlacementSpec",
+    "random_sink_cloud",
     "BENCHMARK_SPECS",
     "benchmark_suite",
     "load_design",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry import Point, Rect
+from repro.netlist import ClockNet, ClockSink, ClockSource
 from repro.netlist.cell import Cell, CellKind
 from repro.netlist.design import Design
 
@@ -216,3 +217,31 @@ class PlacementGenerator:
                 width=COMB_CELL_WIDTH,
                 height=ROW_HEIGHT,
             )
+
+
+def random_sink_cloud(
+    count: int,
+    extent: float = 400.0,
+    seed: int = 11,
+    capacitance: float = FF_CLOCK_PIN_CAP,
+    name: str = "clk",
+) -> ClockNet:
+    """A seeded uniform random sink cloud with the source at the bottom edge.
+
+    The lightweight counterpart of :class:`PlacementGenerator` for code that
+    only needs a clock net of a given size — benchmarks, examples, and tests
+    share this one definition so their "N-sink design" means the same thing.
+    """
+    rng = np.random.default_rng(seed)
+    sinks = [
+        ClockSink(
+            name=f"ff_{i}",
+            location=Point(
+                float(rng.uniform(0, extent)), float(rng.uniform(0, extent))
+            ),
+            capacitance=capacitance,
+        )
+        for i in range(count)
+    ]
+    source = ClockSource(name="clk_root", location=Point(extent / 2.0, 0.0))
+    return ClockNet(name=name, source=source, sinks=sinks)

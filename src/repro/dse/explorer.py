@@ -217,6 +217,7 @@ def _insert_and_refine(
             keep_resource_diversity=config.keep_resource_diversity,
             max_candidates_per_side=config.max_candidates_per_side,
             default_mode=config.default_mode,
+            dp_backend=config.dp_backend,
         ),
         engine=config.timing_engine,
         corners=config.construction_corners(),

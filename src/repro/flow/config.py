@@ -34,6 +34,13 @@ class CtsConfig:
         enable_skew_refinement: disable to reproduce the "w/o SR" bars.
         timing_engine: timing engine used by every flow step (``"vectorized"``
             or ``"reference"``); ``None`` uses the library default.
+        dp_backend: insertion-DP backend used by the concurrent inserter
+            (``"vectorized"`` — the array-based candidate-frontier engine —
+            or ``"reference"`` — the per-candidate object DP, the executable
+            spec); ``None`` uses the library default (``vectorized``,
+            overridable via ``REPRO_DP_BACKEND``).  Both backends build
+            identical trees; the knob exists for differential debugging and
+            benchmarking (CLI ``--dp-backend``).
         corners: PVT corner set for multi-corner sign-off; ``None`` evaluates
             the nominal corner only.  The final metrics (and the DSE scoring)
             report every corner of the set, and the worst-corner skew/latency
@@ -64,6 +71,7 @@ class CtsConfig:
     skew_strategy: str = "pad_fast"
     enable_skew_refinement: bool = True
     timing_engine: str | None = None
+    dp_backend: str | None = None
     corners: CornerSet | None = None
     corner_aware_construction: bool = False
     nominal_skew_budget: float = 0.0

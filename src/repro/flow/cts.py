@@ -137,6 +137,7 @@ class DoubleSideCTS:
             keep_resource_diversity=self.config.keep_resource_diversity,
             max_candidates_per_side=self.config.max_candidates_per_side,
             default_mode=self.config.default_mode,
+            dp_backend=self.config.dp_backend,
         )
 
     # ------------------------------------------------------------------ input

@@ -17,6 +17,11 @@ This package contains the paper's primary contribution:
 * :mod:`repro.insertion.concurrent` — the multi-objective dynamic program:
   bottom-up generation, multi-objective selection, top-down decision, and
   realisation of the chosen patterns on the clock tree.
+* :mod:`repro.insertion.frontier` — the vectorized DP backend: candidate
+  sets as :class:`CandidateFrontier` struct-of-arrays with broadcast merges,
+  batched pattern costs, and vectorized pruning sweeps.  Selected via
+  ``InsertionConfig.dp_backend`` / ``REPRO_DP_BACKEND`` (default
+  ``vectorized``); the object DP in ``concurrent`` is the executable spec.
 * :mod:`repro.insertion.vanginneken` — classic single-side buffer insertion
   (the paper's "Our Buffered Clock Tree" uses the same DP restricted to
   front-side patterns; this module also provides the textbook van Ginneken
@@ -27,6 +32,13 @@ from repro.insertion.patterns import EdgePattern, InsertionMode, PATTERNS, patte
 from repro.insertion.candidate import CandidateSolution
 from repro.insertion.pruning import prune_per_side, prune_dominated, filter_max_cap
 from repro.insertion.dp_tree import DpNode, DpTree, build_dp_tree
+from repro.insertion.frontier import (
+    CandidateFrontier,
+    DP_BACKEND_NAMES,
+    VectorizedInsertionDp,
+    default_dp_backend,
+    resolve_dp_backend,
+)
 from repro.insertion.moes import MoesWeights, select_by_moes, select_min_latency
 from repro.insertion.concurrent import ConcurrentInserter, InsertionResult
 from repro.insertion.vanginneken import SingleSideBufferInserter
@@ -43,6 +55,11 @@ __all__ = [
     "DpNode",
     "DpTree",
     "build_dp_tree",
+    "CandidateFrontier",
+    "DP_BACKEND_NAMES",
+    "VectorizedInsertionDp",
+    "default_dp_backend",
+    "resolve_dp_backend",
     "MoesWeights",
     "select_by_moes",
     "select_min_latency",

@@ -28,6 +28,16 @@ delay — so the selected tree optimises what multi-corner sign-off actually
 measures.  The scalar candidate fields keep mirroring the primary (nominal)
 corner, and a nominal-only run (``corners=None``) is bit-identical to the
 classic single-corner DP.
+
+**Two DP backends.**  The per-candidate object DP implemented in this module
+is the executable spec; :mod:`repro.insertion.frontier` provides the
+production ``vectorized`` backend (struct-of-arrays candidate frontiers,
+broadcast merges, batched pattern costs, vectorized pruning) which builds an
+identical tree several-fold faster — close to corner-count-independent for
+corner-aware runs.  Select per inserter (``dp_backend=``), per config
+(``InsertionConfig.dp_backend`` / ``CtsConfig.dp_backend``), from the CLI
+(``dscts --dp-backend``), or globally via ``REPRO_DP_BACKEND``; the default
+is ``vectorized``.
 """
 
 from __future__ import annotations
@@ -43,6 +53,11 @@ from repro.insertion.dp_tree import (
     DpTree,
     attach_corner_bases,
     build_dp_tree,
+)
+from repro.insertion.frontier import (
+    DP_BACKEND_NAMES,
+    VectorizedInsertionDp,
+    resolve_dp_backend,
 )
 from repro.insertion.moes import MoesWeights, select_by_moes, select_min_latency
 from repro.insertion.patterns import EdgePattern, InsertionMode, patterns_for
@@ -76,6 +91,12 @@ class InsertionConfig:
             string); ``None`` keeps the classic nominal-only cost model.  An
             explicit ``corners=`` argument to :class:`ConcurrentInserter`
             takes precedence.
+        dp_backend: ``"vectorized"`` (the array-based
+            :class:`~repro.insertion.frontier.VectorizedInsertionDp` fast
+            engine) or ``"reference"`` (the per-candidate object DP, the
+            executable spec); ``None`` uses the library default, overridable
+            via the ``REPRO_DP_BACKEND`` environment variable.  Both backends
+            produce identical selected trees (enforced differentially).
     """
 
     weights: MoesWeights = field(default_factory=MoesWeights)
@@ -86,10 +107,16 @@ class InsertionConfig:
     default_mode: InsertionMode = InsertionMode.FULL
     root_resistance: float = 0.1
     corners: CornerSet | Scenario | str | None = None
+    dp_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.selection not in ("moes", "min_latency"):
             raise ValueError(f"unknown selection strategy {self.selection!r}")
+        if self.dp_backend is not None and self.dp_backend not in DP_BACKEND_NAMES:
+            raise ValueError(
+                f"unknown DP backend {self.dp_backend!r}; "
+                f"expected one of {DP_BACKEND_NAMES}"
+            )
 
 
 @dataclass
@@ -155,9 +182,13 @@ class ConcurrentInserter:
         config: InsertionConfig | None = None,
         engine: str | None = None,
         corners: CornerSet | Scenario | str | None = None,
+        dp_backend: str | None = None,
     ) -> None:
         self.pdk = pdk
         self.config = config if config is not None else InsertionConfig()
+        if dp_backend is None:
+            dp_backend = self.config.dp_backend
+        self.dp_backend = resolve_dp_backend(dp_backend)
         if corners is None:
             corners = self.config.corners
         self._engine = create_engine(pdk, engine, corners=corners)
@@ -204,10 +235,13 @@ class ConcurrentInserter:
         if fanout_threshold is not None:
             dp_tree.configure_fanout_threshold(fanout_threshold)
 
-        candidates = self._bottom_up(dp_tree)
-        root_candidates = self._root_candidates(dp_tree, candidates)
-        selected = self._select(root_candidates)
-        self._top_down(dp_tree, candidates, selected)
+        if self.dp_backend == "vectorized":
+            root_candidates, selected = self._run_vectorized(dp_tree)
+        else:
+            candidates = self._bottom_up(dp_tree)
+            root_candidates = self._root_candidates(dp_tree, candidates)
+            selected = self._select(root_candidates)
+            self._top_down(dp_tree, candidates, selected)
 
         timing = self._engine.analyze(tree)
         timing_per_corner = (
@@ -225,6 +259,32 @@ class ConcurrentInserter:
             inserted_ntsvs=tree.ntsv_count(),
             timing_per_corner=timing_per_corner,
         )
+
+    # --------------------------------------------------- vectorized backend
+    def _run_vectorized(
+        self, dp_tree: DpTree
+    ) -> tuple[list[CandidateSolution], CandidateSolution]:
+        """Steps 2-4 on the array-based fast engine (``dp_backend``).
+
+        The frontier DP produces the same root candidate set (materialised
+        back into :class:`CandidateSolution` objects so Step 3 reuses the
+        exact MOES / min-latency selectors) and realises the chosen patterns
+        from the recorded back-pointer arrays in the same stack order as the
+        object backend, so both backends build bit-identical trees.
+        """
+        dp = VectorizedInsertionDp(
+            self.pdk,
+            self.config,
+            self._corner_pdks,
+            primary_index=self._primary if self._corner_aware else 0,
+            corner_aware=self._corner_aware,
+        )
+        frontiers, root = dp.run(dp_tree)
+        root_candidates = dp.materialize_root(root)
+        selected = self._select(root_candidates)
+        chosen = next(i for i, c in enumerate(root_candidates) if c is selected)
+        dp.realize(dp_tree, frontiers, root.choice[chosen], self._realize_pattern)
+        return root_candidates, selected
 
     # ------------------------------------------------------- step 2: bottom-up
     def _bottom_up(self, dp_tree: DpTree) -> dict[int, list[CandidateSolution]]:

@@ -166,29 +166,43 @@ def segment_long_edges(tree: ClockTree, max_segment_length: float) -> int:
     return added
 
 
-def _leaf_net_base(tree_node: ClockTreeNode, front_layer) -> tuple[float, float, float]:
-    """Static (cap, max delay, min delay) of one vertex's direct leaf net.
+def _leaf_net_bases(
+    tree_node: ClockTreeNode, layers: Sequence
+) -> tuple[list[float], list[float], list[float]]:
+    """Static (cap, max delay, min delay) of one vertex's direct leaf net,
+    evaluated against several front clock layers in a single child pass.
 
     The leaf net stays on the front side, so the only technology input is the
     front clock layer — which is what varies per corner when the DP runs
-    corner-aware (see :func:`attach_corner_bases`).
+    corner-aware (see :func:`attach_corner_bases`).  The per-layer
+    accumulation order matches a per-layer loop exactly, so the multi-layer
+    pass is bit-identical to repeated single-layer evaluations.
     """
-    base_cap = tree_node.capacitance
-    base_max = 0.0
-    base_min = float("inf")
+    count = len(layers)
+    caps = [tree_node.capacitance] * count
+    maxs = [0.0] * count
+    mins = [float("inf")] * count
     has_sink_child = False
     for child in tree_node.children:
         if not child.is_sink:
             continue
         has_sink_child = True
         length = child.edge_length()
-        base_cap += front_layer.wire_capacitance(length) + child.capacitance
-        delay = front_layer.wire_delay(length, child.capacitance)
-        base_max = max(base_max, delay)
-        base_min = min(base_min, delay)
+        child_cap = child.capacitance
+        for i, layer in enumerate(layers):
+            caps[i] += layer.wire_capacitance(length) + child_cap
+            delay = layer.wire_delay(length, child_cap)
+            maxs[i] = max(maxs[i], delay)
+            mins[i] = min(mins[i], delay)
     if not has_sink_child:
-        base_min = 0.0
-    return base_cap, base_max, base_min
+        mins = [0.0] * count
+    return caps, maxs, mins
+
+
+def _leaf_net_base(tree_node: ClockTreeNode, front_layer) -> tuple[float, float, float]:
+    """Single-layer view of :func:`_leaf_net_bases` (the nominal base)."""
+    caps, maxs, mins = _leaf_net_bases(tree_node, (front_layer,))
+    return caps[0], maxs[0], mins[0]
 
 
 def attach_corner_bases(dp_tree: DpTree, corner_pdks: Sequence[Pdk]) -> None:
@@ -202,10 +216,10 @@ def attach_corner_bases(dp_tree: DpTree, corner_pdks: Sequence[Pdk]) -> None:
     """
     layers = [corner_pdk.front_layer for corner_pdk in corner_pdks]
     for dp_node in dp_tree.nodes:
-        bases = [_leaf_net_base(dp_node.tree_child, layer) for layer in layers]
-        dp_node.corner_base_capacitance = tuple(b[0] for b in bases)
-        dp_node.corner_base_max_delay = tuple(b[1] for b in bases)
-        dp_node.corner_base_min_delay = tuple(b[2] for b in bases)
+        caps, maxs, mins = _leaf_net_bases(dp_node.tree_child, layers)
+        dp_node.corner_base_capacitance = tuple(caps)
+        dp_node.corner_base_max_delay = tuple(maxs)
+        dp_node.corner_base_min_delay = tuple(mins)
 
 
 def build_dp_tree(
@@ -237,8 +251,15 @@ def build_dp_tree(
     front_layer = pdk.front_layer
     dp_by_tree_node: dict[int, DpNode] = {}
     nodes: list[DpNode] = []
+    sink_counts: dict[int, int] = {}
 
     for tree_node in tree.nodes_bottom_up():
+        # One accumulating pass over the bottom-up order replaces the
+        # per-node subtree walks of ``ClockTreeNode.sink_count``.
+        fanout = 1 if tree_node.is_sink else 0
+        for child in tree_node.children:
+            fanout += sink_counts[id(child)]
+        sink_counts[id(tree_node)] = fanout
         if tree_node.parent is None or tree_node.is_sink:
             continue
         predecessors = [
@@ -253,7 +274,7 @@ def build_dp_tree(
             length=tree_node.edge_length(),
             predecessors=predecessors,
             mode=default_mode,
-            fanout=tree_node.sink_count(),
+            fanout=fanout,
             base_capacitance=base_cap,
             base_max_delay=base_max,
             base_min_delay=base_min,

@@ -45,10 +45,24 @@ def prune_dominated(
 ) -> list[CandidateSolution]:
     """Remove candidates dominated on (capacitance, max delay).
 
-    With ``keep_resource_diversity`` a dominated candidate survives when it
-    uses strictly fewer buffers+nTSVs than its dominator, which preserves a
-    richer Pareto set for the multi-objective selection at the root (at the
-    cost of larger candidate sets).
+    The sweep visits candidates sorted by (worst capacitance, worst delay,
+    resource count) and drops every candidate dominated by an already-kept
+    one (:meth:`CandidateSolution.dominates` — the scalar staircase for
+    nominal sets, per-corner vector dominance for corner-aware sets).
+
+    **Resource-diversity rule.**  With ``keep_resource_diversity`` a
+    dominated candidate still survives when its resource count (buffers +
+    nTSVs) is strictly lower than the *minimum resource count among the kept
+    candidates that dominate it*.  The bound is dominator-relative on
+    purpose: a kept candidate that does **not** dominate the contender (a
+    cheap solution elsewhere on the staircase, or — corner-aware — one that
+    loses at some corner) says nothing about whether the contender buys a
+    resource saving over the solutions that actually beat it, so it must not
+    veto the survival.  Survivors join the kept set and participate as
+    dominators for later candidates.  This single definition is the
+    executable spec both DP backends implement (the object sweep here, the
+    array sweep in :mod:`repro.insertion.frontier`) and is pinned by
+    differential tests.
     """
     if not candidates:
         return []
@@ -62,21 +76,31 @@ def prune_dominated(
     )
     kept: list[CandidateSolution] = []
     best_delay = float("inf")
-    best_resources = float("inf")
     for cand in ordered:
-        if corner_aware:
+        dominators: list[CandidateSolution] | None = None
+        if corner_aware and keep_resource_diversity:
+            # The diversity exception needs the dominator set anyway, so
+            # collect it in one pass instead of re-testing dominance below.
+            dominators = [k for k in kept if k.dominates(cand, tol)]
+            dominated = bool(dominators)
+        elif corner_aware:
             # Vector dominance: a per-corner dominator sorts no later than
             # its victims (up to tol), so testing against the kept set
             # suffices.
             dominated = any(keeper.dominates(cand, tol) for keeper in kept)
         else:
+            # Sorted by capacitance, so every kept candidate is no worse in
+            # cap: the staircase test against the best kept delay is exactly
+            # "some kept candidate dominates this one".
             dominated = cand.max_delay >= best_delay - tol
         if dominated and keep_resource_diversity:
-            dominated = cand.resource_count >= best_resources
+            if dominators is None:
+                dominators = [k for k in kept if k.dominates(cand, tol)]
+            resource_floor = min(k.resource_count for k in dominators)
+            dominated = cand.resource_count >= resource_floor
         if not dominated:
             kept.append(cand)
             best_delay = min(best_delay, cand.max_delay)
-            best_resources = min(best_resources, cand.resource_count)
     return kept
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.tech.nldm import NldmTable
 
 
@@ -71,6 +73,41 @@ class BufferCell:
             return self.nldm_slew.lookup(input_slew, load_capacitance)
         # First-order model: slew tracks the RC at the output stage.
         return self.output_slew + 2.2 * self.drive_resistance * load_capacitance
+
+    def delay_batch(
+        self,
+        load_capacitances,
+        input_slews=None,
+    ):
+        """Vectorized :meth:`delay` over an array of output loads (fF).
+
+        With an attached NLDM delay table and ``input_slews`` (an array or a
+        scalar, broadcast against the loads) the batched bilinear lookup
+        (:meth:`NldmTable.lookup_batch`) is used; otherwise the linear model
+        applies element-wise.  Each element is bit-identical to the scalar
+        :meth:`delay` of the same (load, slew) pair, so batched hot paths
+        (the vectorized timing engine, the array-based insertion DP) stay
+        differentially testable against scalar reference code.
+        """
+        loads = np.asarray(load_capacitances, dtype=float)
+        if np.any(loads < 0):
+            raise ValueError("load capacitance must be non-negative")
+        if self.nldm_delay is not None and input_slews is not None:
+            return self.nldm_delay.lookup_batch(input_slews, loads)
+        return self.intrinsic_delay + self.drive_resistance * loads
+
+    def slew_batch(
+        self,
+        load_capacitances,
+        input_slews=None,
+    ):
+        """Vectorized :meth:`slew` over an array of output loads (fF)."""
+        loads = np.asarray(load_capacitances, dtype=float)
+        if np.any(loads < 0):
+            raise ValueError("load capacitance must be non-negative")
+        if self.nldm_slew is not None and input_slews is not None:
+            return self.nldm_slew.lookup_batch(input_slews, loads)
+        return self.output_slew + 2.2 * self.drive_resistance * loads
 
     def violates_max_cap(self, load_capacitance: float) -> bool:
         """Return True when ``load_capacitance`` exceeds the library limit."""

@@ -116,6 +116,48 @@ class NldmTable:
             + v11 * ts * tc
         )
 
+    def lookup_batch(
+        self,
+        input_slews: "np.ndarray | Sequence[float] | float",
+        output_caps: "np.ndarray | Sequence[float] | float",
+    ) -> np.ndarray:
+        """Vectorized :meth:`lookup` over arrays of slews and loads.
+
+        ``input_slews`` and ``output_caps`` broadcast against each other and
+        the result has the broadcast shape.  Every element is bit-identical
+        to the scalar :meth:`lookup` of the same (slew, cap) pair — the same
+        clamping, cell search, and bilinear blend evaluated in the same
+        operation order — so batched consumers (the vectorized timing engine,
+        the array-based insertion DP) can be differentially tested against
+        scalar reference paths at zero tolerance.
+        """
+        slews = np.asarray(self.slew_axis)
+        caps = np.asarray(self.cap_axis)
+        table = np.asarray(self.values)
+
+        slew = np.clip(np.asarray(input_slews, dtype=float), slews[0], slews[-1])
+        cap = np.clip(np.asarray(output_caps, dtype=float), caps[0], caps[-1])
+        slew, cap = np.broadcast_arrays(slew, cap)
+
+        si = np.clip(np.searchsorted(slews, slew, side="right") - 1, 0, len(slews) - 2)
+        ci = np.clip(np.searchsorted(caps, cap, side="right") - 1, 0, len(caps) - 2)
+
+        s0, s1 = slews[si], slews[si + 1]
+        c0, c1 = caps[ci], caps[ci + 1]
+        ts = (slew - s0) / (s1 - s0)
+        tc = (cap - c0) / (c1 - c0)
+
+        v00 = table[si, ci]
+        v01 = table[si, ci + 1]
+        v10 = table[si + 1, ci]
+        v11 = table[si + 1, ci + 1]
+        return (
+            v00 * (1 - ts) * (1 - tc)
+            + v01 * (1 - ts) * tc
+            + v10 * ts * (1 - tc)
+            + v11 * ts * tc
+        )
+
     def scaled(self, factor: float) -> "NldmTable":
         """Return a table with every value multiplied by ``factor``.
 

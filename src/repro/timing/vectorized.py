@@ -327,12 +327,13 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                     * state.load[linear[:, None], buffer_rows[None, :]]
                 )
             for k in self._nldm_corners:
-                # The reference engine propagates a constant source slew.
+                # The reference engine propagates a constant source slew; the
+                # batched bilinear lookup is bit-identical to its scalar
+                # ``buffer.delay`` calls.
                 buffer = self._buffers[k]
-                for row in buffer_rows:
-                    state.stage[k, row] = buffer.delay(
-                        float(state.load[k, row]), input_slew=SOURCE_SLEW
-                    )
+                state.stage[k, buffer_rows] = buffer.delay_batch(
+                    state.load[k, buffer_rows], input_slews=SOURCE_SLEW
+                )
         ntsv_rows = rows[kinds == KIND_NTSV]
         if ntsv_rows.size:
             if self._ntsv_r is None:
@@ -389,11 +390,10 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         buffer_rows = rows[kinds == KIND_BUFFER]
         if buffer_rows.size:
             for k, buffer in enumerate(self._buffers):
-                for row in buffer_rows:
-                    state.slew_out[k, row] = buffer.slew(
-                        float(state.load[k, row]),
-                        input_slew=float(state.slew_at[k, row]),
-                    )
+                state.slew_out[k, buffer_rows] = buffer.slew_batch(
+                    state.load[k, buffer_rows],
+                    input_slews=state.slew_at[k, buffer_rows],
+                )
         ntsv_rows = rows[kinds == KIND_NTSV]
         if ntsv_rows.size and self._ntsv_r is not None:
             step = LN9 * (

@@ -7,10 +7,9 @@ benchmark harness instead.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.designs import PlacementGenerator, PlacementSpec
+from repro.designs import PlacementGenerator, PlacementSpec, random_sink_cloud
 from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
 from repro.geometry import Point, Rect
 from repro.netlist import ClockNet, ClockSink, ClockSource
@@ -59,17 +58,7 @@ def make_random_clock_net(
     capacitance: float = 0.8,
 ) -> ClockNet:
     """A seeded random sink cloud (non-grid, unbalanced)."""
-    rng = np.random.default_rng(seed)
-    sinks = [
-        ClockSink(
-            name=f"ff_{i}",
-            location=Point(float(rng.uniform(0, extent)), float(rng.uniform(0, extent))),
-            capacitance=capacitance,
-        )
-        for i in range(count)
-    ]
-    source = ClockSource(name="clk_root", location=Point(extent / 2.0, 0.0))
-    return ClockNet(name="clk", source=source, sinks=sinks)
+    return random_sink_cloud(count, extent=extent, seed=seed, capacitance=capacitance)
 
 
 @pytest.fixture(scope="session")

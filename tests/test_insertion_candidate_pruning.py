@@ -190,3 +190,61 @@ class TestSelection:
         c = cand(dmax=95.0, buffers=3, ntsvs=2)  # dominated by b
         front = pareto_front([a, b, c])
         assert a in front and b in front and c not in front
+
+
+class TestResourceDiversityRule:
+    """The dominator-relative resource-diversity rule (one rule, both DP
+    backends): a dominated candidate survives iff its resource count is
+    strictly below the minimum resource count among the kept candidates
+    that actually dominate it."""
+
+    def test_non_dominating_cheap_keeper_does_not_veto_survival(self):
+        # c1 (delay 10, 0 resources) does NOT dominate c3 (delay 6): only
+        # c2 (delay 5, 4 resources) does.  c3 uses 2 < 4 resources, so the
+        # rule keeps it — the old min-over-all-kept bound (0) wrongly
+        # dropped it.
+        c1 = cand(cap=1.0, dmax=10.0)
+        c2 = cand(cap=2.0, dmax=5.0, buffers=4)
+        c3 = cand(cap=3.0, dmax=6.0, buffers=2)
+        kept = prune_dominated([c1, c2, c3], keep_resource_diversity=True)
+        assert c3 in kept
+        assert kept == [c1, c2, c3]
+
+    def test_candidate_matching_dominator_resources_still_dies(self):
+        c1 = cand(cap=1.0, dmax=5.0, buffers=2)
+        c2 = cand(cap=2.0, dmax=6.0, buffers=2)  # dominated, equal resources
+        kept = prune_dominated([c1, c2], keep_resource_diversity=True)
+        assert kept == [c1]
+
+    def test_corner_aware_floor_is_dominator_relative(self):
+        def corner_cand(caps, dmaxs, buffers=0):
+            return CandidateSolution(
+                up_side=Side.FRONT,
+                capacitance=caps[0],
+                max_delay=dmaxs[0],
+                min_delay=0.0,
+                buffer_count=buffers,
+                corner_capacitance=caps,
+                corner_max_delay=dmaxs,
+                corner_min_delay=(0.0,) * len(caps),
+            )
+
+        # b is kept (wins corner 1 against a) and cheap, but does NOT
+        # vector-dominate c; only a (4 buffers) does.  c survives on the
+        # dominator-relative floor, where the stale min-over-kept bound
+        # (b's 0 resources) would have pruned it.
+        a = corner_cand((1.0, 1.0), (5.0, 5.0), buffers=4)
+        b = corner_cand((2.0, 2.0), (9.0, 2.0), buffers=0)
+        c = corner_cand((3.0, 3.0), (6.0, 6.0), buffers=2)
+        assert a.dominates(c) and not b.dominates(c)
+        kept = prune_dominated([a, b, c], keep_resource_diversity=True)
+        assert kept == [a, b, c]
+        # Without the diversity exception the vector-dominated c dies.
+        assert prune_dominated([a, b, c]) == [a, b]
+
+    def test_diversity_survivors_act_as_dominators_later(self):
+        c1 = cand(cap=1.0, dmax=5.0, buffers=4)
+        c2 = cand(cap=2.0, dmax=7.0, buffers=1)  # survives via diversity
+        c3 = cand(cap=3.0, dmax=8.0, buffers=1)  # dominated by c2, equal cost
+        kept = prune_dominated([c1, c2, c3], keep_resource_diversity=True)
+        assert kept == [c1, c2]

@@ -90,3 +90,58 @@ class TestNtsvCell:
     def test_ntsv_delay_much_smaller_than_buffer_delay(self):
         # The motivation for nTSVs: crossing sides is nearly free electrically.
         assert default_ntsv().delay(30.0) < 0.1 * default_buffer().delay(30.0)
+
+
+class TestBatchedCellModels:
+    """delay_batch / slew_batch agree exactly with the scalar models."""
+
+    def test_linear_delay_batch_matches_scalar(self):
+        import numpy as np
+
+        from repro.tech.cells import default_buffer
+
+        buffer = default_buffer()
+        loads = np.linspace(0.0, 80.0, 23)
+        batched = buffer.delay_batch(loads)  # no slew: the linear model
+        for got, load in zip(batched, loads):
+            assert float(got) == buffer.delay(float(load))
+
+    def test_nldm_delay_batch_matches_scalar(self):
+        import numpy as np
+
+        from repro.tech.cells import default_buffer
+
+        buffer = default_buffer()
+        loads = np.linspace(0.0, 80.0, 23)
+        slews = np.linspace(1.0, 250.0, 23)
+        batched = buffer.delay_batch(loads, input_slews=slews)
+        for got, load, slew in zip(batched, loads, slews):
+            assert float(got) == buffer.delay(float(load), input_slew=float(slew))
+
+    def test_slew_batch_matches_scalar_both_models(self):
+        import numpy as np
+
+        from dataclasses import replace
+
+        from repro.tech.cells import default_buffer
+
+        buffer = default_buffer()
+        loads = np.linspace(0.0, 80.0, 17)
+        slews = np.full(17, 25.0)
+        for cell in (buffer, replace(buffer, nldm_slew=None)):
+            batched = cell.slew_batch(loads, input_slews=slews)
+            for got, load, slew in zip(batched, loads, slews):
+                assert float(got) == cell.slew(float(load), input_slew=float(slew))
+
+    def test_negative_loads_rejected(self):
+        import numpy as np
+
+        import pytest
+
+        from repro.tech.cells import default_buffer
+
+        buffer = default_buffer()
+        with pytest.raises(ValueError):
+            buffer.delay_batch(np.asarray([1.0, -0.5]))
+        with pytest.raises(ValueError):
+            buffer.slew_batch(np.asarray([-1.0]))

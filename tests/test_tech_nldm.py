@@ -89,3 +89,71 @@ class TestDefaultTables:
         delay = default_buffer_delay_table()
         slew = default_buffer_slew_table()
         assert slew.lookup(20.0, 30.0) > delay.lookup(20.0, 30.0)
+
+
+class TestLookupBatch:
+    """The batched bilinear path must agree exactly with scalar lookups."""
+
+    def assert_batch_matches_scalar(self, table, slews, caps):
+        import numpy as np
+
+        batched = table.lookup_batch(slews, caps)
+        slews_b, caps_b = np.broadcast_arrays(
+            np.asarray(slews, float), np.asarray(caps, float)
+        )
+        assert batched.shape == slews_b.shape
+        for got, slew, cap in zip(batched.ravel(), slews_b.ravel(), caps_b.ravel()):
+            assert float(got) == table.lookup(float(slew), float(cap))
+
+    def test_in_range_points_match_scalar(self):
+        table = default_buffer_delay_table()
+        self.assert_batch_matches_scalar(
+            table, [6.0, 12.5, 37.0, 155.0], [0.7, 3.3, 18.0, 55.5]
+        )
+
+    def test_clamped_points_match_scalar(self):
+        table = default_buffer_delay_table()
+        self.assert_batch_matches_scalar(
+            table, [-5.0, 0.0, 1e6, 200.0], [-1.0, 0.0, 1e5, 70.0]
+        )
+
+    def test_grid_points_match_scalar(self):
+        table = simple_table()
+        slews = [s for s in table.slew_axis for _ in table.cap_axis]
+        caps = list(table.cap_axis) * len(table.slew_axis)
+        self.assert_batch_matches_scalar(table, slews, caps)
+
+    def test_degenerate_minimal_grid(self):
+        table = NldmTable.from_arrays(
+            [10.0, 10.0 + 1e-9], [1.0, 1.0 + 1e-9], [[1.0, 2.0], [3.0, 4.0]]
+        )
+        self.assert_batch_matches_scalar(
+            table, [9.0, 10.0, 10.0 + 5e-10, 11.0], [0.5, 1.0, 1.0 + 5e-10, 2.0]
+        )
+
+    def test_scalar_slew_broadcasts_against_cap_array(self):
+        import numpy as np
+
+        table = default_buffer_slew_table()
+        caps = np.linspace(0.0, 70.0, 13)
+        batched = table.lookup_batch(10.0, caps)
+        assert batched.shape == caps.shape
+        for got, cap in zip(batched, caps):
+            assert float(got) == table.lookup(10.0, float(cap))
+
+    def test_property_random_points_match_scalar(self):
+        import numpy as np
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=30, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+        def check(seed):
+            rng = np.random.default_rng(seed)
+            table = default_buffer_delay_table()
+            slews = rng.uniform(-10.0, 300.0, size=17)
+            caps = rng.uniform(-5.0, 120.0, size=17)
+            self.assert_batch_matches_scalar(table, slews, caps)
+
+        check()
