@@ -21,6 +21,14 @@ Times four access patterns on generated 500 / 2000 / 8000-sink clock trees:
   object DP, nominal and at K=5 corners, in the Pareto-rich
   ``keep_resource_diversity`` configuration where the DP dominates the flow
   runtime.
+* ``dme_embed`` / ``dme_embed_corners`` — the two DME routing backends on
+  one shared matching topology over a 2k/5k-terminal sink cloud: the
+  level-batched array router (bottom-up merge + top-down embedding) vs. the
+  per-node scalar router, nominal and — ``dme_embed_corners`` — replayed
+  under every corner-scaled PDK of the K=5 sign-off set (DME balances
+  against one corner's wire RC at a time, so the corner row is K
+  independent routes for both backends).  Topology construction is shared
+  and untimed; the rows isolate the embedding kernel.
 
 Results are printed and written to ``BENCH_perf_timing.json`` at the repo
 root — or to ``BENCH_perf_timing.smoke.json`` in smoke mode, so quick CI
@@ -47,7 +55,10 @@ from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.designs import random_sink_cloud
 from repro.geometry import Point
 from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig
+from repro.routing.dme import DmeRouter, DmeTerminal
+from repro.routing.dme_arrays import VectorizedDmeRouter
 from repro.routing.hierarchical import HierarchicalClockRouter
+from repro.routing.topology import matching_topology
 from repro.tech import CornerSet, asap7_backside
 from repro.timing import ElmoreTimingEngine, VectorizedElmoreEngine
 
@@ -64,6 +75,15 @@ BENCH_CORNERS = "tt,ss,ff,hot,cold"
 #: Sink counts the insertion-DP backend rows run on (the object DP at K=5 on
 #: the 8000-sink tree would dominate the whole bench runtime).
 INSERTION_DP_SIZES = (500, 2000)
+
+#: Terminal counts the DME-backend rows run on (2k gates the CI smoke run;
+#: the full run adds 5k plus the K=5 corner replay at 2k).
+DME_EMBED_SIZES_FULL = (2000, 5000)
+DME_EMBED_SIZES_SMOKE = (2000,)
+
+
+def dme_embed_sizes() -> tuple[int, ...]:
+    return DME_EMBED_SIZES_SMOKE if smoke_mode() else DME_EMBED_SIZES_FULL
 
 
 def smoke_mode() -> bool:
@@ -382,6 +402,74 @@ def bench_insertion_dp(sink_count: int, pdk, corners_spec: str | None = None) ->
     return row
 
 
+def bench_dme_embed(terminal_count: int, pdk, corners_spec: str | None = None) -> dict:
+    """DME routing backends: scalar per-node router vs. level-batched arrays.
+
+    Builds one matching topology over a seeded sink cloud (untimed — the
+    O(n^2) greedy matching is identical input for both backends) and times
+    ``route`` end-to-end: bottom-up merging-segment computation with Elmore
+    edge balancing, top-down embedding, and EmbeddedNode realisation.  With
+    ``corners_spec`` each timed round replays the route under every
+    corner-scaled PDK's front layer (the corner-aware construction question:
+    which corner's wire RC to balance against), for both backends alike.
+
+    The two backends are decision-identical; the sanity check asserts
+    bit-equal embedded wirelength on every layer.
+    """
+    clock_net = random_sink_cloud(terminal_count)
+    terminals = [
+        DmeTerminal(name=s.name, location=s.location, capacitance=s.capacitance)
+        for s in clock_net.sinks
+    ]
+    topology = matching_topology([t.location for t in terminals])
+    root_location = clock_net.source.location
+    if corners_spec:
+        corners = CornerSet.parse(corners_spec)
+        layers = [scenario.apply_to(pdk).front_layer for scenario in corners]
+    else:
+        corners = None
+        layers = [pdk.front_layer]
+
+    def run(router_class) -> float:
+        return _median_time(
+            lambda: [
+                router_class(layer).route(
+                    terminals, root_location=root_location, topology=topology
+                )
+                for layer in layers
+            ],
+            rounds=3,
+        )
+
+    t_ref = run(DmeRouter)
+    t_vec = run(VectorizedDmeRouter)
+
+    # Sanity: the two backends embed bit-identical trees on every layer.
+    for layer in layers:
+        reference = DmeRouter(layer).route(
+            terminals, root_location=root_location, topology=topology
+        )
+        vectorized = VectorizedDmeRouter(layer).route(
+            terminals, root_location=root_location, topology=topology
+        )
+        if reference.wirelength() != vectorized.wirelength():
+            raise AssertionError(
+                f"DME backends diverge on {terminal_count} terminals "
+                f"(layer {layer.name}, corners={corners_spec!r})"
+            )
+
+    row = {
+        "flow": "dme_embed_corners" if corners_spec else "dme_embed",
+        "sinks": terminal_count,
+        "reference_s": round(t_ref, 6),
+        "vectorized_s": round(t_vec, 6),
+        "speedup": round(t_ref / t_vec, 2),
+    }
+    if corners_spec:
+        row["corners"] = len(corners)
+    return row
+
+
 def run_bench() -> list[dict]:
     pdk = asap7_backside()
     rows: list[dict] = []
@@ -392,6 +480,10 @@ def run_bench() -> list[dict]:
         if sink_count in INSERTION_DP_SIZES:
             rows.append(bench_insertion_dp(sink_count, pdk))
             rows.append(bench_insertion_dp(sink_count, pdk, BENCH_CORNERS))
+    for terminal_count in dme_embed_sizes():
+        rows.append(bench_dme_embed(terminal_count, pdk))
+    if not smoke_mode():
+        rows.append(bench_dme_embed(DME_EMBED_SIZES_FULL[0], pdk, BENCH_CORNERS))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")
     for row in rows:
         label = row["flow"]

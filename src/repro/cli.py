@@ -15,7 +15,10 @@ kernel, ``reference`` the per-node Elmore implementation — useful to
 cross-check results or debug suspected kernel issues.  The analogous
 ``--dp-backend {reference,vectorized}`` switches the insertion DP between
 the array-based candidate-frontier engine (default) and the per-candidate
-object DP (the executable spec); both build identical trees.  ``dse
+object DP (the executable spec); both build identical trees.  The same
+pattern covers clock routing: ``--dme-backend {reference,vectorized}``
+switches the DME router between the level-batched array backend (default)
+and the per-node scalar router; both embed identical trees.  ``dse
 --workers N`` evaluates the sweep grid on ``N`` parallel processes.
 
 ``--corners SPEC`` evaluates every flow result across a PVT corner set —
@@ -43,6 +46,7 @@ from repro.evaluation.reporting import format_metrics, format_ratio_summary
 from repro.evaluation.reporting import format_corner_table
 from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
 from repro.insertion.frontier import DP_BACKEND_NAMES
+from repro.routing.dme_arrays import DME_BACKEND_NAMES
 from repro.tech import CornerSet, asap7_backside
 from repro.timing import ENGINE_NAMES
 
@@ -67,6 +71,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="insertion-DP backend: 'vectorized' (array-based candidate "
         "frontiers, default) or 'reference' (per-candidate object DP, for "
+        "differential checks)",
+    )
+    parser.add_argument(
+        "--dme-backend",
+        choices=DME_BACKEND_NAMES,
+        default=None,
+        help="DME routing backend: 'vectorized' (level-batched array "
+        "router, default) or 'reference' (per-node scalar router, for "
         "differential checks)",
     )
     parser.add_argument(
@@ -144,6 +156,7 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
     return CtsConfig(
         timing_engine=args.engine,
         dp_backend=getattr(args, "dp_backend", None),
+        dme_backend=getattr(args, "dme_backend", None),
         corners=corners,
         corner_aware_construction=corner_aware,
         nominal_skew_budget=budget,
@@ -216,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["REPRO_TIMING_ENGINE"] = args.engine
     if getattr(args, "dp_backend", None):
         overrides["REPRO_DP_BACKEND"] = args.dp_backend
+    if getattr(args, "dme_backend", None):
+        overrides["REPRO_DME_BACKEND"] = args.dme_backend
     if not overrides:
         return handlers[args.command](args)
     previous = {name: os.environ.get(name) for name in overrides}

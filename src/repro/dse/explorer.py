@@ -130,6 +130,7 @@ class DesignSpaceExplorer:
             low_cluster_size=self.config.low_cluster_size,
             seed=self.config.seed,
             hierarchical=self.config.hierarchical_routing,
+            dme_backend=self.config.dme_backend,
         )
         routing = router.route(clock_net)
         thresholds = [int(t) for t in fanout_thresholds]

@@ -1,12 +1,93 @@
-"""Configuration of the end-to-end CTS flows."""
+"""Configuration of the end-to-end CTS flows.
+
+This module also owns the one shared definition of *backend resolution*.
+Every two-engine subsystem (timing engines, insertion-DP backends, DME
+routing backends) exposes the same four surfaces with the same precedence:
+
+    explicit argument > config field (the CLI flags feed this) >
+    environment variable > built-in default
+
+:class:`BackendChoice` implements that rule once; the per-subsystem
+``resolve_*`` helpers in :mod:`repro.timing.factory`,
+:mod:`repro.insertion.frontier`, and :mod:`repro.routing.dme_arrays` all
+delegate here so the precedence can never drift between subsystems.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.insertion.moes import MoesWeights
 from repro.insertion.patterns import InsertionMode
 from repro.tech.corners import CornerSet
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """One two-engine backend knob and its shared resolution rule.
+
+    Attributes:
+        kind: human-readable knob name used in error messages
+            (e.g. ``"timing engine"``).
+        env_var: environment variable consulted when no explicit or config
+            value is given (e.g. ``REPRO_TIMING_ENGINE``).
+        names: the valid backend names.
+        default: the built-in default backend.
+    """
+
+    kind: str
+    env_var: str
+    names: tuple[str, ...]
+    default: str
+
+    def default_name(self) -> str:
+        """The backend used when nothing was chosen (env override included).
+
+        An empty environment value counts as unset so CI matrix entries can
+        pass the variable through unconditionally.
+        """
+        return os.environ.get(self.env_var) or self.default
+
+    def resolve(self, *candidates: str | None) -> str:
+        """Resolve the first non-None candidate, else env var, else default.
+
+        Callers list their candidates in precedence order (explicit argument
+        first, then the config field); the environment variable and the
+        built-in default are consulted only when every candidate is None.
+        The resolved name is validated against :attr:`names`.
+        """
+        name = next((c for c in candidates if c is not None), None)
+        if name is None:
+            name = self.default_name()
+        if name not in self.names:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; expected one of {self.names}"
+            )
+        return name
+
+
+#: The three two-engine knobs of the library.  The per-subsystem modules
+#: mirror ``names`` / ``default`` as literals (import-cycle free) and their
+#: tests assert the literals agree with these definitions.
+TIMING_ENGINE_CHOICE = BackendChoice(
+    kind="timing engine",
+    env_var="REPRO_TIMING_ENGINE",
+    names=("reference", "vectorized"),
+    default="vectorized",
+)
+DP_BACKEND_CHOICE = BackendChoice(
+    kind="DP backend",
+    env_var="REPRO_DP_BACKEND",
+    names=("reference", "vectorized"),
+    default="vectorized",
+)
+DME_BACKEND_CHOICE = BackendChoice(
+    kind="DME backend",
+    env_var="REPRO_DME_BACKEND",
+    names=("reference", "vectorized"),
+    default="vectorized",
+)
 
 
 @dataclass(frozen=True)
@@ -41,6 +122,13 @@ class CtsConfig:
             overridable via ``REPRO_DP_BACKEND``).  Both backends build
             identical trees; the knob exists for differential debugging and
             benchmarking (CLI ``--dp-backend``).
+        dme_backend: DME routing backend used by the hierarchical clock
+            router (``"vectorized"`` — the level-batched array router —
+            or ``"reference"`` — the per-node scalar router, the executable
+            spec); ``None`` uses the library default (``vectorized``,
+            overridable via ``REPRO_DME_BACKEND``).  Both backends embed
+            identical trees; the knob exists for differential debugging and
+            benchmarking (CLI ``--dme-backend``).
         corners: PVT corner set for multi-corner sign-off; ``None`` evaluates
             the nominal corner only.  The final metrics (and the DSE scoring)
             report every corner of the set, and the worst-corner skew/latency
@@ -72,6 +160,7 @@ class CtsConfig:
     enable_skew_refinement: bool = True
     timing_engine: str | None = None
     dp_backend: str | None = None
+    dme_backend: str | None = None
     corners: CornerSet | None = None
     corner_aware_construction: bool = False
     nominal_skew_budget: float = 0.0

@@ -103,6 +103,7 @@ class DoubleSideCTS:
             low_cluster_size=self.config.low_cluster_size,
             seed=self.config.seed,
             hierarchical=self.config.hierarchical_routing,
+            dme_backend=self.config.dme_backend,
         )
         return router.route(clock_net)
 

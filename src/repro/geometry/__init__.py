@@ -14,7 +14,15 @@ Manhattan (L1) metric.  This package provides:
 
 from repro.geometry.point import Point, manhattan, midpoint, centroid
 from repro.geometry.rect import Rect, bounding_box
-from repro.geometry.trr import TiltedRect, merging_region
+from repro.geometry.trr import (
+    TiltedRect,
+    merging_region,
+    merging_region_arrays,
+    nearest_point_arrays,
+    rect_distance_arrays,
+    to_rotated_arrays,
+    from_rotated_arrays,
+)
 
 __all__ = [
     "Point",
@@ -25,4 +33,9 @@ __all__ = [
     "bounding_box",
     "TiltedRect",
     "merging_region",
+    "merging_region_arrays",
+    "nearest_point_arrays",
+    "rect_distance_arrays",
+    "to_rotated_arrays",
+    "from_rotated_arrays",
 ]

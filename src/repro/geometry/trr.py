@@ -16,11 +16,20 @@ form because detour cases and numerically-inexact radii can otherwise produce
 empty intersections; the embedding step simply picks the nearest point of the
 region, which is exact for true segments and a high-quality approximation for
 thin rectangles.
+
+Alongside the scalar :class:`TiltedRect` the module provides *batched* array
+helpers (``*_arrays``) that apply the same operations to struct-of-arrays
+regions — four parallel ``(n,)`` vectors ``(ulo, vlo, uhi, vhi)``.  They are
+the geometric kernel of the level-batched DME backend
+(:mod:`repro.routing.dme_arrays`) and replicate the scalar methods
+operation-for-operation so results are bit-identical lane by lane.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.geometry.point import Point
 
@@ -159,3 +168,97 @@ def merging_region(
     if inter is None:  # pragma: no cover - defensive, cannot happen after slack
         raise RuntimeError("merging region construction failed")
     return inter
+
+
+# --------------------------------------------------------------------------
+# Batched struct-of-arrays helpers (the scalar methods, one lane per region).
+
+
+def to_rotated_arrays(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map point coordinate arrays to rotated ``(u, v)`` coordinate arrays."""
+    return x + y, x - y
+
+
+def from_rotated_arrays(u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map rotated coordinate arrays back to Manhattan-plane ``(x, y)``."""
+    return (u + v) / 2.0, (u - v) / 2.0
+
+
+def rect_distance_arrays(
+    a_ulo: np.ndarray,
+    a_vlo: np.ndarray,
+    a_uhi: np.ndarray,
+    a_vhi: np.ndarray,
+    b_ulo: np.ndarray,
+    b_vlo: np.ndarray,
+    b_uhi: np.ndarray,
+    b_vhi: np.ndarray,
+) -> np.ndarray:
+    """Lane-wise :meth:`TiltedRect.distance_to` over two region batches."""
+    du = np.maximum(0.0, np.maximum(a_ulo, b_ulo) - np.minimum(a_uhi, b_uhi))
+    dv = np.maximum(0.0, np.maximum(a_vlo, b_vlo) - np.minimum(a_vhi, b_vhi))
+    return np.maximum(du, dv)
+
+
+def nearest_point_arrays(
+    ulo: np.ndarray,
+    vlo: np.ndarray,
+    uhi: np.ndarray,
+    vhi: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lane-wise :meth:`TiltedRect.nearest_point_to` (rotated in, rotated out)."""
+    cu = np.minimum(np.maximum(u, ulo), uhi)
+    cv = np.minimum(np.maximum(v, vlo), vhi)
+    return cu, cv
+
+
+def merging_region_arrays(
+    a_ulo: np.ndarray,
+    a_vlo: np.ndarray,
+    a_uhi: np.ndarray,
+    a_vhi: np.ndarray,
+    b_ulo: np.ndarray,
+    b_vlo: np.ndarray,
+    b_uhi: np.ndarray,
+    b_vhi: np.ndarray,
+    extra_a: np.ndarray,
+    extra_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Lane-wise :func:`merging_region` over two region batches.
+
+    Returns the merged region batch ``(ulo, vlo, uhi, vhi)``.  Lanes whose
+    inflated regions do not intersect take the same slack fallback as the
+    scalar function (grow both by half the residual gap plus epsilon).
+    """
+    if np.any(extra_a < 0) or np.any(extra_b < 0):
+        raise ValueError("edge lengths must be non-negative")
+    ia_ulo, ia_vlo, ia_uhi, ia_vhi = (
+        a_ulo - extra_a,
+        a_vlo - extra_a,
+        a_uhi + extra_a,
+        a_vhi + extra_a,
+    )
+    ib_ulo, ib_vlo, ib_uhi, ib_vhi = (
+        b_ulo - extra_b,
+        b_vlo - extra_b,
+        b_uhi + extra_b,
+        b_vhi + extra_b,
+    )
+    ulo = np.maximum(ia_ulo, ib_ulo)
+    vlo = np.maximum(ia_vlo, ib_vlo)
+    uhi = np.minimum(ia_uhi, ib_uhi)
+    vhi = np.minimum(ia_vhi, ib_vhi)
+    empty = (uhi < ulo) | (vhi < vlo)
+    if np.any(empty):
+        # Numerical slack: grow both by half the residual gap (plus epsilon).
+        gap = rect_distance_arrays(
+            ia_ulo, ia_vlo, ia_uhi, ia_vhi, ib_ulo, ib_vlo, ib_uhi, ib_vhi
+        )
+        slack = gap / 2.0 + 1e-9
+        ulo = np.where(empty, np.maximum(ia_ulo - slack, ib_ulo - slack), ulo)
+        vlo = np.where(empty, np.maximum(ia_vlo - slack, ib_vlo - slack), vlo)
+        uhi = np.where(empty, np.minimum(ia_uhi + slack, ib_uhi + slack), uhi)
+        vhi = np.where(empty, np.minimum(ia_vhi + slack, ib_vhi + slack), vhi)
+    return ulo, vlo, uhi, vhi

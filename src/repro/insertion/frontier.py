@@ -32,7 +32,6 @@ identical selected trees and 1e-9-equal root candidate fronts.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -46,7 +45,9 @@ from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 
 #: Backend used when neither the caller, the config, nor the environment
-#: chooses one (mirrors ``repro.timing.factory.DEFAULT_ENGINE``).
+#: chooses one.  Mirrors ``repro.flow.config.DP_BACKEND_CHOICE`` (kept as
+#: literals here because importing ``repro.flow.config`` at module scope
+#: would cycle back into this package through ``repro.insertion.moes``).
 DEFAULT_DP_BACKEND = "vectorized"
 
 DP_BACKEND_NAMES = ("reference", "vectorized")
@@ -69,17 +70,17 @@ _PAIRWISE_LIMIT = 512
 
 def default_dp_backend() -> str:
     """The DP backend used for ``dp_backend=None`` (env override included)."""
-    return os.environ.get("REPRO_DP_BACKEND", DEFAULT_DP_BACKEND)
+    # Deferred import: repro.flow.config imports this package at module scope.
+    from repro.flow.config import DP_BACKEND_CHOICE
+
+    return DP_BACKEND_CHOICE.default_name()
 
 
 def resolve_dp_backend(name: str | None) -> str:
     """Resolve an explicit/None backend name against the environment default."""
-    resolved = name if name is not None else default_dp_backend()
-    if resolved not in DP_BACKEND_NAMES:
-        raise ValueError(
-            f"unknown DP backend {resolved!r}; expected one of {DP_BACKEND_NAMES}"
-        )
-    return resolved
+    from repro.flow.config import DP_BACKEND_CHOICE
+
+    return DP_BACKEND_CHOICE.resolve(name)
 
 
 @dataclass

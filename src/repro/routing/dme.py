@@ -21,6 +21,7 @@ afterwards decides which edges move to the back side.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.geometry import Point, TiltedRect, merging_region
@@ -105,6 +106,124 @@ class _MergeRecord:
     edge_to_right: float = 0.0
 
 
+# --------------------------------------------------------------------------
+# Scalar merge arithmetic — the executable spec shared by both backends.
+#
+# These module-level functions are the single definition of the DME balance
+# and detour arithmetic.  :class:`DmeRouter` calls them per node; the
+# level-batched backend (:mod:`repro.routing.dme_arrays`) calls them for its
+# small-level scalar fallback and replicates them operation-for-operation in
+# numpy for large levels, so both backends stay bit-identical.
+
+
+def solve_detour(
+    unit_r: float, unit_c: float, target: float, base: float, cap: float
+) -> float:
+    """Wire length e with ``base + R(e)(C(e) + cap) = target`` (e >= 0)."""
+    gap = target - base
+    if gap <= 0:
+        return 0.0
+    # unit_r*unit_c*e^2 + unit_r*cap*e - gap = 0
+    a = unit_r * unit_c
+    b = unit_r * cap
+    disc = b * b + 4 * a * gap
+    return (-b + math.sqrt(disc)) / (2 * a)
+
+
+def balance_edges(
+    unit_r: float,
+    unit_c: float,
+    left_delay: float,
+    left_cap: float,
+    right_delay: float,
+    right_cap: float,
+    distance: float,
+    detour_allowed: bool,
+) -> tuple[float, float]:
+    """Split ``distance`` into the two edge lengths that balance delay.
+
+    Solves ``d_l + R(e_l)(C(e_l) + c_l) = d_r + R(e_r)(C(e_r) + c_r)``
+    with ``e_l + e_r = distance``; when no split balances, the faster
+    side receives a detour (extra wirelength) if allowed, otherwise the
+    split saturates at the boundary.
+    """
+
+    def delay_l(e: float) -> float:
+        return left_delay + unit_r * e * (unit_c * e + left_cap)
+
+    def delay_r(e: float) -> float:
+        return right_delay + unit_r * e * (unit_c * e + right_cap)
+
+    # f(e) = delay of left with e  -  delay of right with (distance - e);
+    # f is increasing in e, so bisection finds the balance point.
+    def imbalance(e: float) -> float:
+        return delay_l(e) - delay_r(distance - e)
+
+    if distance <= 0:
+        low_delay_gap = left_delay - right_delay
+        if abs(low_delay_gap) < 1e-12 or not detour_allowed:
+            return 0.0, 0.0
+        # Balance two co-located subtrees by snaking wire on the faster one.
+        if left_delay > right_delay:
+            return 0.0, solve_detour(unit_r, unit_c, left_delay, right_delay, right_cap)
+        return solve_detour(unit_r, unit_c, right_delay, left_delay, left_cap), 0.0
+
+    if imbalance(0.0) > 0:
+        # Left subtree is already slower even with zero wire: detour right.
+        if not detour_allowed:
+            return 0.0, distance
+        extra = solve_detour(unit_r, unit_c, left_delay, right_delay, right_cap)
+        return 0.0, max(distance, extra)
+    if imbalance(distance) < 0:
+        # Right subtree is slower even when it gets no wire: detour left.
+        if not detour_allowed:
+            return distance, 0.0
+        extra = solve_detour(unit_r, unit_c, right_delay, left_delay, left_cap)
+        return max(distance, extra), 0.0
+
+    lo, hi = 0.0, distance
+    for _ in range(64):
+        mid = (lo + hi) / 2.0
+        if imbalance(mid) > 0:
+            hi = mid
+        else:
+            lo = mid
+    e_left = (lo + hi) / 2.0
+    return e_left, distance - e_left
+
+
+def merge_step(
+    unit_r: float,
+    unit_c: float,
+    left_region: TiltedRect,
+    left_cap: float,
+    left_delay: float,
+    right_region: TiltedRect,
+    right_cap: float,
+    right_delay: float,
+    detour_allowed: bool,
+) -> tuple[TiltedRect, float, float, float, float]:
+    """One DME merge: ``(region, capacitance, delay, e_left, e_right)``."""
+    distance = left_region.distance_to(right_region)
+    e_left, e_right = balance_edges(
+        unit_r,
+        unit_c,
+        left_delay,
+        left_cap,
+        right_delay,
+        right_cap,
+        distance,
+        detour_allowed,
+    )
+    region = merging_region(left_region, right_region, e_left, e_right)
+    merged_delay = max(
+        left_delay + unit_r * e_left * (unit_c * e_left + left_cap),
+        right_delay + unit_r * e_right * (unit_c * e_right + right_cap),
+    )
+    merged_cap = left_cap + right_cap + unit_c * (e_left + e_right)
+    return region, merged_cap, merged_delay, e_left, e_right
+
+
 class DmeRouter:
     """Elmore-balanced DME router over a single metal layer."""
 
@@ -168,22 +287,27 @@ class DmeRouter:
                 )
                 continue
             if not expanded:
+                if len(current.children) != 2:
+                    raise ValueError(
+                        "DME topologies must be binary; internal node has "
+                        f"{len(current.children)} children"
+                    )
                 stack.append((current, True))
                 stack.append((current.children[1], False))
                 stack.append((current.children[0], False))
                 continue
             left = records[id(current.children[0])]
             right = records[id(current.children[1])]
-            distance = left.region.distance_to(right.region)
-            e_left, e_right = self._balance_edges(left, right, distance)
-            region = merging_region(left.region, right.region, e_left, e_right)
-            unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
-            merged_delay = max(
-                left.delay + unit_r * e_left * (unit_c * e_left + left.capacitance),
-                right.delay + unit_r * e_right * (unit_c * e_right + right.capacitance),
-            )
-            merged_cap = (
-                left.capacitance + right.capacitance + unit_c * (e_left + e_right)
+            region, merged_cap, merged_delay, e_left, e_right = merge_step(
+                self.layer.unit_resistance,
+                self.layer.unit_capacitance,
+                left.region,
+                left.capacitance,
+                left.delay,
+                right.region,
+                right.capacitance,
+                right.delay,
+                self.detour_allowed,
             )
             records[id(current)] = _MergeRecord(
                 region=region,
@@ -193,82 +317,6 @@ class DmeRouter:
                 edge_to_right=e_right,
             )
         return records[id(node)]
-
-    def _balance_edges(
-        self, left: _MergeRecord, right: _MergeRecord, distance: float
-    ) -> tuple[float, float]:
-        """Split ``distance`` into the two edge lengths that balance delay.
-
-        Solves ``d_l + R(e_l)(C(e_l) + c_l) = d_r + R(e_r)(C(e_r) + c_r)``
-        with ``e_l + e_r = distance``; when no split balances, the faster
-        side receives a detour (extra wirelength) if allowed, otherwise the
-        split saturates at the boundary.
-        """
-        unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
-
-        def delay_l(e: float) -> float:
-            return left.delay + unit_r * e * (unit_c * e + left.capacitance)
-
-        def delay_r(e: float) -> float:
-            return right.delay + unit_r * e * (unit_c * e + right.capacitance)
-
-        # f(e) = delay of left with e  -  delay of right with (distance - e);
-        # f is increasing in e, so bisection finds the balance point.
-        def imbalance(e: float) -> float:
-            return delay_l(e) - delay_r(distance - e)
-
-        if distance <= 0:
-            low_delay_gap = left.delay - right.delay
-            if abs(low_delay_gap) < 1e-12 or not self.detour_allowed:
-                return 0.0, 0.0
-            return self._detour(left, right)
-
-        if imbalance(0.0) > 0:
-            # Left subtree is already slower even with zero wire: detour right.
-            if not self.detour_allowed:
-                return 0.0, distance
-            extra = self._solve_detour(
-                target=left.delay, base=right.delay, cap=right.capacitance
-            )
-            return 0.0, max(distance, extra)
-        if imbalance(distance) < 0:
-            # Right subtree is slower even when it gets no wire: detour left.
-            if not self.detour_allowed:
-                return distance, 0.0
-            extra = self._solve_detour(
-                target=right.delay, base=left.delay, cap=left.capacitance
-            )
-            return max(distance, extra), 0.0
-
-        lo, hi = 0.0, distance
-        for _ in range(64):
-            mid = (lo + hi) / 2.0
-            if imbalance(mid) > 0:
-                hi = mid
-            else:
-                lo = mid
-        e_left = (lo + hi) / 2.0
-        return e_left, distance - e_left
-
-    def _detour(self, left: _MergeRecord, right: _MergeRecord) -> tuple[float, float]:
-        """Balance two co-located subtrees by snaking wire on the faster one."""
-        if left.delay > right.delay:
-            extra = self._solve_detour(left.delay, right.delay, right.capacitance)
-            return 0.0, extra
-        extra = self._solve_detour(right.delay, left.delay, left.capacitance)
-        return extra, 0.0
-
-    def _solve_detour(self, target: float, base: float, cap: float) -> float:
-        """Wire length e with ``base + R(e)(C(e) + cap) = target`` (e >= 0)."""
-        unit_r, unit_c = self.layer.unit_resistance, self.layer.unit_capacitance
-        gap = target - base
-        if gap <= 0:
-            return 0.0
-        # unit_r*unit_c*e^2 + unit_r*cap*e - gap = 0
-        a = unit_r * unit_c
-        b = unit_r * cap
-        disc = b * b + 4 * a * gap
-        return (-b + disc**0.5) / (2 * a)
 
     # ------------------------------------------------------------ top-down
     def _top_down(

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
 from repro.clustering import Cluster, DualLevelClustering, dual_level_clustering
 from repro.netlist.clock import ClockNet
-from repro.routing.dme import DmeRouter, DmeTerminal, EmbeddedNode
+from repro.routing.dme import DmeTerminal, EmbeddedNode
+from repro.routing.dme_arrays import create_dme_router, resolve_dme_backend
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 
@@ -50,7 +51,12 @@ class HierarchicalClockRouter:
         low_cluster_size: int = 30,
         seed: int = 2025,
         hierarchical: bool = True,
+        dme_backend: str | None = None,
     ) -> None:
+        """``dme_backend`` selects the DME engine (``"vectorized"`` — the
+        level-batched array router, the default — or ``"reference"`` — the
+        per-node scalar spec); ``None`` resolves ``REPRO_DME_BACKEND`` /
+        the library default.  Both backends embed identical trees."""
         if high_cluster_size < low_cluster_size:
             raise ValueError("high-level cluster size must be >= low-level size")
         self.pdk = pdk
@@ -58,6 +64,7 @@ class HierarchicalClockRouter:
         self.low_cluster_size = low_cluster_size
         self.seed = seed
         self.hierarchical = hierarchical
+        self.dme_backend = resolve_dme_backend(dme_backend)
 
     # ---------------------------------------------------------------- public
     def route(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
@@ -79,7 +86,7 @@ class HierarchicalClockRouter:
             max_leaf_capacitance=0.9 * self.pdk.max_capacitance,
             unit_wire_capacitance=layer.unit_capacitance,
         )
-        router = DmeRouter(layer)
+        router = create_dme_router(layer, backend=self.dme_backend)
 
         root = ClockTreeNode(
             name="clkroot",
@@ -150,7 +157,7 @@ class HierarchicalClockRouter:
     def _route_flat(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
         """Matching-based DME straight over all sinks (Fig. 5(c) baseline)."""
         layer = self.pdk.front_layer
-        router = DmeRouter(layer)
+        router = create_dme_router(layer, backend=self.dme_backend)
         terminals = [
             DmeTerminal(name=s.name, location=s.location, capacitance=s.capacitance)
             for s in clock_net.sinks

@@ -41,12 +41,19 @@ class TopologyNode:
             raise ValueError("a leaf topology node cannot have children")
 
     def leaves(self) -> list["TopologyNode"]:
-        """Return every leaf in the subtree (left-to-right order)."""
-        if self.is_leaf:
-            return [self]
-        result = []
-        for child in self.children:
-            result.extend(child.leaves())
+        """Return every leaf in the subtree (left-to-right order).
+
+        Iterative — no per-level intermediate lists and no recursion, so
+        deep chained (caterpillar) topologies of arbitrary depth work.
+        """
+        result: list["TopologyNode"] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                stack.extend(reversed(node.children))
         return result
 
     def leaf_indices(self) -> list[int]:
@@ -54,16 +61,27 @@ class TopologyNode:
         return [leaf.terminal_index for leaf in self.leaves()]  # type: ignore[misc]
 
     def depth(self) -> int:
-        """Height of the subtree (a single leaf has depth 0)."""
-        if self.is_leaf:
-            return 0
-        return 1 + max(child.depth() for child in self.children)
+        """Height of the subtree (a single leaf has depth 0); iterative."""
+        best = 0
+        stack: list[tuple["TopologyNode", int]] = [(self, 0)]
+        while stack:
+            node, level = stack.pop()
+            if node.is_leaf:
+                best = max(best, level)
+            else:
+                stack.extend((child, level + 1) for child in node.children)
+        return best
 
     def internal_count(self) -> int:
-        """Number of internal (merge) nodes in the subtree."""
-        if self.is_leaf:
-            return 0
-        return 1 + sum(child.internal_count() for child in self.children)
+        """Number of internal (merge) nodes in the subtree; iterative."""
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                count += 1
+                stack.extend(node.children)
+        return count
 
 
 def matching_topology(locations: Sequence[Point]) -> TopologyNode:

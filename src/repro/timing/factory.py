@@ -26,14 +26,15 @@ per-corner engines in its loops.
 
 from __future__ import annotations
 
-import os
-
 from repro.tech.corners import CornerSet, Scenario
 from repro.tech.pdk import Pdk
 from repro.timing.elmore import ElmoreTimingEngine, WireModel
 from repro.timing.vectorized import VectorizedElmoreEngine
 
 #: Engine used when neither the caller nor the environment chooses one.
+#: Mirrors ``repro.flow.config.TIMING_ENGINE_CHOICE`` (kept as literals here
+#: because importing ``repro.flow.config`` at module scope would cycle
+#: through ``repro.insertion`` back into this package).
 DEFAULT_ENGINE = "vectorized"
 
 ENGINE_NAMES = ("reference", "vectorized")
@@ -44,7 +45,17 @@ TimingEngine = ElmoreTimingEngine | VectorizedElmoreEngine
 
 def default_engine_name() -> str:
     """The engine name used for ``engine=None`` (env override included)."""
-    return os.environ.get("REPRO_TIMING_ENGINE", DEFAULT_ENGINE)
+    # Deferred import: repro.flow.config transitively imports repro.timing.
+    from repro.flow.config import TIMING_ENGINE_CHOICE
+
+    return TIMING_ENGINE_CHOICE.default_name()
+
+
+def resolve_engine_name(engine: str | None = None) -> str:
+    """Resolve an explicit/None engine name against the environment default."""
+    from repro.flow.config import TIMING_ENGINE_CHOICE
+
+    return TIMING_ENGINE_CHOICE.resolve(engine)
 
 
 def create_engine(
@@ -68,15 +79,11 @@ def create_engine(
             spec string such as ``"tt,ss,ff"``; None analyses the nominal
             corner only (the classic single-corner behaviour).
     """
-    name = engine if engine is not None else default_engine_name()
+    name = resolve_engine_name(engine)
     if name == "reference":
         return ElmoreTimingEngine(
             pdk, wire_model=wire_model, use_nldm=use_nldm, corners=corners
         )
-    if name == "vectorized":
-        return VectorizedElmoreEngine(
-            pdk, wire_model=wire_model, use_nldm=use_nldm, corners=corners
-        )
-    raise ValueError(
-        f"unknown timing engine {name!r}; expected one of {ENGINE_NAMES}"
+    return VectorizedElmoreEngine(
+        pdk, wire_model=wire_model, use_nldm=use_nldm, corners=corners
     )

@@ -1,0 +1,107 @@
+"""One precedence test for all three two-engine backend knobs.
+
+``repro.flow.config.BackendChoice`` is the single definition of backend
+resolution — explicit argument > config field (fed by the CLI flags) >
+environment variable > built-in default — shared by the timing-engine,
+insertion-DP, and DME knobs.  These tests pin the precedence order once and
+assert the per-subsystem mirrors (literal names/defaults and ``resolve_*``
+helpers) agree with the shared definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.config import (
+    BackendChoice,
+    DME_BACKEND_CHOICE,
+    DP_BACKEND_CHOICE,
+    TIMING_ENGINE_CHOICE,
+)
+
+CHOICES = (TIMING_ENGINE_CHOICE, DP_BACKEND_CHOICE, DME_BACKEND_CHOICE)
+CHOICE_IDS = tuple(choice.kind.replace(" ", "-") for choice in CHOICES)
+
+
+@pytest.mark.parametrize("choice", CHOICES, ids=CHOICE_IDS)
+class TestPrecedence:
+    def test_builtin_default(self, choice, monkeypatch):
+        monkeypatch.delenv(choice.env_var, raising=False)
+        assert choice.default_name() == choice.default == "vectorized"
+        assert choice.resolve() == "vectorized"
+        assert choice.resolve(None, None) == "vectorized"
+
+    def test_env_beats_default(self, choice, monkeypatch):
+        monkeypatch.setenv(choice.env_var, "reference")
+        assert choice.resolve(None, None) == "reference"
+
+    def test_config_beats_env(self, choice, monkeypatch):
+        monkeypatch.setenv(choice.env_var, "reference")
+        # (explicit=None, config="vectorized") — the config field wins.
+        assert choice.resolve(None, "vectorized") == "vectorized"
+
+    def test_explicit_beats_config_and_env(self, choice, monkeypatch):
+        monkeypatch.setenv(choice.env_var, "reference")
+        assert choice.resolve("vectorized", "reference") == "vectorized"
+
+    def test_empty_env_counts_as_unset(self, choice, monkeypatch):
+        # CI matrix entries pass the variable through unconditionally.
+        monkeypatch.setenv(choice.env_var, "")
+        assert choice.resolve(None, None) == "vectorized"
+
+    def test_unknown_names_rejected_wherever_they_enter(self, choice, monkeypatch):
+        monkeypatch.delenv(choice.env_var, raising=False)
+        with pytest.raises(ValueError, match=f"unknown {choice.kind}"):
+            choice.resolve("bogus")
+        with pytest.raises(ValueError, match=f"unknown {choice.kind}"):
+            choice.resolve(None, "bogus")
+        monkeypatch.setenv(choice.env_var, "bogus")
+        with pytest.raises(ValueError, match=f"unknown {choice.kind}"):
+            choice.resolve(None, None)
+
+    def test_names(self, choice):
+        assert choice.names == ("reference", "vectorized")
+
+
+class TestSubsystemMirrors:
+    """The per-subsystem literals and helpers delegate to the shared rule."""
+
+    def test_timing_factory_mirrors_choice(self, monkeypatch):
+        from repro.timing import factory
+
+        assert factory.ENGINE_NAMES == TIMING_ENGINE_CHOICE.names
+        assert factory.DEFAULT_ENGINE == TIMING_ENGINE_CHOICE.default
+        monkeypatch.setenv("REPRO_TIMING_ENGINE", "reference")
+        assert factory.default_engine_name() == "reference"
+        assert factory.resolve_engine_name(None) == "reference"
+        assert factory.resolve_engine_name("vectorized") == "vectorized"
+        with pytest.raises(ValueError, match="unknown timing engine"):
+            factory.resolve_engine_name("bogus")
+
+    def test_insertion_frontier_mirrors_choice(self, monkeypatch):
+        from repro.insertion import frontier
+
+        assert frontier.DP_BACKEND_NAMES == DP_BACKEND_CHOICE.names
+        assert frontier.DEFAULT_DP_BACKEND == DP_BACKEND_CHOICE.default
+        monkeypatch.setenv("REPRO_DP_BACKEND", "reference")
+        assert frontier.default_dp_backend() == "reference"
+        assert frontier.resolve_dp_backend(None) == "reference"
+
+    def test_routing_dme_arrays_mirrors_choice(self, monkeypatch):
+        from repro.routing import dme_arrays
+
+        assert dme_arrays.DME_BACKEND_NAMES == DME_BACKEND_CHOICE.names
+        assert dme_arrays.DEFAULT_DME_BACKEND == DME_BACKEND_CHOICE.default
+        monkeypatch.setenv("REPRO_DME_BACKEND", "reference")
+        assert dme_arrays.default_dme_backend() == "reference"
+        assert dme_arrays.resolve_dme_backend(None) == "reference"
+
+    def test_create_engine_rejects_unknown(self, pdk):
+        from repro.timing import create_engine
+
+        with pytest.raises(ValueError, match="unknown timing engine"):
+            create_engine(pdk, engine="bogus")
+
+    def test_shared_dataclass_is_frozen(self):
+        with pytest.raises(AttributeError):
+            BackendChoice("x", "X", ("a",), "a").default = "b"

@@ -1,9 +1,20 @@
 """Unit tests for repro.geometry.trr (tilted rectangle regions)."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.geometry import Point, TiltedRect, merging_region
-from repro.geometry.trr import from_rotated, to_rotated
+from repro.geometry.trr import (
+    from_rotated,
+    from_rotated_arrays,
+    merging_region_arrays,
+    nearest_point_arrays,
+    rect_distance_arrays,
+    to_rotated,
+    to_rotated_arrays,
+)
 
 
 class TestRotation:
@@ -104,3 +115,136 @@ class TestMergingRegion:
         region = merging_region(a, a, 0.0, 0.0)
         assert region.is_point
         assert region.center().is_close(Point(3, 3))
+
+
+# ------------------------------------------------------ property invariants
+#: Quarter-um grid coordinates: exact float arithmetic, frequent exact ties.
+coordinates = st.integers(min_value=-200, max_value=200).map(lambda v: v / 4.0)
+radii = st.integers(min_value=0, max_value=80).map(lambda v: v / 4.0)
+points = st.builds(Point, coordinates, coordinates)
+
+
+@st.composite
+def tilted_rects(draw):
+    """Points, segments, and fat rectangles (all three degeneracy classes)."""
+    a = draw(points)
+    b = draw(st.one_of(st.just(a), points))
+    return TiltedRect.from_segment(a, b).inflated(draw(radii))
+
+
+class TestRotationProperties:
+    @given(p=points)
+    def test_round_trip_is_exact_on_the_grid(self, p):
+        assert from_rotated(*to_rotated(p)) == p
+
+    @given(a=points, b=points)
+    def test_rotated_chebyshev_equals_manhattan(self, a, b):
+        ua, va = to_rotated(a)
+        ub, vb = to_rotated(b)
+        assert max(abs(ua - ub), abs(va - vb)) == pytest.approx(a.manhattan(b))
+
+
+class TestDistanceProperties:
+    @given(a=tilted_rects(), b=tilted_rects())
+    def test_distance_is_symmetric(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(a=tilted_rects())
+    def test_distance_to_self_is_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(a=tilted_rects(), b=tilted_rects())
+    def test_intersection_iff_zero_distance(self, a, b):
+        assert (a.intersection(b) is not None) == (a.distance_to(b) == 0.0)
+
+    @given(a=tilted_rects(), p=points, radius=radii)
+    def test_inflating_reduces_point_distance_by_radius(self, a, p, radius):
+        before = a.distance_to_point(p)
+        after = a.inflated(radius).distance_to_point(p)
+        assert after == pytest.approx(max(0.0, before - radius))
+
+    @given(a=tilted_rects(), p=points)
+    def test_nearest_point_realises_the_distance(self, a, p):
+        nearest = a.nearest_point_to(p)
+        assert a.distance_to_point(nearest) == pytest.approx(0.0, abs=1e-9)
+        assert nearest.manhattan(p) == pytest.approx(a.distance_to_point(p))
+
+
+class TestMergeProperties:
+    @given(a=tilted_rects(), b=tilted_rects(), ea=radii, eb=radii)
+    def test_merge_is_commutative(self, a, b, ea, eb):
+        swapped = merging_region(b, a, eb, ea)
+        assert merging_region(a, b, ea, eb) == swapped
+
+    @given(a=tilted_rects(), b=tilted_rects(), ea=radii, eb=radii)
+    def test_merge_lies_within_both_inflations(self, a, b, ea, eb):
+        region = merging_region(a, b, ea, eb)
+        gap = a.inflated(ea).distance_to(b.inflated(eb))
+        slack = gap / 2.0 + 1e-9  # the scalar fallback's numerical slack
+        for probe in (region.center(), *region.corners()):
+            assert a.distance_to_point(probe) <= ea + slack + 1e-9
+            assert b.distance_to_point(probe) <= eb + slack + 1e-9
+
+    @given(p=points)
+    def test_degenerate_segment_collapses_to_the_point(self, p):
+        region = TiltedRect.from_segment(p, p)
+        assert region.is_point
+        assert not region.is_segment
+        assert region.center() == p
+        assert region.corners() == [p]
+        assert merging_region(region, region, 0.0, 0.0).is_point
+
+    @given(a=tilted_rects())
+    def test_zero_inflation_is_identity(self, a):
+        assert a.inflated(0.0) == a
+
+
+class TestArrayHelperExactAgreement:
+    """The batched helpers must equal the scalar methods bit for bit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), size=st.integers(min_value=1, max_value=16))
+    def test_lanes_match_scalar_methods(self, data, size):
+        rects_a = [data.draw(tilted_rects()) for _ in range(size)]
+        rects_b = [data.draw(tilted_rects()) for _ in range(size)]
+        probes = [data.draw(points) for _ in range(size)]
+        extras_a = np.asarray([data.draw(radii) for _ in range(size)])
+        extras_b = np.asarray([data.draw(radii) for _ in range(size)])
+
+        def pack(rects):
+            return tuple(
+                np.asarray([getattr(r, f) for r in rects])
+                for f in ("ulo", "vlo", "uhi", "vhi")
+            )
+
+        a = pack(rects_a)
+        b = pack(rects_b)
+
+        distances = rect_distance_arrays(*a, *b)
+        for lane, (ra, rb) in enumerate(zip(rects_a, rects_b)):
+            assert distances[lane] == ra.distance_to(rb)
+
+        u, v = to_rotated_arrays(
+            np.asarray([p.x for p in probes]), np.asarray([p.y for p in probes])
+        )
+        cu, cv = nearest_point_arrays(*a, u, v)
+        x, y = from_rotated_arrays(cu, cv)
+        for lane, (ra, p) in enumerate(zip(rects_a, probes)):
+            nearest = ra.nearest_point_to(p)
+            assert (x[lane], y[lane]) == (nearest.x, nearest.y)
+
+        ulo, vlo, uhi, vhi = merging_region_arrays(*a, *b, extras_a, extras_b)
+        for lane, (ra, rb) in enumerate(zip(rects_a, rects_b)):
+            merged = merging_region(ra, rb, extras_a[lane], extras_b[lane])
+            assert (ulo[lane], vlo[lane], uhi[lane], vhi[lane]) == (
+                merged.ulo,
+                merged.vlo,
+                merged.uhi,
+                merged.vhi,
+            )
+
+    def test_negative_edge_lengths_rejected(self):
+        zero = np.zeros(2)
+        region = (zero, zero, zero, zero)
+        with pytest.raises(ValueError, match="non-negative"):
+            merging_region_arrays(*region, *region, np.asarray([1.0, -1.0]), zero)

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.clocktree import NodeKind
-from repro.routing import HierarchicalClockRouter
+from repro.geometry import Point
+from repro.netlist import ClockNet, ClockSink, ClockSource
+from repro.routing import DME_BACKEND_NAMES, HierarchicalClockRouter
 from repro.tech.layers import Side
 from tests.conftest import make_random_clock_net
 
@@ -76,6 +78,95 @@ class TestHierarchicalRouting:
     def test_invalid_cluster_sizes_rejected(self, pdk):
         with pytest.raises(ValueError):
             HierarchicalClockRouter(pdk, high_cluster_size=10, low_cluster_size=20)
+
+
+class TestDegenerateInputs:
+    """Failure and near-failure paths: degenerate clusters and geometries."""
+
+    @pytest.mark.parametrize("dme_backend", DME_BACKEND_NAMES)
+    def test_single_sink_low_clusters(self, pdk, dme_backend):
+        """low_cluster_size=1 makes every tap a single-terminal DME."""
+        net = make_random_clock_net(count=24, extent=60.0, seed=11)
+        router = HierarchicalClockRouter(
+            pdk, high_cluster_size=8, low_cluster_size=1, dme_backend=dme_backend
+        )
+        result = router.route(net)
+        result.tree.validate()
+        assert {n.name for n in result.tree.sinks()} == {s.name for s in net.sinks}
+        for tap in result.tap_nodes:
+            assert sum(1 for c in tap.children if c.is_sink) == 1
+
+    @pytest.mark.parametrize("dme_backend", DME_BACKEND_NAMES)
+    def test_all_coincident_sinks(self, pdk, dme_backend):
+        """Every merge has distance zero — the degenerate balance branch."""
+        sinks = [
+            ClockSink(name=f"ff_{i}", location=Point(10.0, 10.0), capacitance=0.8)
+            for i in range(12)
+        ]
+        net = ClockNet(
+            name="clk",
+            source=ClockSource(name="src", location=Point(0.0, 0.0)),
+            sinks=sinks,
+        )
+        router = HierarchicalClockRouter(
+            pdk, high_cluster_size=8, low_cluster_size=4, dme_backend=dme_backend
+        )
+        result = router.route(net)
+        result.tree.validate()
+        assert result.tree.sink_count() == len(sinks)
+        # All merge geometry collapses onto the sink point: the only trunk
+        # wire is the root-to-tree edge from the source at (0, 0).
+        assert result.trunk_wirelength == pytest.approx(20.0, abs=1e-9)
+        for node in result.tree.nodes():
+            if node.kind is not NodeKind.ROOT:
+                assert node.location == Point(10.0, 10.0)
+
+    @pytest.mark.parametrize("dme_backend", DME_BACKEND_NAMES)
+    def test_single_cluster_single_sink(self, pdk, dme_backend):
+        """One high cluster holding one low cluster holding one sink."""
+        net = make_random_clock_net(count=1)
+        router = HierarchicalClockRouter(pdk, dme_backend=dme_backend)
+        result = router.route(net)
+        result.tree.validate()
+        assert result.tree.sink_count() == 1
+        assert len(result.tap_nodes) == 1
+
+    def test_unknown_dme_backend_rejected(self, pdk):
+        with pytest.raises(ValueError, match="unknown DME backend"):
+            HierarchicalClockRouter(pdk, dme_backend="bogus")
+
+
+class TestDetourDisabledBalance:
+    """detour_allowed=False saturates infeasible balances instead of snaking."""
+
+    @pytest.mark.parametrize("backend", DME_BACKEND_NAMES)
+    def test_infeasible_balance_saturates(self, pdk, backend):
+        from repro.routing import create_dme_router
+        from repro.routing.dme import DmeTerminal
+
+        router = create_dme_router(
+            pdk.front_layer, detour_allowed=False, backend=backend
+        )
+        slow = DmeTerminal("slow", Point(0.0, 0.0), capacitance=1.0, delay=500.0)
+        fast = DmeTerminal("fast", Point(10.0, 0.0), capacitance=1.0, delay=0.0)
+        tree = router.route([slow, fast])
+        for child in tree.children:
+            assert child.planned_edge_length <= 10.0 + 1e-9
+
+    @pytest.mark.parametrize("backend", DME_BACKEND_NAMES)
+    def test_coincident_infeasible_balance_allocates_nothing(self, pdk, backend):
+        from repro.routing import create_dme_router
+        from repro.routing.dme import DmeTerminal
+
+        router = create_dme_router(
+            pdk.front_layer, detour_allowed=False, backend=backend
+        )
+        slow = DmeTerminal("slow", Point(3.0, 3.0), capacitance=1.0, delay=500.0)
+        fast = DmeTerminal("fast", Point(3.0, 3.0), capacitance=1.0, delay=0.0)
+        tree = router.route([slow, fast])
+        assert all(c.planned_edge_length == 0.0 for c in tree.children)
+        # The unbalanced delay gap survives (nothing could be balanced).
+        assert tree.subtree_delay == pytest.approx(500.0)
 
 
 class TestFlatRouting:

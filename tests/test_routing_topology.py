@@ -94,3 +94,40 @@ class TestBipartitionTopology:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             balanced_bipartition_topology([])
+
+
+class TestIterativeTraversals:
+    """leaves()/depth()/internal_count() must not recurse: deep chains are
+    legal topologies (the DME routers flatten them iteratively too)."""
+
+    @staticmethod
+    def chain(count):
+        node = TopologyNode(terminal_index=0, location_hint=Point(0.0, 0.0))
+        for index in range(1, count):
+            leaf = TopologyNode(
+                terminal_index=index, location_hint=Point(float(index), 0.0)
+            )
+            node = TopologyNode(children=[node, leaf], location_hint=leaf.location_hint)
+        return node
+
+    def test_deep_chain_traversals_do_not_recurse(self):
+        import sys
+
+        count = 5000
+        assert count > sys.getrecursionlimit()
+        topo = self.chain(count)
+        assert topo.depth() == count - 1
+        assert topo.internal_count() == count - 1
+        assert topo.leaf_indices() == list(range(count))
+
+    def test_leaves_left_to_right_order(self):
+        left = TopologyNode(
+            children=[
+                TopologyNode(terminal_index=2, location_hint=Point(0, 0)),
+                TopologyNode(terminal_index=0, location_hint=Point(1, 0)),
+            ],
+            location_hint=Point(0.5, 0),
+        )
+        right = TopologyNode(terminal_index=1, location_hint=Point(2, 0))
+        root = TopologyNode(children=[left, right], location_hint=Point(1, 0))
+        assert root.leaf_indices() == [2, 0, 1]
