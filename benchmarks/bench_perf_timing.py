@@ -29,6 +29,10 @@ Times four access patterns on generated 500 / 2000 / 8000-sink clock trees:
   against one corner's wire RC at a time, so the corner row is K
   independent routes for both backends).  Topology construction is shared
   and untimed; the rows isolate the embedding kernel.
+* ``guarded_flow`` — the full double-side flow with ``guard=off`` vs.
+  ``guard=degrade`` on a healthy 2000-sink run; the ``speedup`` column is
+  ``t_off / t_degrade`` and its floor (just under 1.0x) caps the guard's
+  validation + invariant-probe overhead.
 
 Results are printed and written to ``BENCH_perf_timing.json`` at the repo
 root — or to ``BENCH_perf_timing.smoke.json`` in smoke mode, so quick CI
@@ -80,6 +84,9 @@ INSERTION_DP_SIZES = (500, 2000)
 #: the full run adds 5k plus the K=5 corner replay at 2k).
 DME_EMBED_SIZES_FULL = (2000, 5000)
 DME_EMBED_SIZES_SMOKE = (2000,)
+
+#: Sink count the guarded-flow overhead row runs on (both modes).
+GUARDED_FLOW_SINKS = 2000
 
 
 def dme_embed_sizes() -> tuple[int, ...]:
@@ -470,6 +477,56 @@ def bench_dme_embed(terminal_count: int, pdk, corners_spec: str | None = None) -
     return row
 
 
+def bench_guarded_flow(sink_count: int, pdk) -> dict:
+    """Guarded-flow overhead: guard=off vs. guard=degrade on a healthy run.
+
+    Runs the full double-side flow on one sink cloud under both policies.
+    On a healthy run ``degrade`` pays for input validation and the fused
+    post-stage invariant probes, but never replays a stage — the row gates
+    that this overhead stays small.  The two policies are timed in
+    interleaved pairs and scored by their best sample: the overhead being
+    measured is a fixed few milliseconds of checking, and minima separate
+    it from scheduler noise far better than a median of three back-to-back
+    runs does.  The ``speedup`` column is ``t_off / t_degrade`` (close to,
+    and bounded below by, the committed floor just under 1.0x) so the
+    shared ``speedup >= floor`` gate caps the overhead.
+    """
+    from repro.flow.config import CtsConfig
+    from repro.flow.cts import DoubleSideCTS
+
+    clock_net = random_sink_cloud(sink_count)
+    samples: dict[str, list[float]] = {"off": [], "degrade": []}
+    results: dict[str, object] = {}
+    for _ in range(5):
+        for policy in ("off", "degrade"):
+            flow = DoubleSideCTS(pdk, CtsConfig(guard=policy))
+            start = time.perf_counter()
+            results[policy] = flow.run(clock_net)
+            samples[policy].append(time.perf_counter() - start)
+    t_off, t_degrade = min(samples["off"]), min(samples["degrade"])
+    off, degraded = results["off"], results["degrade"]
+
+    # Sanity: a healthy degrade run never intervenes and builds the same tree.
+    if degraded.guard_diagnostics:
+        raise AssertionError(
+            f"healthy degrade run recorded diagnostics: {degraded.guard_diagnostics}"
+        )
+    if (
+        abs(off.metrics.skew - degraded.metrics.skew) > 1e-12
+        or abs(off.metrics.latency - degraded.metrics.latency) > 1e-12
+        or off.metrics.wirelength != degraded.metrics.wirelength
+    ):
+        raise AssertionError(f"guard policies diverge on {sink_count} sinks")
+
+    return {
+        "flow": "guarded_flow",
+        "sinks": sink_count,
+        "reference_s": round(t_off, 6),
+        "vectorized_s": round(t_degrade, 6),
+        "speedup": round(t_off / t_degrade, 3),
+    }
+
+
 def run_bench() -> list[dict]:
     pdk = asap7_backside()
     rows: list[dict] = []
@@ -484,6 +541,7 @@ def run_bench() -> list[dict]:
         rows.append(bench_dme_embed(terminal_count, pdk))
     if not smoke_mode():
         rows.append(bench_dme_embed(DME_EMBED_SIZES_FULL[0], pdk, BENCH_CORNERS))
+    rows.append(bench_guarded_flow(GUARDED_FLOW_SINKS, pdk))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")
     for row in rows:
         label = row["flow"]

@@ -32,11 +32,18 @@ DEFAULT_RESULTS = REPO_ROOT / "BENCH_perf_timing.smoke.json"
 
 
 def check(rows: list[dict], floors: dict[str, float]) -> list[str]:
-    """Return one failure message per row below its committed floor."""
+    """Return one failure message per row below its committed floor.
+
+    A floor with no matching bench row is a failure too: a renamed or
+    silently dropped benchmark must not leave its floor gating nothing.
+    """
     failures: list[str] = []
     gated = 0
+    flows_present: set[str] = set()
     for row in rows:
-        floor = floors.get(row.get("flow", ""))
+        flow = row.get("flow", "")
+        flows_present.add(flow)
+        floor = floors.get(flow)
         status = "  (ungated)"
         if floor is not None:
             gated += 1
@@ -54,6 +61,11 @@ def check(rows: list[dict], floors: dict[str, float]) -> list[str]:
         )
     if gated == 0:
         failures.append("no gated flows found in the results file")
+    for flow in sorted(set(floors) - flows_present):
+        failures.append(
+            f"floor key {flow!r} has no matching bench row — the benchmark "
+            "was renamed or dropped without updating perf_floors.json"
+        )
     return failures
 
 

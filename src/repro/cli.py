@@ -30,6 +30,11 @@ skew/latency instead of nominal.  Adding ``--corner-aware-construction``
 moves the corner batch into the optimisation loops themselves: the insertion
 DP and the skew refinement then optimise worst-corner objectives
 (``dscts run C4 --corners signoff --corner-aware-construction``).
+
+``--guard {strict,degrade,off}`` selects the guarded-flow policy of
+:mod:`repro.guard` (validation, anomaly detection, graceful degradation to
+the reference backends); ``--debug`` turns the one-line ``error:`` summaries
+back into full tracebacks.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.evaluation import ComparisonTable, format_table
 from repro.evaluation.reporting import format_metrics, format_ratio_summary
 from repro.evaluation.reporting import format_corner_table
 from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.guard import GUARD_POLICY_NAMES
 from repro.insertion.frontier import DP_BACKEND_NAMES
 from repro.routing.dme_arrays import DME_BACKEND_NAMES
 from repro.tech import CornerSet, asap7_backside
@@ -105,6 +111,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="nominal skew (ps) a corner-aware skew refinement may give "
         "away while improving the worst corner (default: 0)",
     )
+    parser.add_argument(
+        "--guard",
+        choices=GUARD_POLICY_NAMES,
+        default=None,
+        help="guarded-flow policy: 'off' (default, no checks), 'degrade' "
+        "(validate inputs, re-run anomalous stages on the reference "
+        "backends and continue), or 'strict' (fail fast on the first "
+        "anomaly)",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="print full tracebacks instead of one-line error summaries",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +180,7 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
         corners=corners,
         corner_aware_construction=corner_aware,
         nominal_skew_budget=budget,
+        guard=getattr(args, "guard", None),
     )
 
 
@@ -211,19 +232,19 @@ def _cmd_table2(_args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``dscts`` console script."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command with the CLI backend choices as process defaults.
+
+    The environment overrides make the engine / backend / guard choices the
+    process-wide defaults for the duration of the command so baseline flows
+    (which have no knobs of their own) honour them too.
+    """
     handlers = {
         "run": _cmd_run,
         "compare": _cmd_compare,
         "dse": _cmd_dse,
         "table2": _cmd_table2,
     }
-    # Make the engine / DP-backend choices the process defaults for the
-    # duration of the command so baseline flows (which have no knobs of
-    # their own) honour them too.
     overrides = {}
     if getattr(args, "engine", None):
         overrides["REPRO_TIMING_ENGINE"] = args.engine
@@ -231,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["REPRO_DP_BACKEND"] = args.dp_backend
     if getattr(args, "dme_backend", None):
         overrides["REPRO_DME_BACKEND"] = args.dme_backend
+    if getattr(args, "guard", None):
+        overrides["REPRO_GUARD"] = args.guard
     if not overrides:
         return handlers[args.command](args)
     previous = {name: os.environ.get(name) for name in overrides}
@@ -243,6 +266,26 @@ def main(argv: list[str] | None = None) -> int:
                 os.environ.pop(name, None)
             else:
                 os.environ[name] = value
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``dscts`` console script.
+
+    Errors surface as a one-line ``error: ...`` on stderr with exit code 1;
+    pass ``--debug`` to re-raise and get the full traceback.  ``SystemExit``
+    (argparse usage errors) and ``KeyboardInterrupt`` pass through untouched.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except Exception as exc:  # noqa: BLE001 - the CLI boundary
+        if getattr(args, "debug", False):
+            raise
+        # KeyError reprs its argument; unwrap it for a readable message.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -82,6 +82,15 @@ class ClockTree:
         """Record an unscoped structural change (forces full re-analysis)."""
         self._record("touch", None)
 
+    @property
+    def edit_log(self) -> tuple[tuple[int, str, ClockTreeNode | None], ...]:
+        """The recorded ``(version, kind, node)`` edits, oldest first.
+
+        Read-only view for coherence checks (:mod:`repro.guard`); incremental
+        consumers should use :meth:`edits_since` instead.
+        """
+        return tuple(self._edits)
+
     def edits_since(
         self, version: int
     ) -> list[tuple[int, str, ClockTreeNode | None]] | None:
@@ -306,13 +315,19 @@ class ClockTree:
           "shared vertex of any two edges must have the same side type"),
         * a buffer sits on the back side,
         * a sink is not on the front side,
-        * the parent/child links are inconsistent or contain a cycle.
+        * the parent/child links are inconsistent or contain a cycle,
+        * two nodes share a name,
+        * the :meth:`find` name index disagrees with the traversal.
         """
         seen: set[int] = set()
+        names: dict[str, ClockTreeNode] = {}
         for node in self.nodes():
             if id(node) in seen:
                 raise ConnectivityError(f"cycle detected at node {node.name!r}")
             seen.add(id(node))
+            if node.name in names:
+                raise ConnectivityError(f"duplicate node name {node.name!r}")
+            names[node.name] = node
             for child in node.children:
                 if child.parent is not node:
                     raise ConnectivityError(
@@ -323,6 +338,29 @@ class ClockTree:
             if node.is_sink and node.side is not Side.FRONT:
                 raise ConnectivityError(f"sink {node.name!r} is on the back side")
             self._check_side_consistency(node)
+        self._check_find_index(names)
+
+    def _check_find_index(self, names: dict[str, ClockTreeNode]) -> None:
+        """Verify the lazy :meth:`find` cache is coherent with the traversal.
+
+        Entries for renamed or detached nodes are fine — :meth:`find`
+        detects those itself and rescans.  What it cannot detect is an entry
+        whose node still carries the looked-up name and still reaches this
+        root through parent links but is *not* part of the traversal (its
+        parent does not list it as a child): :meth:`find` would keep serving
+        a node the tree does not contain.
+        """
+        cache = self._find_cache
+        if cache is None:
+            return
+        for key, cached in cache.items():
+            if cached.name != key or names.get(key) is cached:
+                continue
+            if self._is_attached(cached):
+                raise ConnectivityError(
+                    f"find() index incoherent: entry {key!r} resolves to a "
+                    "node the traversal does not reach"
+                )
 
     def _check_side_consistency(self, node: ClockTreeNode) -> None:
         """Verify every wire touching ``node`` is compatible with its side."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.baselines.fanout import FanoutBacksideOptimizer
 from repro.baselines.timing_critical import TimingCriticalBacksideOptimizer
@@ -52,6 +52,9 @@ class DsePoint:
     configuration: str
     parameter: float
     metrics: ClockTreeMetrics
+    #: True when the first attempt crashed and the point was recovered by a
+    #: retry on the all-reference backends.
+    retried: bool = False
 
     @property
     def objectives(self) -> tuple[float, float, float]:
@@ -76,12 +79,28 @@ class DsePoint:
         return row
 
 
+@dataclass(frozen=True)
+class DseFailure:
+    """One sweep point that crashed even after the reference-backend retry."""
+
+    configuration: str
+    parameter: float
+    error: str
+
+
 @dataclass
 class DseResult:
-    """All explored points of one sweep."""
+    """All explored points of one sweep.
+
+    A crashing sweep point never takes the rest of the sweep down with it:
+    every point is attempted independently, retried once on the all-reference
+    backends, and recorded in :attr:`failures` if both attempts raise.  Serial
+    and parallel sweeps produce identical points *and* identical failures.
+    """
 
     design_name: str
     points: list[DsePoint] = field(default_factory=list)
+    failures: list[DseFailure] = field(default_factory=list)
 
     def pareto(self) -> list[DsePoint]:
         """The non-dominated points over (latency, skew, resources)."""
@@ -115,6 +134,7 @@ class DesignSpaceExplorer:
         fanout_thresholds: Iterable[int],
         design_name: str | None = None,
         workers: int = 1,
+        point_hook: Callable[[CtsConfig, int], None] | None = None,
     ) -> DseResult:
         """Sweep the fanout threshold of the heterogeneous DP tree.
 
@@ -122,6 +142,11 @@ class DesignSpaceExplorer:
         nTSVs); large thresholds approach the all-full-mode Table III
         configuration.  ``workers > 1`` evaluates the grid on a process
         pool; the result order and content are identical to a serial sweep.
+
+        ``point_hook`` is a picklable callable invoked with
+        ``(config, threshold)`` before each point is evaluated; the fault
+        harness (:class:`~repro.guard.faults.SweepCrash`) uses it to crash
+        chosen points and prove the sweep's failure isolation.
         """
         clock_net, name = DoubleSideCTS._resolve_input(design, design_name)
         router = HierarchicalClockRouter(
@@ -139,16 +164,40 @@ class DesignSpaceExplorer:
             with ProcessPoolExecutor(max_workers=min(workers, len(thresholds))) as pool:
                 futures = [
                     pool.submit(
-                        _explore_point, self.pdk, self.config, routing.tree, t, name
+                        _explore_point,
+                        self.pdk,
+                        self.config,
+                        routing.tree,
+                        t,
+                        name,
+                        point_hook,
                     )
                     for t in thresholds
                 ]
-                result.points.extend(future.result() for future in futures)
+                # Collect every future: one raising worker (a crashed process,
+                # an unpicklable error) must not discard the completed points.
+                outcomes = []
+                for future, threshold in zip(futures, thresholds):
+                    try:
+                        outcomes.append(future.result())
+                    except BaseException as exc:  # noqa: BLE001 - isolate points
+                        outcomes.append(
+                            DseFailure(
+                                configuration="ours_dse",
+                                parameter=float(threshold),
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
         else:
-            result.points.extend(
-                _explore_point(self.pdk, self.config, routing.tree, t, name)
+            outcomes = [
+                _explore_point(self.pdk, self.config, routing.tree, t, name, point_hook)
                 for t in thresholds
-            )
+            ]
+        for outcome in outcomes:
+            if isinstance(outcome, DseFailure):
+                result.failures.append(outcome)
+            else:
+                result.points.append(outcome)
         return result
 
     def _insert_and_refine(self, tree: ClockTree, fanout_threshold: int | None) -> None:
@@ -236,10 +285,17 @@ def _insert_and_refine(
         ).refine(tree)
 
 
-def _explore_point(
-    pdk: Pdk, config: CtsConfig, routed_tree: ClockTree, threshold: int, name: str
+def _attempt_point(
+    pdk: Pdk,
+    config: CtsConfig,
+    routed_tree: ClockTree,
+    threshold: int,
+    name: str,
+    point_hook: Callable[[CtsConfig, int], None] | None,
 ) -> DsePoint:
     """Evaluate one fanout-threshold configuration on a fresh tree copy."""
+    if point_hook is not None:
+        point_hook(config, threshold)
     start = time.perf_counter()
     tree = routed_tree.copy()
     _insert_and_refine(pdk, config, tree, fanout_threshold=threshold)
@@ -256,3 +312,43 @@ def _explore_point(
     return DsePoint(
         configuration="ours_dse", parameter=float(threshold), metrics=metrics
     )
+
+
+def _explore_point(
+    pdk: Pdk,
+    config: CtsConfig,
+    routed_tree: ClockTree,
+    threshold: int,
+    name: str,
+    point_hook: Callable[[CtsConfig, int], None] | None = None,
+) -> DsePoint | DseFailure:
+    """Attempt one sweep point; retry once on the reference backends.
+
+    A crash on the vectorized backends gets one retry through the executable
+    spec (the same degradation the guarded flow applies); a point that fails
+    both ways is reported as a :class:`DseFailure` instead of raising, so the
+    rest of the sweep survives.
+    """
+    try:
+        return _attempt_point(pdk, config, routed_tree, threshold, name, point_hook)
+    except Exception as first:  # noqa: BLE001 - isolate sweep points
+        fallback = config.with_updates(
+            timing_engine="reference",
+            dp_backend="reference",
+            dme_backend="reference",
+        )
+        try:
+            point = _attempt_point(
+                pdk, fallback, routed_tree, threshold, name, point_hook
+            )
+        except Exception as second:  # noqa: BLE001 - both attempts failed
+            return DseFailure(
+                configuration="ours_dse",
+                parameter=float(threshold),
+                error=(
+                    f"{type(first).__name__}: {first}; reference retry failed: "
+                    f"{type(second).__name__}: {second}"
+                ),
+            )
+        point.retried = True
+        return point

@@ -89,6 +89,16 @@ DME_BACKEND_CHOICE = BackendChoice(
     default="vectorized",
 )
 
+#: The guard-policy knob of :mod:`repro.guard` rides the same resolution
+#: rule (explicit argument > ``CtsConfig.guard`` > ``REPRO_GUARD`` > default)
+#: even though its names select behaviours rather than backends.
+GUARD_POLICY_CHOICE = BackendChoice(
+    kind="guard policy",
+    env_var="REPRO_GUARD",
+    names=("strict", "degrade", "off"),
+    default="off",
+)
+
 
 @dataclass(frozen=True)
 class CtsConfig:
@@ -141,6 +151,13 @@ class CtsConfig:
             refinement may give away while chasing the worst corner; 0 means
             the nominal skew must never regress past its pre-refinement
             value.
+        guard: guard policy of the flow (``"strict"``, ``"degrade"``, or
+            ``"off"``); ``None`` uses the library default (``off``,
+            overridable via ``REPRO_GUARD``).  ``off`` runs the flow exactly
+            as before, ``degrade`` validates inputs and stage invariants and
+            re-runs an anomalous stage through the reference backends, and
+            ``strict`` raises :class:`~repro.guard.GuardError` on the first
+            anomaly (CLI ``--guard``).
     """
 
     high_cluster_size: int = 3000
@@ -164,6 +181,7 @@ class CtsConfig:
     corners: CornerSet | None = None
     corner_aware_construction: bool = False
     nominal_skew_budget: float = 0.0
+    guard: str | None = None
 
     def construction_corners(self) -> CornerSet | None:
         """The corner set construction steps optimise against (or None)."""

@@ -6,16 +6,27 @@ The flow follows Fig. 4 of the paper:
                    ->  concurrent buffer & nTSV insertion (multi-objective DP)
                    ->  skew refinement
                    ->  legal double-side clock tree + metrics
+
+Every stage is *guarded* (see :mod:`repro.guard`): under the default
+``off`` policy the flow runs exactly as before, while ``degrade`` / ``strict``
+validate the inputs at entry, probe the stage invariants after every step,
+and either re-run an anomalous stage on the reference backend (recording a
+:class:`~repro.guard.GuardDiagnostic` on the result) or fail fast with a
+typed :class:`~repro.guard.GuardError`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.clocktree import ClockTree
 from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
 from repro.flow.config import CtsConfig
+from repro.guard.faults import StageFault
+from repro.guard.policy import StageGuard, GuardDiagnostic, resolve_guard_policy
+from repro.guard.validation import insertion_anomaly, metrics_anomaly
 from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig, InsertionResult
 from repro.netlist.clock import ClockNet
 from repro.netlist.design import Design
@@ -36,6 +47,8 @@ class CtsRunResult:
     skew_report: SkewRefinementReport | None
     metrics: ClockTreeMetrics
     runtime: float
+    guard_policy: str = "off"
+    guard_diagnostics: list[GuardDiagnostic] = field(default_factory=list)
 
     @property
     def latency(self) -> float:
@@ -44,6 +57,11 @@ class CtsRunResult:
     @property
     def skew(self) -> float:
         return self.metrics.skew
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage was re-run on a reference backend."""
+        return bool(self.guard_diagnostics)
 
     def summary(self) -> dict[str, float | int | str]:
         return self.metrics.as_row()
@@ -54,7 +72,12 @@ class DoubleSideCTS:
 
     flow_name = "ours"
 
-    def __init__(self, pdk: Pdk, config: CtsConfig | None = None) -> None:
+    def __init__(
+        self,
+        pdk: Pdk,
+        config: CtsConfig | None = None,
+        guard_faults: Iterable[StageFault] = (),
+    ) -> None:
         if not pdk.has_backside:
             raise ValueError(
                 "DoubleSideCTS needs a back-side enabled PDK; "
@@ -62,75 +85,145 @@ class DoubleSideCTS:
             )
         self.pdk = pdk
         self.config = config if config is not None else CtsConfig()
+        # Test-harness fault injectors (repro.guard.faults), applied to the
+        # named stage's output before the guard checks it.
+        self.guard_faults = tuple(guard_faults)
 
     # ----------------------------------------------------------------- public
     def run(self, design: Design | ClockNet, design_name: str | None = None) -> CtsRunResult:
         """Synthesise the clock tree of ``design`` and return the run result."""
         clock_net, name = self._resolve_input(design, design_name)
+        guard = StageGuard(
+            resolve_guard_policy(self.config.guard), clock_net, faults=self.guard_faults
+        )
+        guard.validate_inputs(self.pdk, corners=self.config.corners)
         start = time.perf_counter()
 
         routing = self._route(clock_net)
-        insertion = self._insert(routing.tree)
-        skew_report = self._refine(routing.tree)
+        guard.inject("routing", routing.tree)
+        routing_degraded = guard.check("routing", routing.tree)
+        if routing_degraded:
+            routing = self._route(clock_net, reference=True)
+            guard.confirm("routing", routing.tree)
+        tree = routing.tree
+
+        # Degrading a mutating stage needs the pristine pre-stage tree back.
+        # Rather than defensively copying before every stage (a real cost on
+        # every healthy run), the degrade path *replays* the earlier stages:
+        # the reference backends are decision-identical to the vectorized
+        # ones, so the replay reproduces the pre-stage tree exactly, and
+        # injected faults are re-applied unless their stage already degraded
+        # past them.
+        def replay_routing() -> ClockTree:
+            replayed = self._route(clock_net, reference=True)
+            if not routing_degraded:
+                guard.inject("routing", replayed.tree)
+            return replayed.tree
+
+        insertion = self._insert(tree)
+        guard.inject("insertion", tree)
+        insertion_degraded = guard.check(
+            "insertion", tree, extra=lambda: insertion_anomaly(insertion)
+        )
+        if insertion_degraded:
+            tree = replay_routing()
+            insertion = self._insert(tree, reference=True)
+            guard.confirm(
+                "insertion", tree, extra=lambda: insertion_anomaly(insertion)
+            )
+            routing.tree = tree
+
+        def replay_insertion() -> ClockTree:
+            replayed = replay_routing()
+            self._insert(replayed, reference=True)
+            if not insertion_degraded:
+                guard.inject("insertion", replayed)
+            return replayed
+
+        skew_report = None
+        if self.config.enable_skew_refinement:
+            skew_report = self._refine(tree)
+            guard.inject("refinement", tree)
+            if guard.check("refinement", tree):
+                tree = replay_insertion()
+                skew_report = self._refine(tree, reference=True)
+                guard.confirm("refinement", tree)
+                routing.tree = tree
 
         runtime = time.perf_counter() - start
-        routing.tree.validate()
-        metrics = evaluate_tree(
-            routing.tree,
-            self.pdk,
-            design=name,
-            flow=self.flow_name,
-            runtime=runtime,
-            engine=self.config.timing_engine,
-            corners=self.config.corners,
-        )
+        tree.validate()
+        metrics = self._evaluate(tree, name, runtime)
+        # Evaluation does not mutate the tree (the refinement check just
+        # probed it), so this check is metrics-only.
+        if guard.check("evaluation", None, extra=lambda: metrics_anomaly(metrics)):
+            metrics = self._evaluate(tree, name, runtime, reference=True)
+            guard.confirm(
+                "evaluation", None, extra=lambda: metrics_anomaly(metrics)
+            )
         return CtsRunResult(
             design_name=name,
             flow_name=self.flow_name,
-            tree=routing.tree,
+            tree=tree,
             routing=routing,
             insertion=insertion,
             skew_report=skew_report,
             metrics=metrics,
             runtime=runtime,
+            guard_policy=guard.policy,
+            guard_diagnostics=guard.diagnostics,
         )
 
     # ------------------------------------------------------------------ steps
-    def _route(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
+    def _route(
+        self, clock_net: ClockNet, reference: bool = False
+    ) -> HierarchicalRoutingResult:
         router = HierarchicalClockRouter(
             self.pdk,
             high_cluster_size=self.config.high_cluster_size,
             low_cluster_size=self.config.low_cluster_size,
             seed=self.config.seed,
             hierarchical=self.config.hierarchical_routing,
-            dme_backend=self.config.dme_backend,
+            dme_backend="reference" if reference else self.config.dme_backend,
         )
         return router.route(clock_net)
 
-    def _insert(self, tree: ClockTree) -> InsertionResult:
+    def _insert(self, tree: ClockTree, reference: bool = False) -> InsertionResult:
         inserter = ConcurrentInserter(
             self.pdk,
-            self._insertion_config(),
-            engine=self.config.timing_engine,
+            self._insertion_config(reference=reference),
+            engine="reference" if reference else self.config.timing_engine,
             corners=self.config.construction_corners(),
         )
         return inserter.run(tree, fanout_threshold=self.config.fanout_threshold)
 
-    def _refine(self, tree: ClockTree) -> SkewRefinementReport | None:
-        if not self.config.enable_skew_refinement:
-            return None
+    def _refine(
+        self, tree: ClockTree, reference: bool = False
+    ) -> SkewRefinementReport:
         refiner = SkewRefiner(
             self.pdk,
             skew_trigger_fraction=self.config.skew_trigger_fraction,
             max_endpoints=self.config.max_refined_endpoints,
             strategy=self.config.skew_strategy,
-            engine=self.config.timing_engine,
+            engine="reference" if reference else self.config.timing_engine,
             corners=self.config.construction_corners(),
             nominal_skew_budget=self.config.nominal_skew_budget,
         )
         return refiner.refine(tree)
 
-    def _insertion_config(self) -> InsertionConfig:
+    def _evaluate(
+        self, tree: ClockTree, name: str, runtime: float, reference: bool = False
+    ) -> ClockTreeMetrics:
+        return evaluate_tree(
+            tree,
+            self.pdk,
+            design=name,
+            flow=self.flow_name,
+            runtime=runtime,
+            engine="reference" if reference else self.config.timing_engine,
+            corners=self.config.corners,
+        )
+
+    def _insertion_config(self, reference: bool = False) -> InsertionConfig:
         return InsertionConfig(
             weights=self.config.moes_weights,
             selection=self.config.selection,
@@ -138,7 +231,7 @@ class DoubleSideCTS:
             keep_resource_diversity=self.config.keep_resource_diversity,
             max_candidates_per_side=self.config.max_candidates_per_side,
             default_mode=self.config.default_mode,
-            dp_backend=self.config.dp_backend,
+            dp_backend="reference" if reference else self.config.dp_backend,
         )
 
     # ------------------------------------------------------------------ input

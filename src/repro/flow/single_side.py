@@ -8,8 +8,11 @@ post-CTS baselines [2], [6], [7] in the bottom half of Table III.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.flow.config import CtsConfig
 from repro.flow.cts import CtsRunResult, DoubleSideCTS
+from repro.guard.faults import StageFault
 from repro.tech.pdk import Pdk
 
 
@@ -18,12 +21,18 @@ class SingleSideCTS(DoubleSideCTS):
 
     flow_name = "our_buffered_tree"
 
-    def __init__(self, pdk: Pdk, config: CtsConfig | None = None) -> None:
+    def __init__(
+        self,
+        pdk: Pdk,
+        config: CtsConfig | None = None,
+        guard_faults: Iterable[StageFault] = (),
+    ) -> None:
         front_only = pdk.front_side_only() if pdk.has_backside else pdk
         # Bypass the DoubleSideCTS back-side requirement: the whole point of
         # this flow is running the identical machinery without a back side.
         self.pdk = front_only
         self.config = (config if config is not None else CtsConfig()).single_side()
+        self.guard_faults = tuple(guard_faults)
 
     def run(self, design, design_name: str | None = None) -> CtsRunResult:
         result = super().run(design, design_name)

@@ -1,0 +1,69 @@
+"""Flow-wide robustness: validation, anomaly detection, graceful degradation.
+
+The two-engine pattern gives every construction stage a fast vectorized
+backend *and* a scalar executable spec.  This package turns that redundancy
+into a runtime safety net:
+
+* :mod:`repro.guard.validation` — input validation at flow entry and the
+  stage-invariant probes run after routing, insertion, and refinement;
+* :mod:`repro.guard.policy` — the ``strict`` / ``degrade`` / ``off``
+  policies, the typed :class:`GuardError`, the structured
+  :class:`GuardDiagnostic` recorded on flow results, and the
+  :class:`StageGuard` runner the flow drives;
+* :mod:`repro.guard.faults` — fault injectors that corrupt live state so
+  tests can prove every guard fires and every degrade recovers.
+
+Policy rules (see ROADMAP "Guarded flow"): new flow stages must register
+their invariant checks here, and :class:`GuardError` is never caught at a
+call site.
+"""
+
+from repro.guard.faults import SweepCrash, StageFault, apply_faults
+from repro.guard.policy import (
+    GUARD_POLICY_DEFAULT,
+    GUARD_POLICY_NAMES,
+    GuardDiagnostic,
+    GuardError,
+    StageGuard,
+    resolve_guard_policy,
+)
+from repro.guard.validation import (
+    clock_net_problems,
+    corner_problems,
+    design_fingerprint,
+    edit_log_anomaly,
+    insertion_anomaly,
+    metrics_anomaly,
+    pdk_problems,
+    stage_anomaly,
+    timing_anomaly,
+    validate_clock_net,
+    validate_corners,
+    validate_flow_inputs,
+    validate_pdk,
+)
+
+__all__ = [
+    "GUARD_POLICY_DEFAULT",
+    "GUARD_POLICY_NAMES",
+    "GuardDiagnostic",
+    "GuardError",
+    "StageFault",
+    "StageGuard",
+    "SweepCrash",
+    "apply_faults",
+    "clock_net_problems",
+    "corner_problems",
+    "design_fingerprint",
+    "edit_log_anomaly",
+    "insertion_anomaly",
+    "metrics_anomaly",
+    "pdk_problems",
+    "resolve_guard_policy",
+    "stage_anomaly",
+    "timing_anomaly",
+    "validate_clock_net",
+    "validate_corners",
+    "validate_flow_inputs",
+    "validate_pdk",
+]

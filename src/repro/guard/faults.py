@@ -1,0 +1,154 @@
+"""Fault injection: deliberately corrupt live flow state to prove guards fire.
+
+The guard's value rests on a falsifiable claim: *every* anomaly class it
+advertises is actually detected, and the degrade path actually recovers.
+The injectors here corrupt a clock tree the way a buggy kernel would —
+NaN escaping into a :class:`~repro.clocktree.arrays.TreeArrays` column,
+a silently dropped sink subtree, a lost edit-log entry, an off-side wire
+(the observable effect of a DME backend returning a node on the wrong
+side), a duplicated node name — so the test suite can run the full flow
+with a fault armed at a chosen stage and assert:
+
+* ``strict`` raises :class:`~repro.guard.GuardError` naming that stage,
+* ``degrade`` completes with a recorded diagnostic and a final tree
+  bit-identical to an all-reference-backend run,
+* ``off`` reproduces today's unguarded behaviour, corruption included.
+
+Faults are applied to the *output* of a stage (after the backend ran, before
+the guard checks), which models backend bugs without patching backend
+internals; a degraded re-run on the reference backend starts from a replayed
+pristine pre-stage tree, and the degraded stage itself is never re-faulted.
+
+Everything here is module-level and pickle-friendly so faults can cross
+process pools (the DSE crash hook :class:`SweepCrash` must reach
+``ProcessPoolExecutor`` workers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.clocktree.node import NodeKind
+from repro.clocktree.tree import ClockTree
+from repro.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flow.config import CtsConfig
+
+
+@dataclass(frozen=True)
+class StageFault:
+    """Corrupt the tree right after the flow stage named ``stage``.
+
+    ``stage`` is one of the guarded stage names (``"routing"``,
+    ``"insertion"``, ``"refinement"``); ``inject`` is a module-level callable
+    taking the live :class:`ClockTree`.
+    """
+
+    stage: str
+    inject: Callable[[ClockTree], None]
+
+    @property
+    def name(self) -> str:
+        return getattr(self.inject, "__name__", repr(self.inject))
+
+
+def apply_faults(
+    faults: Iterable[StageFault], stage: str, tree: ClockTree
+) -> None:
+    """Apply every fault registered for ``stage`` to ``tree``."""
+    for fault in faults:
+        if fault.stage == stage:
+            fault.inject(tree)
+
+
+# ---------------------------------------------------------------- injectors
+def poke_nan_capacitance(tree: ClockTree) -> None:
+    """NaN escaping a numpy kernel into a pin capacitance (``cap`` column)."""
+    tree.sinks()[0].capacitance = float("nan")
+    tree.touch()
+
+
+def poke_nan_location(tree: ClockTree) -> None:
+    """NaN coordinates on a node (poisons the ``edge_length`` column)."""
+    tree.sinks()[-1].location = Point(float("nan"), float("nan"))
+    tree.touch()
+
+
+def poke_negative_capacitance(tree: ClockTree) -> None:
+    """A negative capacitance (an underflowing subtraction in a kernel)."""
+    tree.sinks()[0].capacitance = -1.0
+    tree.touch()
+
+
+def drop_sink(tree: ClockTree) -> None:
+    """Silently lose one sink subtree (the PR-5 silent-sink-drop bug class)."""
+    tree.sinks()[0].detach()
+    tree.touch()
+
+
+def flip_wire_side(tree: ClockTree) -> None:
+    """Move one wire to the opposite die side without an nTSV.
+
+    This is the observable effect of a routing backend returning an
+    off-side node: a non-nTSV vertex now touches wires on both sides,
+    violating the paper's shared-vertex side constraint.
+    """
+    for node in tree.nodes():
+        if node.parent is None or node.is_ntsv or node.parent.is_ntsv:
+            continue
+        node.wire_side = node.wire_side.opposite
+        tree.touch()
+        return
+    raise AssertionError("no flippable wire found")  # pragma: no cover
+
+
+def duplicate_node_name(tree: ClockTree) -> None:
+    """Give an internal node the name of an existing sink."""
+    sink_name = tree.sinks()[0].name
+    for node in tree.nodes():
+        if node.kind in (NodeKind.STEINER, NodeKind.TAP):
+            node.name = sink_name
+            tree.touch()
+            return
+    raise AssertionError("no internal node to rename")  # pragma: no cover
+
+
+def drop_edit_log_entry(tree: ClockTree) -> None:
+    """Lose one recorded edit (incremental timers would silently desync).
+
+    Reaches into the private log on purpose: that is the corruption being
+    simulated.  The tree structure is untouched; only the log lies.
+    """
+    if not tree._edits:
+        tree.touch()
+    del tree._edits[-1]
+
+
+# ----------------------------------------------------------------- DSE hook
+@dataclass(frozen=True)
+class SweepCrash:
+    """Picklable DSE point hook that raises at one sweep threshold.
+
+    Passed as ``point_hook`` to
+    :meth:`~repro.dse.DesignSpaceExplorer.explore`; the hook is invoked with
+    the point's configuration before the point is evaluated.  With
+    ``only_fast`` the crash spares all-reference configurations, so the
+    sweep's one reference retry succeeds — exercising the recovery path
+    end-to-end instead of only the failure bookkeeping.
+    """
+
+    threshold: int
+    only_fast: bool = False
+
+    def __call__(self, config: "CtsConfig", threshold: int) -> None:
+        if threshold != self.threshold:
+            return
+        if self.only_fast and (
+            config.timing_engine == "reference"
+            and config.dp_backend == "reference"
+            and config.dme_backend == "reference"
+        ):
+            return
+        raise RuntimeError(f"injected sweep crash at threshold {threshold}")

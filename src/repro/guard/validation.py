@@ -1,0 +1,490 @@
+"""Input validation and stage-invariant checks of the guarded flow.
+
+Two layers live here:
+
+* **Input validation** — run once at flow entry on the design
+  (:func:`clock_net_problems`), the technology
+  (:func:`pdk_problems`, including NLDM table finiteness that the table
+  constructor deliberately does not enforce), and the corner set
+  (:func:`corner_problems`).  :func:`validate_flow_inputs` bundles all
+  three and raises a :class:`~repro.guard.policy.GuardError` with every
+  problem listed.
+* **Stage invariants** — :func:`stage_anomaly` is the shared post-stage
+  probe: the structural invariants of :meth:`ClockTree.validate`, edit-log
+  coherence, finite/non-negative capacitance and edge-length columns, and
+  sink preservation against the input clock net (the PR-5 silent-sink-drop
+  bug class, made a permanent check) — all fused into a single traversal,
+  because the probe runs after every guarded stage and the healthy path
+  must stay cheap.  The per-result probes (:func:`timing_anomaly`,
+  :func:`insertion_anomaly`, :func:`metrics_anomaly`) cover the numeric
+  outputs a corrupted kernel would poison first.
+
+Every probe returns ``None`` when healthy or a human-readable summary of the
+offending values (counts plus example names, never full array dumps), which
+is what :class:`~repro.guard.policy.GuardError` and
+:class:`~repro.guard.policy.GuardDiagnostic` carry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.clocktree.node import ClockTreeNode, NodeKind
+from repro.clocktree.tree import ClockTree, ConnectivityError
+from repro.tech.layers import Side
+from repro.guard.policy import GuardError
+from repro.netlist.clock import ClockNet
+from repro.tech.corners import CornerSet
+from repro.tech.nldm import NldmTable
+from repro.tech.pdk import Pdk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.metrics import ClockTreeMetrics
+    from repro.insertion.concurrent import InsertionResult
+    from repro.timing.analysis import TimingResult
+
+#: Edit kinds :meth:`ClockTree._record` may legally log.
+_EDIT_KINDS = ("splice", "rewire", "touch")
+
+
+def design_fingerprint(clock_net: ClockNet) -> str:
+    """A short stable fingerprint of a clock net (name, source, sinks).
+
+    Attached to guard errors and diagnostics so anomalies reported from
+    long-running sweeps or services can be traced back to their input.
+    """
+    hasher = hashlib.sha1()
+    source = clock_net.source
+    hasher.update(
+        f"{clock_net.name}|{source.name}:{source.location.x}:{source.location.y}"
+        f":{source.drive_resistance}:{source.output_slew}".encode()
+    )
+    for sink in clock_net.sinks:
+        hasher.update(
+            f"|{sink.name}:{sink.location.x}:{sink.location.y}:{sink.capacitance}".encode()
+        )
+    return hasher.hexdigest()[:12]
+
+
+# ------------------------------------------------------------------- inputs
+def _positive(value: float) -> bool:
+    return math.isfinite(value) and value > 0
+
+
+def clock_net_problems(clock_net: ClockNet) -> list[str]:
+    """Every validation problem of a design's clock net (empty when clean)."""
+    problems: list[str] = []
+    if not clock_net.sinks:
+        problems.append(f"clock net {clock_net.name!r} has no sinks")
+    source = clock_net.source
+    if not (math.isfinite(source.location.x) and math.isfinite(source.location.y)):
+        problems.append(f"source {source.name!r}: location is not finite")
+    if not _positive(source.drive_resistance):
+        problems.append(
+            f"source {source.name!r}: drive resistance "
+            f"{source.drive_resistance!r} is not positive and finite"
+        )
+    if not (math.isfinite(source.output_slew) and source.output_slew >= 0):
+        problems.append(
+            f"source {source.name!r}: output slew {source.output_slew!r} "
+            "is not non-negative and finite"
+        )
+    seen: set[str] = set()
+    for sink in clock_net.sinks:
+        if sink.name in seen:
+            problems.append(f"duplicate sink name {sink.name!r}")
+        seen.add(sink.name)
+        if not (math.isfinite(sink.location.x) and math.isfinite(sink.location.y)):
+            problems.append(f"sink {sink.name!r}: location is not finite")
+        if not _positive(sink.capacitance):
+            problems.append(
+                f"sink {sink.name!r}: capacitance {sink.capacitance!r} "
+                "is not positive and finite"
+            )
+    return problems
+
+
+def _nldm_problems(table: NldmTable | None, label: str) -> list[str]:
+    if table is None:
+        return []
+    problems: list[str] = []
+    slews = np.asarray(table.slew_axis, dtype=float)
+    caps = np.asarray(table.cap_axis, dtype=float)
+    for name, axis in (("slew", slews), ("cap", caps)):
+        if not np.isfinite(axis).all():
+            problems.append(f"{label}: {name} axis has non-finite entries")
+        elif np.any(np.diff(axis) <= 0):
+            problems.append(f"{label}: {name} axis is not strictly increasing")
+    values = np.asarray(table.values, dtype=float)
+    bad = int(np.count_nonzero(~np.isfinite(values)))
+    if bad:
+        problems.append(f"{label}: {bad}/{values.size} table entries are not finite")
+    return problems
+
+
+def pdk_problems(pdk: Pdk) -> list[str]:
+    """Every validation problem of a PDK (empty when clean)."""
+    problems: list[str] = []
+    for layer in pdk.stack:
+        for attr in ("unit_resistance", "unit_capacitance"):
+            value = getattr(layer, attr)
+            if not _positive(value):
+                problems.append(
+                    f"layer {layer.name!r}: {attr} {value!r} is not positive and finite"
+                )
+    buffer = pdk.buffer
+    for attr in ("input_capacitance", "max_capacitance"):
+        if not _positive(getattr(buffer, attr)):
+            problems.append(
+                f"buffer {buffer.name!r}: {attr} "
+                f"{getattr(buffer, attr)!r} is not positive and finite"
+            )
+    for attr in ("intrinsic_delay", "drive_resistance", "output_slew"):
+        value = getattr(buffer, attr)
+        if not (math.isfinite(value) and value >= 0):
+            problems.append(
+                f"buffer {buffer.name!r}: {attr} {value!r} "
+                "is not non-negative and finite"
+            )
+    problems += _nldm_problems(buffer.nldm_delay, f"buffer {buffer.name!r} delay table")
+    problems += _nldm_problems(buffer.nldm_slew, f"buffer {buffer.name!r} slew table")
+    if pdk.ntsv is not None:
+        for attr in ("resistance", "capacitance"):
+            value = getattr(pdk.ntsv, attr)
+            if not (math.isfinite(value) and value >= 0):
+                problems.append(
+                    f"nTSV {pdk.ntsv.name!r}: {attr} {value!r} "
+                    "is not non-negative and finite"
+                )
+    for attr in ("max_capacitance", "max_slew"):
+        if not _positive(getattr(pdk, attr)):
+            problems.append(
+                f"PDK {pdk.name!r}: {attr} {getattr(pdk, attr)!r} "
+                "is not positive and finite"
+            )
+    return problems
+
+
+def corner_problems(corners: CornerSet | None) -> list[str]:
+    """Every validation problem of a corner set (empty when clean or None)."""
+    if corners is None:
+        return []
+    problems: list[str] = []
+    for scenario in corners:
+        for attr in (
+            "wire_res_scale",
+            "wire_cap_scale",
+            "buffer_derate",
+            "ntsv_res_scale",
+        ):
+            value = getattr(scenario, attr)
+            if not _positive(value):
+                problems.append(
+                    f"corner {scenario.name!r}: {attr} {value!r} "
+                    "is not positive and finite"
+                )
+    try:
+        # Engines report the first nominal member as the primary corner;
+        # a set that cannot gain one (both fallback names squatted by
+        # non-nominal scenarios) has no well-defined nominal point.
+        corners.ensure_nominal()
+    except ValueError as exc:
+        problems.append(str(exc))
+    return problems
+
+
+def validate_clock_net(clock_net: ClockNet) -> None:
+    """Raise :class:`GuardError` when the clock net is invalid."""
+    _raise_on_problems(clock_net_problems(clock_net), design_fingerprint(clock_net))
+
+
+def validate_pdk(pdk: Pdk) -> None:
+    """Raise :class:`GuardError` when the PDK is invalid."""
+    _raise_on_problems(pdk_problems(pdk), "")
+
+
+def validate_corners(corners: CornerSet | None) -> None:
+    """Raise :class:`GuardError` when the corner set is invalid."""
+    _raise_on_problems(corner_problems(corners), "")
+
+
+def _clock_net_clean(clock_net: ClockNet) -> bool:
+    """Fast screen of the per-sink checks (no problem messages).
+
+    True means :func:`clock_net_problems` would return an empty list, so
+    the detailed Python loop — and the design fingerprint — only run when a
+    problem actually exists.  This keeps flow-entry validation nearly free
+    on clean multi-thousand-sink designs.
+    """
+    sinks = clock_net.sinks
+    if not sinks:
+        return False
+    source = clock_net.source
+    if not (math.isfinite(source.location.x) and math.isfinite(source.location.y)):
+        return False
+    if not _positive(source.drive_resistance):
+        return False
+    if not (math.isfinite(source.output_slew) and source.output_slew >= 0):
+        return False
+    if len({sink.name for sink in sinks}) != len(sinks):
+        return False
+    data = np.array([(s.location.x, s.location.y, s.capacitance) for s in sinks])
+    return bool(np.isfinite(data).all()) and bool((data[:, 2] > 0).all())
+
+
+def validate_flow_inputs(
+    clock_net: ClockNet, pdk: Pdk, corners: CornerSet | None = None
+) -> None:
+    """Validate design, PDK, and corners together (flow-entry check)."""
+    problems = [] if _clock_net_clean(clock_net) else clock_net_problems(clock_net)
+    problems += pdk_problems(pdk) + corner_problems(corners)
+    if problems:
+        _raise_on_problems(problems, design_fingerprint(clock_net))
+
+
+def _raise_on_problems(problems: list[str], fingerprint: str) -> None:
+    if problems:
+        raise GuardError("inputs", "; ".join(problems), fingerprint)
+
+
+# ------------------------------------------------------------------- stages
+def stage_anomaly(tree: ClockTree, clock_net: ClockNet | None = None) -> str | None:
+    """The shared post-stage probe: None when healthy, else a summary.
+
+    Semantically this is :meth:`ClockTree.validate` (cycles, parent links,
+    duplicate names, side constraints, name-index coherence) plus edit-log
+    coherence, finite/non-negative capacitance and edge-length screens,
+    and — when the input net is supplied — sink preservation.  All of it is
+    fused into one iterative traversal with numpy doing the numeric
+    screens: the probe runs after every guarded stage, so the healthy path
+    must cost a couple of milliseconds, not a handful of full-tree passes
+    (``tests/test_guard.py`` proves each corruption class is still caught,
+    and the ``guarded_flow`` bench row gates the overhead in CI).
+    """
+    sink_kind, buffer_kind, ntsv_kind = NodeKind.SINK, NodeKind.BUFFER, NodeKind.NTSV
+    front = Side.FRONT
+    seen: set[int] = set()
+    names: dict[str, ClockTreeNode] = {}
+    order: list[ClockTreeNode] = []
+    caps: list[float] = []
+    lengths: list[float] = []
+    sink_names: list[str] = []
+    stack = [tree.root]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        node = pop()
+        if id(node) in seen:
+            return f"invariant violation: cycle detected at node {node.name!r}"
+        seen.add(id(node))
+        name = node.name
+        if name in names:
+            return f"invariant violation: duplicate node name {name!r}"
+        names[name] = node
+        order.append(node)
+        parent = node.parent
+        kind = node.kind
+        node_side = node.side
+        children = node.children
+        caps.append(node.capacitance)
+        if parent is None:
+            lengths.append(0.0)
+        else:
+            # Inlined node.edge_length(): this loop visits every node after
+            # every stage, so the method + Point.manhattan call overhead is
+            # measurable.
+            loc, ploc = node.location, parent.location
+            lengths.append(abs(loc.x - ploc.x) + abs(loc.y - ploc.y))
+        for child in children:
+            if child.parent is not node:
+                return (
+                    "invariant violation: broken parent link: "
+                    f"{child.name!r} does not point to {name!r}"
+                )
+        if kind is sink_kind:
+            sink_names.append(name)
+            if node_side is not front:
+                return f"invariant violation: sink {name!r} is on the back side"
+        elif kind is buffer_kind and node_side is not front:
+            return f"invariant violation: buffer {name!r} is on the back side"
+        if kind is ntsv_kind:
+            # An nTSV spans both sides: upstream wire on the stored
+            # (upstream) side, downstream wires on the opposite side.
+            if parent is not None and node.wire_side is not node_side:
+                return (
+                    f"invariant violation: nTSV {name!r}: upstream wire on "
+                    f"{node.wire_side.value}, expected {node_side.value}"
+                )
+            opposite = node_side.opposite
+            for child in children:
+                if child.wire_side is not opposite:
+                    return (
+                        f"invariant violation: nTSV {name!r}: downstream wire "
+                        f"on {child.wire_side.value}, expected {opposite.value}"
+                    )
+        else:
+            # The paper's shared-vertex constraint: every wire touching a
+            # non-nTSV node lies on that node's side.
+            if parent is not None and node.wire_side is not node_side:
+                return (
+                    f"invariant violation: node {name!r} ({kind.value}) on side "
+                    f"{node_side.value} touches a wire on side {node.wire_side.value}"
+                )
+            for child in children:
+                if child.wire_side is not node_side:
+                    return (
+                        f"invariant violation: node {name!r} ({kind.value}) on side "
+                        f"{node_side.value} touches a wire on side "
+                        f"{child.wire_side.value}"
+                    )
+        extend(children)
+    try:
+        # Private on purpose: the probe reuses the tree's own index check so
+        # the two stay coherent.
+        tree._check_find_index(names)
+    except ConnectivityError as exc:
+        return f"invariant violation: {exc}"
+    anomaly = edit_log_anomaly(tree)
+    if anomaly is None:
+        anomaly = _column_anomaly(order, caps, "node capacitance")
+    if anomaly is None:
+        anomaly = _column_anomaly(order, lengths, "edge length")
+    if anomaly is None and clock_net is not None:
+        anomaly = _sink_preservation_anomaly(sink_names, clock_net)
+    return anomaly
+
+
+def _column_anomaly(
+    order: list[ClockTreeNode], values: list[float], label: str
+) -> str | None:
+    """Non-finite or negative entries in one per-node numeric column."""
+    column = np.asarray(values)
+    finite = np.isfinite(column)
+    if not finite.all():
+        rows = np.flatnonzero(~finite)
+        names = [order[row].name for row in rows[:3]]
+        return (
+            f"{label}: {rows.size}/{column.size} non-finite entries (e.g. {names})"
+        )
+    negative = column < 0
+    if negative.any():
+        rows = np.flatnonzero(negative)
+        names = [order[row].name for row in rows[:3]]
+        return f"{label}: {rows.size}/{column.size} negative entries (e.g. {names})"
+    return None
+
+
+def _sink_preservation_anomaly(
+    sink_names: list[str], clock_net: ClockNet
+) -> str | None:
+    """Every input sink must survive every stage, and no sink may appear."""
+    expected = {sink.name for sink in clock_net.sinks}
+    actual = set(sink_names)
+    if actual == expected:
+        return None
+    missing = expected - actual
+    extra = actual - expected
+    parts = []
+    if missing:
+        parts.append(f"{len(missing)} input sinks lost (e.g. {sorted(missing)[:3]})")
+    if extra:
+        parts.append(f"{len(extra)} unexpected sinks (e.g. {sorted(extra)[:3]})")
+    return "sink preservation violated: " + ", ".join(parts)
+
+
+def edit_log_anomaly(tree: ClockTree) -> str | None:
+    """Coherence of the edit log incremental timers replay.
+
+    The log must carry known edit kinds with strictly increasing versions,
+    splice/rewire entries must name their node, and the newest entry must
+    match the tree version (an edited tree with a pruned or stale log would
+    silently desync every incremental consumer).
+    """
+    edits = tree.edit_log
+    if not edits:
+        if tree.version != 0:
+            return (
+                f"edit log incoherent: empty log on a tree at version {tree.version}"
+            )
+        return None
+    last = 0
+    for version, kind, node in edits:
+        if kind not in _EDIT_KINDS:
+            return f"edit log incoherent: unknown edit kind {kind!r}"
+        if version <= last:
+            return (
+                "edit log incoherent: versions not strictly increasing "
+                f"({version} after {last})"
+            )
+        last = version
+        if kind != "touch" and node is None:
+            return f"edit log incoherent: {kind} entry at {version} names no node"
+    if last != tree.version:
+        return (
+            f"edit log incoherent: newest entry {last} != tree version {tree.version}"
+        )
+    return None
+
+
+# ------------------------------------------------------------------ results
+def timing_anomaly(timing: "TimingResult | None") -> str | None:
+    """Non-finite or negative sink arrivals in a timing result."""
+    if timing is None:
+        return None
+    arrivals = timing.arrivals
+    values = np.fromiter(arrivals.values(), dtype=float, count=len(arrivals))
+    # Fast screen first; names are only materialized on an actual anomaly.
+    if np.isfinite(values).all() and not (values < 0).any():
+        return None
+    bad = [name for name, value in arrivals.items() if not math.isfinite(value)]
+    if bad:
+        return f"timing: {len(bad)} non-finite sink arrivals (e.g. {sorted(bad)[:3]})"
+    negative = [name for name, value in arrivals.items() if value < 0]
+    return (
+        f"timing: {len(negative)} negative sink arrivals "
+        f"(e.g. {sorted(negative)[:3]})"
+    )
+
+
+def insertion_anomaly(result: "InsertionResult") -> str | None:
+    """Anomalies in an insertion result (nominal and per-corner timing)."""
+    anomaly = timing_anomaly(result.timing)
+    if anomaly is not None:
+        return anomaly
+    if result.timing_per_corner:
+        for corner, timing in result.timing_per_corner.items():
+            anomaly = timing_anomaly(timing)
+            if anomaly is not None:
+                return f"corner {corner}: {anomaly}"
+    if result.inserted_buffers < 0 or result.inserted_ntsvs < 0:
+        return (
+            "insertion: negative resource counts "
+            f"(buffers={result.inserted_buffers}, ntsvs={result.inserted_ntsvs})"
+        )
+    return None
+
+
+def metrics_anomaly(metrics: "ClockTreeMetrics") -> str | None:
+    """Non-finite or negative values in the final evaluation metrics."""
+    for label in (
+        "latency",
+        "skew",
+        "wirelength",
+        "front_wirelength",
+        "back_wirelength",
+    ):
+        value = getattr(metrics, label)
+        if not (math.isfinite(value) and value >= 0):
+            return f"metrics: {label} = {value!r}"
+    for mapping, what in (
+        (metrics.corner_skews, "skew"),
+        (metrics.corner_latencies, "latency"),
+    ):
+        for corner, value in mapping.items():
+            if not (math.isfinite(value) and value >= 0):
+                return f"metrics: corner {corner} {what} = {value!r}"
+    return None

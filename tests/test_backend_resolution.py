@@ -16,6 +16,7 @@ from repro.flow.config import (
     BackendChoice,
     DME_BACKEND_CHOICE,
     DP_BACKEND_CHOICE,
+    GUARD_POLICY_CHOICE,
     TIMING_ENGINE_CHOICE,
 )
 
@@ -105,3 +106,41 @@ class TestSubsystemMirrors:
     def test_shared_dataclass_is_frozen(self):
         with pytest.raises(AttributeError):
             BackendChoice("x", "X", ("a",), "a").default = "b"
+
+
+class TestGuardPolicyChoice:
+    """The guard-policy knob rides the shared rule with its own names/default.
+
+    It cannot join the parametrized :class:`TestPrecedence` class: its
+    default is ``off``, not ``vectorized`` — the choice selects behaviours,
+    not backends.
+    """
+
+    def test_definition(self):
+        assert GUARD_POLICY_CHOICE.names == ("strict", "degrade", "off")
+        assert GUARD_POLICY_CHOICE.default == "off"
+        assert GUARD_POLICY_CHOICE.env_var == "REPRO_GUARD"
+
+    def test_guard_module_mirrors_choice(self, monkeypatch):
+        from repro.guard import policy
+
+        assert policy.GUARD_POLICY_NAMES == GUARD_POLICY_CHOICE.names
+        assert policy.GUARD_POLICY_DEFAULT == GUARD_POLICY_CHOICE.default
+        monkeypatch.setenv("REPRO_GUARD", "strict")
+        assert policy.resolve_guard_policy(None) == "strict"
+        assert policy.resolve_guard_policy("degrade") == "degrade"
+
+    def test_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GUARD", raising=False)
+        assert GUARD_POLICY_CHOICE.resolve(None, None) == "off"
+        monkeypatch.setenv("REPRO_GUARD", "degrade")
+        assert GUARD_POLICY_CHOICE.resolve(None, None) == "degrade"
+        assert GUARD_POLICY_CHOICE.resolve(None, "strict") == "strict"
+        assert GUARD_POLICY_CHOICE.resolve("off", "strict") == "off"
+        monkeypatch.setenv("REPRO_GUARD", "")
+        assert GUARD_POLICY_CHOICE.resolve(None, None) == "off"
+
+    def test_unknown_policy_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GUARD", raising=False)
+        with pytest.raises(ValueError, match="unknown guard policy"):
+            GUARD_POLICY_CHOICE.resolve("lenient")

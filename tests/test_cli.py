@@ -97,3 +97,53 @@ class TestEngineFlag:
         assert main(["compare", "C4", "--scale", "0.05", "--engine", "reference"]) == 0
         assert len(created) >= 6  # inserter + refiner + evaluate per flow, etc.
         assert all(name == "ElmoreTimingEngine" for name in created)
+
+
+class TestGuardFlag:
+    def test_guard_accepted_on_flow_commands(self):
+        args = build_parser().parse_args(["run", "C4", "--guard", "degrade"])
+        assert args.guard == "degrade"
+        args = build_parser().parse_args(["run", "C4"])
+        assert args.guard is None
+
+    def test_unknown_guard_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "C4", "--guard", "lenient"])
+
+    def test_run_with_guard_degrade(self, capsys):
+        import os
+
+        before = os.environ.get("REPRO_GUARD")
+        assert main(["run", "C4", "--scale", "0.05", "--guard", "degrade"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        # The guard choice is scoped to the command, not leaked process-wide.
+        assert os.environ.get("REPRO_GUARD") == before
+
+    def test_run_with_guard_strict(self, capsys):
+        assert main(["run", "C4", "--scale", "0.05", "--guard", "strict"]) == 0
+
+
+class TestErrorHandling:
+    def test_unknown_design_is_one_line_error(self, capsys):
+        assert main(["run", "no_such_design"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "no_such_design" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_debug_reraises(self):
+        with pytest.raises(KeyError):
+            main(["run", "no_such_design", "--debug"])
+
+    def test_bad_corner_spec_is_one_line_error(self, capsys):
+        assert main(["run", "C4", "--scale", "0.05", "--corners", "bogus:x"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+
+    def test_usage_errors_keep_argparse_exit(self):
+        # SystemExit from argparse passes through untouched (exit code 2).
+        with pytest.raises(SystemExit) as err:
+            main(["run"])
+        assert err.value.code == 2

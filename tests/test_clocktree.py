@@ -209,6 +209,35 @@ class TestValidation:
         with pytest.raises(ConnectivityError):
             tree.validate()
 
+    def test_duplicate_node_name_detected(self):
+        tree = simple_tree()
+        tree.find("st1").name = "a"  # now collides with the sink
+        with pytest.raises(ConnectivityError, match="duplicate node name"):
+            tree.validate()
+
+    def test_find_index_ghost_entry_detected(self):
+        # A cache entry whose node claims attachment (parent links reach the
+        # root) but whom the traversal never visits: find() would keep
+        # resolving a node that is not part of the tree.
+        tree = simple_tree()
+        tree.find("a")  # build the index
+        ghost = ClockTreeNode("a", NodeKind.SINK, Point(9, 9), capacitance=1.0)
+        ghost.parent = tree.root  # not in root.children
+        tree._find_cache["a"] = ghost
+        with pytest.raises(ConnectivityError, match="find\\(\\) index incoherent"):
+            tree.validate()
+
+    def test_find_index_stale_entries_are_fine(self):
+        # Renamed or detached nodes leave legitimately stale cache entries;
+        # find() self-heals those, so validate() must not flag them.
+        tree = simple_tree()
+        node_a = tree.find("a")
+        node_b = tree.find("b")
+        node_a.name = "renamed_a"  # stale by rename
+        node_b.detach()  # stale by detachment
+        tree.validate()
+        assert tree.find("renamed_a") is node_a
+
 
 class TestEditLog:
     def test_tree_api_edits_bump_version(self):

@@ -4,6 +4,7 @@ import pytest
 
 from repro.dse import DesignSpaceExplorer, is_dominated, pareto_front
 from repro.flow import SingleSideCTS
+from repro.guard import SweepCrash
 
 
 class TestParetoUtilities:
@@ -137,6 +138,60 @@ class TestParallelExplore:
             pdk, small_config.with_updates(timing_engine="reference")
         ).explore(small_design, fanout_thresholds=thresholds)
         for a, b in zip(vec.points, ref.points):
+            assert a.metrics.latency == pytest.approx(b.metrics.latency, abs=1e-6)
+            assert a.metrics.skew == pytest.approx(b.metrics.skew, abs=1e-6)
+            assert a.metrics.buffers == b.metrics.buffers
+            assert a.metrics.ntsvs == b.metrics.ntsvs
+
+
+class TestSweepFailures:
+    """A crashing sweep point is isolated, retried, and recorded — never fatal."""
+
+    THRESHOLDS = [0, 20, 10 ** 6]
+
+    def test_crashing_point_is_isolated_serial_and_parallel(
+        self, pdk, small_design, small_config
+    ):
+        explorer = DesignSpaceExplorer(pdk, small_config)
+        hook = SweepCrash(threshold=20)
+        serial = explorer.explore(
+            small_design, fanout_thresholds=self.THRESHOLDS, point_hook=hook
+        )
+        parallel = explorer.explore(
+            small_design, fanout_thresholds=self.THRESHOLDS, workers=2, point_hook=hook
+        )
+        for sweep in (serial, parallel):
+            # Every other point survives; the crash is recorded, not raised.
+            assert [p.parameter for p in sweep.points] == [0.0, 10.0 ** 6]
+            assert len(sweep.failures) == 1
+            failure = sweep.failures[0]
+            assert failure.parameter == 20.0
+            assert "injected sweep crash" in failure.error
+            assert "reference retry failed" in failure.error
+        for a, b in zip(serial.points, parallel.points):
+            assert a.metrics.latency == pytest.approx(b.metrics.latency, abs=1e-9)
+            assert a.metrics.skew == pytest.approx(b.metrics.skew, abs=1e-9)
+            assert a.metrics.buffers == b.metrics.buffers
+
+    def test_reference_retry_recovers_the_point(self, pdk, small_design, small_config):
+        # only_fast spares all-reference configurations, so the retry (which
+        # swaps every backend to the executable spec) succeeds.
+        explorer = DesignSpaceExplorer(pdk, small_config)
+        crashed = explorer.explore(
+            small_design,
+            fanout_thresholds=self.THRESHOLDS,
+            point_hook=SweepCrash(threshold=20, only_fast=True),
+        )
+        assert not crashed.failures
+        assert [(p.parameter, p.retried) for p in crashed.points] == [
+            (0.0, False),
+            (20.0, True),
+            (10.0 ** 6, False),
+        ]
+        clean = explorer.explore(small_design, fanout_thresholds=self.THRESHOLDS)
+        for a, b in zip(crashed.points, clean.points):
+            # The recovered point came off the reference backends, which are
+            # decision-identical to the vectorized defaults.
             assert a.metrics.latency == pytest.approx(b.metrics.latency, abs=1e-6)
             assert a.metrics.skew == pytest.approx(b.metrics.skew, abs=1e-6)
             assert a.metrics.buffers == b.metrics.buffers
