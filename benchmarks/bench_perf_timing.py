@@ -33,6 +33,12 @@ Times four access patterns on generated 500 / 2000 / 8000-sink clock trees:
   ``guard=degrade`` on a healthy 2000-sink run; the ``speedup`` column is
   ``t_off / t_degrade`` and its floor (just under 1.0x) caps the guard's
   validation + invariant-probe overhead.
+* ``flow_e2e`` — the full double-side flow end-to-end under the two flow
+  representations on one 2000-sink cloud: ``object`` (stages hop on
+  realised clock trees) vs. ``ir`` (one persistent ``DesignArrays`` threads
+  through every stage, object trees only at the boundaries).  Both paths
+  build bit-identical trees; the row gates the conversion savings the IR
+  exists for.
 
 Results are printed and written to ``BENCH_perf_timing.json`` at the repo
 root — or to ``BENCH_perf_timing.smoke.json`` in smoke mode, so quick CI
@@ -48,6 +54,7 @@ The pytest entry asserts the speedups against the committed floors in
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -87,6 +94,9 @@ DME_EMBED_SIZES_SMOKE = (2000,)
 
 #: Sink count the guarded-flow overhead row runs on (both modes).
 GUARDED_FLOW_SINKS = 2000
+
+#: Sink count the end-to-end representation row runs on (both modes).
+FLOW_E2E_SINKS = 2000
 
 
 def dme_embed_sizes() -> tuple[int, ...]:
@@ -527,6 +537,76 @@ def bench_guarded_flow(sink_count: int, pdk) -> dict:
     }
 
 
+def bench_flow_e2e(sink_count: int, pdk) -> dict:
+    """Flow representations end-to-end: object-hop vs. the persistent IR.
+
+    Runs the full double-side flow on one sink cloud under
+    ``representation="object"`` (every stage realises and consumes
+    :class:`ClockTree` objects) and ``representation="ir"`` (one persistent
+    ``DesignArrays`` flows through routing, insertion, and refinement; object
+    trees exist only where a reference backend or the degrade path needs
+    them).  The stages make identical decisions either way — the IR saves
+    the object-tree realisation and re-ingestion between stages, which is
+    what this row measures and gates.  Timed in interleaved pairs, scored by
+    best-of-5 (the saving is a fixed conversion cost; minima separate it
+    from scheduler noise).
+    """
+    from repro.flow.config import BackendSelection, CtsConfig
+    from repro.flow.cts import DoubleSideCTS
+
+    clock_net = random_sink_cloud(sink_count)
+    samples: dict[str, list[float]] = {"object": [], "ir": []}
+    results: dict[str, object] = {}
+    for _ in range(5):
+        for representation in ("object", "ir"):
+            config = CtsConfig(
+                backends=BackendSelection(representation=representation)
+            )
+            flow = DoubleSideCTS(pdk, config)
+            # Drop the previous round's tree before timing so its collection
+            # (thousands of cyclic nodes) cannot land inside either timed
+            # region and contaminate the pair.
+            results[representation] = None
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                results[representation] = flow.run(clock_net)
+                samples[representation].append(time.perf_counter() - start)
+            finally:
+                gc.enable()
+    t_object, t_ir = min(samples["object"]), min(samples["ir"])
+
+    # Sanity: the two representations build bit-identical trees (the IR
+    # result realises its tree lazily here, outside the timed region).
+    def fingerprint(tree) -> list[tuple]:
+        return sorted(
+            (
+                node.name,
+                node.kind.value,
+                node.side.value,
+                node.wire_side.value,
+                node.parent.name if node.parent is not None else "",
+                node.location.x,
+                node.location.y,
+            )
+            for node in tree.nodes()
+        )
+
+    if fingerprint(results["object"].tree) != fingerprint(results["ir"].tree):
+        raise AssertionError(
+            f"flow representations diverge on {sink_count} sinks"
+        )
+
+    return {
+        "flow": "flow_e2e",
+        "sinks": sink_count,
+        "reference_s": round(t_object, 6),
+        "vectorized_s": round(t_ir, 6),
+        "speedup": round(t_object / t_ir, 3),
+    }
+
+
 def run_bench() -> list[dict]:
     pdk = asap7_backside()
     rows: list[dict] = []
@@ -542,6 +622,7 @@ def run_bench() -> list[dict]:
     if not smoke_mode():
         rows.append(bench_dme_embed(DME_EMBED_SIZES_FULL[0], pdk, BENCH_CORNERS))
     rows.append(bench_guarded_flow(GUARDED_FLOW_SINKS, pdk))
+    rows.append(bench_flow_e2e(FLOW_E2E_SINKS, pdk))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")
     for row in rows:
         label = row["flow"]

@@ -18,8 +18,11 @@ the array-based candidate-frontier engine (default) and the per-candidate
 object DP (the executable spec); both build identical trees.  The same
 pattern covers clock routing: ``--dme-backend {reference,vectorized}``
 switches the DME router between the level-batched array backend (default)
-and the per-node scalar router; both embed identical trees.  ``dse
---workers N`` evaluates the sweep grid on ``N`` parallel processes.
+and the per-node scalar router; both embed identical trees.
+``--representation {object,ir}`` selects the flow representation: ``ir``
+threads one persistent struct-of-arrays design through every stage instead
+of hopping on realised clock trees — same decisions, fewer conversions.
+``dse --workers N`` evaluates the sweep grid on ``N`` parallel processes.
 
 ``--corners SPEC`` evaluates every flow result across a PVT corner set —
 preset names (``tt``, ``ss``, ``ff``, ``hot``, ``cold``), the ``signoff``
@@ -49,7 +52,8 @@ from repro.dse import DesignSpaceExplorer
 from repro.evaluation import ComparisonTable, format_table
 from repro.evaluation.reporting import format_metrics, format_ratio_summary
 from repro.evaluation.reporting import format_corner_table
-from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.flow import BackendSelection, CtsConfig, DoubleSideCTS, SingleSideCTS
+from repro.flow.config import FLOW_REPRESENTATION_CHOICE
 from repro.guard import GUARD_POLICY_NAMES
 from repro.insertion.frontier import DP_BACKEND_NAMES
 from repro.routing.dme_arrays import DME_BACKEND_NAMES
@@ -121,6 +125,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "anomaly)",
     )
     parser.add_argument(
+        "--representation",
+        choices=FLOW_REPRESENTATION_CHOICE.names,
+        default=None,
+        help="flow representation: 'object' (default; stages hop on "
+        "realised clock trees) or 'ir' (one persistent struct-of-arrays "
+        "design threads through every stage); both paths build "
+        "bit-identical trees",
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="print full tracebacks instead of one-line error summaries",
@@ -174,13 +187,16 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
             "--corner-aware-construction"
         )
     return CtsConfig(
-        timing_engine=args.engine,
-        dp_backend=getattr(args, "dp_backend", None),
-        dme_backend=getattr(args, "dme_backend", None),
         corners=corners,
         corner_aware_construction=corner_aware,
         nominal_skew_budget=budget,
-        guard=getattr(args, "guard", None),
+        backends=BackendSelection(
+            timing=args.engine,
+            dp=getattr(args, "dp_backend", None),
+            dme=getattr(args, "dme_backend", None),
+            guard=getattr(args, "guard", None),
+            representation=getattr(args, "representation", None),
+        ),
     )
 
 
@@ -254,6 +270,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         overrides["REPRO_DME_BACKEND"] = args.dme_backend
     if getattr(args, "guard", None):
         overrides["REPRO_GUARD"] = args.guard
+    if getattr(args, "representation", None):
+        overrides["REPRO_FLOW_REPRESENTATION"] = args.representation
     if not overrides:
         return handlers[args.command](args)
     previous = {name: os.environ.get(name) for name in overrides}

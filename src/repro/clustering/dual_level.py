@@ -112,29 +112,41 @@ def split_by_capacitance(
     if max_capacitance <= 0:
         raise ValueError("max capacitance must be positive")
     result: list[tuple[Point, list[ClockSink]]] = []
-    queue = list(groups)
+    # Each queue entry carries (x, y, cap) columns alongside the member
+    # list: splits gather sub-columns instead of re-walking sink objects.
+    queue = []
+    for centroid, members in groups:
+        xs = np.asarray([s.location.x for s in members])
+        ys = np.asarray([s.location.y for s in members])
+        caps = np.asarray([s.capacitance for s in members])
+        queue.append((centroid, members, xs, ys, caps))
     while queue:
-        centroid, members = queue.pop()
-        load = estimate_leaf_load(centroid, members, unit_wire_capacitance)
+        centroid, members, xs, ys, caps = queue.pop()
+        # Bit-equal twin of ``estimate_leaf_load``: per-element |dx| + |dy|
+        # matches ``Point.manhattan`` and the Python sums run in member
+        # order, so the load compare sees the identical float.
+        dists = np.abs(centroid.x - xs) + np.abs(centroid.y - ys)
+        load = sum(dists.tolist()) * unit_wire_capacitance + sum(caps.tolist())
         if load <= max_capacitance or len(members) <= 1:
             result.append((centroid, members))
             continue
-        points = np.array([[s.location.x, s.location.y] for s in members])
+        points = np.column_stack((xs, ys))
         labels = KMeans(n_clusters=2, seed=seed).fit(points).labels
-        halves = [
-            [members[i] for i in np.flatnonzero(labels == part)] for part in (0, 1)
-        ]
-        if any(len(half) == 0 for half in halves):
+        idx_halves = [np.flatnonzero(labels == part) for part in (0, 1)]
+        if any(idx.size == 0 for idx in idx_halves):
             # K-means failed to separate identical points: split arbitrarily.
-            halves = [members[::2], members[1::2]]
-        for half in halves:
-            if not half:
+            idx_halves = [
+                np.arange(0, len(members), 2),
+                np.arange(1, len(members), 2),
+            ]
+        for idx in idx_halves:
+            if idx.size == 0:
                 continue
-            new_centroid = Point(
-                float(np.mean([s.location.x for s in half])),
-                float(np.mean([s.location.y for s in half])),
+            half_x, half_y = xs[idx], ys[idx]
+            new_centroid = Point(float(np.mean(half_x)), float(np.mean(half_y)))
+            queue.append(
+                (new_centroid, [members[i] for i in idx], half_x, half_y, caps[idx])
             )
-            queue.append((new_centroid, half))
     return result
 
 
@@ -168,9 +180,11 @@ def _cluster_sinks(
         if len(member_idx) == 0:
             continue
         members = [sinks[i] for i in member_idx]
+        # Means over gathered coordinate columns — the same values in the
+        # same order as the per-member list comprehensions (bit-equal).
         centroid = Point(
-            float(np.mean([m.location.x for m in members])),
-            float(np.mean([m.location.y for m in members])),
+            float(np.mean(points[member_idx, 0])),
+            float(np.mean(points[member_idx, 1])),
         )
         groups.append((centroid, members))
     return groups

@@ -78,16 +78,31 @@ class KMeans:
         rng = np.random.default_rng(self.seed)
         centroids = self._kmeanspp_init(pts, k, rng)
 
+        # The point-norm term of the distance expansion is loop-invariant.
+        point_norms = np.einsum("ij,ij->i", pts, pts)
         labels = np.zeros(n, dtype=int)
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
-            distances = self._distances(pts, centroids)
+            centroid_norms = np.einsum("ij,ij->i", centroids, centroids)
+            distances = point_norms[:, None] + centroid_norms[None, :]
+            distances -= 2.0 * (pts @ centroids.T)
+            np.maximum(distances, 0.0, out=distances)
             labels = np.argmin(distances, axis=1)
             new_centroids = centroids.copy()
+            # One stable grouping pass replaces the per-cluster boolean
+            # masks; each contiguous slice holds exactly the rows
+            # ``pts[labels == cluster]`` in original order, so the means
+            # reduce over identical arrays (bit-equal centroids).
+            order = np.argsort(labels, kind="stable")
+            grouped = pts[order]
+            counts = np.bincount(labels, minlength=k)
+            stops = np.cumsum(counts)
             for cluster in range(k):
-                members = pts[labels == cluster]
-                if len(members) > 0:
-                    new_centroids[cluster] = members.mean(axis=0)
+                stop = stops[cluster]
+                if counts[cluster] > 0:
+                    new_centroids[cluster] = grouped[
+                        stop - counts[cluster]:stop
+                    ].mean(axis=0)
                 else:
                     # Re-seed empty clusters at the point farthest from its centroid.
                     farthest = int(np.argmax(np.min(distances, axis=1)))

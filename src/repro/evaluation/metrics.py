@@ -12,10 +12,12 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.clocktree import ClockTree
+from repro.ir.design import DesignArrays
 from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
 from repro.timing import create_engine
+from repro.timing.vectorized import VectorizedElmoreEngine
 
 
 @dataclass(frozen=True)
@@ -129,7 +131,7 @@ class ClockTreeMetrics:
 
 
 def evaluate_tree(
-    tree: ClockTree,
+    tree: ClockTree | DesignArrays,
     pdk: Pdk,
     design: str = "",
     flow: str = "",
@@ -144,8 +146,17 @@ def evaluate_tree(
     multi-corner sign-off on top of the nominal columns: per-corner skews and
     latencies are computed in one batched pass (vectorized engine) or one
     per-corner loop (reference engine) and attached to the metrics.
+
+    ``tree`` may be a :class:`~repro.ir.design.DesignArrays` design: counts
+    and per-side wirelength reduce over the rows directly, and the timing
+    engine analyses the design in place.  The reference engine walks object
+    trees only, so that pairing realises the design once at this boundary.
     """
     timing_engine = create_engine(pdk, engine, corners=corners)
+    if isinstance(tree, DesignArrays) and not isinstance(
+        timing_engine, VectorizedElmoreEngine
+    ):
+        tree = tree.to_clock_tree()
     timing = timing_engine.analyze(tree)
     corner_skews: dict[str, float] = {}
     corner_latencies: dict[str, float] = {}
@@ -159,18 +170,24 @@ def evaluate_tree(
             corner_latencies[name] = result.latency
     front_wl = tree.wirelength(Side.FRONT)
     back_wl = tree.wirelength(Side.BACK)
+    if isinstance(tree, DesignArrays):
+        _nodes, sinks, buffers, ntsvs = tree.counts()
+    else:
+        sinks = tree.sink_count()
+        buffers = tree.buffer_count()
+        ntsvs = tree.ntsv_count()
     return ClockTreeMetrics(
         design=design,
         flow=flow,
         latency=timing.latency,
         skew=timing.skew,
-        buffers=tree.buffer_count(),
-        ntsvs=tree.ntsv_count(),
+        buffers=buffers,
+        ntsvs=ntsvs,
         wirelength=front_wl + back_wl,
         front_wirelength=front_wl,
         back_wirelength=back_wl,
         runtime=runtime,
-        sinks=tree.sink_count(),
+        sinks=sinks,
         corner_skews=corner_skews,
         corner_latencies=corner_latencies,
     )

@@ -7,8 +7,15 @@
   baselines and the Fig. 10 / Fig. 12 comparisons.
 """
 
-from repro.flow.config import CtsConfig
+from repro.flow.config import BackendSelection, CtsConfig, ResolvedBackends
 from repro.flow.cts import DoubleSideCTS, CtsRunResult
 from repro.flow.single_side import SingleSideCTS
 
-__all__ = ["CtsConfig", "DoubleSideCTS", "CtsRunResult", "SingleSideCTS"]
+__all__ = [
+    "BackendSelection",
+    "CtsConfig",
+    "DoubleSideCTS",
+    "CtsRunResult",
+    "ResolvedBackends",
+    "SingleSideCTS",
+]

@@ -16,6 +16,7 @@ delegate here so the precedence can never drift between subsystems.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.insertion.moes import MoesWeights
@@ -99,6 +100,66 @@ GUARD_POLICY_CHOICE = BackendChoice(
     default="off",
 )
 
+#: Which design representation the flow stages run on: ``object`` hops the
+#: realised :class:`~repro.clocktree.ClockTree` between stages (the
+#: executable spec), ``ir`` keeps one persistent
+#: :class:`~repro.ir.DesignArrays` alive across stages and realises object
+#: trees only at the boundaries.  Both paths are decision-identical.
+FLOW_REPRESENTATION_CHOICE = BackendChoice(
+    kind="flow representation",
+    env_var="REPRO_FLOW_REPRESENTATION",
+    names=("object", "ir"),
+    default="object",
+)
+
+
+@dataclass(frozen=True)
+class BackendSelection:
+    """One consolidated value for every backend knob of the flow.
+
+    Replaces the four loose ``CtsConfig`` fields (``timing_engine``,
+    ``dp_backend``, ``dme_backend``, ``guard``) and adds the flow
+    ``representation`` knob.  ``None`` fields fall back to the deprecated
+    loose field (when set), then the knob's environment variable, then the
+    built-in default — the same precedence :class:`BackendChoice` has always
+    implemented, now resolved in exactly one place
+    (:meth:`CtsConfig.resolved_backends`).
+    """
+
+    timing: str | None = None
+    dp: str | None = None
+    dme: str | None = None
+    guard: str | None = None
+    representation: str | None = None
+
+
+@dataclass(frozen=True)
+class ResolvedBackends:
+    """Every backend knob resolved to a concrete name (no ``None`` left)."""
+
+    timing: str
+    dp: str
+    dme: str
+    guard: str
+    representation: str
+
+
+#: Deprecated surfaces that already warned this process (warn exactly once).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def warn_deprecated_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` at most once per process."""
+    if key in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def _reset_deprecation_warnings() -> None:
+    """Testing hook: forget which deprecated surfaces already warned."""
+    _DEPRECATION_WARNED.clear()
+
 
 @dataclass(frozen=True)
 class CtsConfig:
@@ -158,6 +219,12 @@ class CtsConfig:
             re-runs an anomalous stage through the reference backends, and
             ``strict`` raises :class:`~repro.guard.GuardError` on the first
             anomaly (CLI ``--guard``).
+        backends: the consolidated backend selection
+            (:class:`BackendSelection`).  This supersedes the four loose
+            fields above (``timing_engine``, ``dp_backend``, ``dme_backend``,
+            ``guard``), which are deprecated but keep working with the same
+            precedence (and warn once per process); it also carries the flow
+            ``representation`` knob (``"object"`` or ``"ir"``).
     """
 
     high_cluster_size: int = 3000
@@ -182,6 +249,47 @@ class CtsConfig:
     corner_aware_construction: bool = False
     nominal_skew_budget: float = 0.0
     guard: str | None = None
+    backends: BackendSelection | None = None
+
+    #: The loose per-subsystem fields superseded by :attr:`backends`.
+    _DEPRECATED_BACKEND_FIELDS = (
+        ("timing_engine", "timing"),
+        ("dp_backend", "dp"),
+        ("dme_backend", "dme"),
+        ("guard", "guard"),
+    )
+
+    def __post_init__(self) -> None:
+        legacy = [
+            old
+            for old, _ in self._DEPRECATED_BACKEND_FIELDS
+            if getattr(self, old) is not None
+        ]
+        if legacy:
+            warn_deprecated_once(
+                "CtsConfig.legacy-backend-fields",
+                f"CtsConfig fields {legacy} are deprecated; pass "
+                "backends=BackendSelection(...) instead (the loose fields "
+                "keep working with the same precedence)",
+            )
+
+    def resolved_backends(self) -> ResolvedBackends:
+        """Resolve every backend knob to a concrete name, in one place.
+
+        Precedence per knob: ``backends`` field > deprecated loose field >
+        environment variable > built-in default (the shared
+        :class:`BackendChoice` rule).
+        """
+        selection = self.backends or BackendSelection()
+        return ResolvedBackends(
+            timing=TIMING_ENGINE_CHOICE.resolve(selection.timing, self.timing_engine),
+            dp=DP_BACKEND_CHOICE.resolve(selection.dp, self.dp_backend),
+            dme=DME_BACKEND_CHOICE.resolve(selection.dme, self.dme_backend),
+            guard=GUARD_POLICY_CHOICE.resolve(selection.guard, self.guard),
+            representation=FLOW_REPRESENTATION_CHOICE.resolve(
+                selection.representation
+            ),
+        )
 
     def construction_corners(self) -> CornerSet | None:
         """The corner set construction steps optimise against (or None)."""

@@ -23,32 +23,53 @@ from typing import Iterable
 
 from repro.clocktree import ClockTree
 from repro.evaluation.metrics import ClockTreeMetrics, evaluate_tree
-from repro.flow.config import CtsConfig
+from repro.flow.config import CtsConfig, ResolvedBackends
 from repro.guard.faults import StageFault
-from repro.guard.policy import StageGuard, GuardDiagnostic, resolve_guard_policy
+from repro.guard.policy import StageGuard, GuardDiagnostic
 from repro.guard.validation import insertion_anomaly, metrics_anomaly
-from repro.insertion.concurrent import ConcurrentInserter, InsertionConfig, InsertionResult
+from repro.insertion.concurrent import InsertionResult
+from repro.ir.design import DesignArrays
 from repro.netlist.clock import ClockNet
 from repro.netlist.design import Design
-from repro.refinement.skew_refinement import SkewRefiner, SkewRefinementReport
-from repro.routing.hierarchical import HierarchicalClockRouter, HierarchicalRoutingResult
+from repro.refinement.skew_refinement import SkewRefinementReport
+from repro.routing.hierarchical import (
+    DesignRoutingResult,
+    HierarchicalRoutingResult,
+)
 from repro.tech.pdk import Pdk
 
 
 @dataclass
 class CtsRunResult:
-    """Everything a flow run produces."""
+    """Everything a flow run produces.
+
+    An IR-native run (``CtsConfig.backends.representation == "ir"``) stores
+    the persistent :class:`DesignArrays` design in :attr:`design`; the
+    object :attr:`tree` is realised lazily on first access, outside the
+    timed flow region.  Object-hop runs store the tree directly and leave
+    :attr:`design` None.
+    """
 
     design_name: str
     flow_name: str
-    tree: ClockTree
-    routing: HierarchicalRoutingResult
+    routing: "HierarchicalRoutingResult | DesignRoutingResult"
     insertion: InsertionResult
     skew_report: SkewRefinementReport | None
     metrics: ClockTreeMetrics
     runtime: float
     guard_policy: str = "off"
     guard_diagnostics: list[GuardDiagnostic] = field(default_factory=list)
+    design: DesignArrays | None = None
+    _tree: ClockTree | None = field(default=None, repr=False)
+
+    @property
+    def tree(self) -> ClockTree:
+        """The synthesised clock tree (realised lazily for IR-native runs)."""
+        if self._tree is None:
+            if self.design is None:
+                raise ValueError("flow result carries neither a tree nor a design")
+            self._tree = self.design.to_clock_tree()
+        return self._tree
 
     @property
     def latency(self) -> float:
@@ -91,12 +112,71 @@ class DoubleSideCTS:
 
     # ----------------------------------------------------------------- public
     def run(self, design: Design | ClockNet, design_name: str | None = None) -> CtsRunResult:
-        """Synthesise the clock tree of ``design`` and return the run result."""
+        """Synthesise the clock tree of ``design`` and return the run result.
+
+        The flow representation is selected by the resolved backends
+        (``CtsConfig.backends.representation`` / ``REPRO_FLOW_REPRESENTATION``):
+        ``"object"`` hops between stages on :class:`ClockTree` objects,
+        ``"ir"`` threads one persistent :class:`DesignArrays` design through
+        the :mod:`repro.ir.stages` pipeline.  The two paths are
+        decision-identical (bit-equal tree fingerprints).
+        """
         clock_net, name = self._resolve_input(design, design_name)
-        guard = StageGuard(
-            resolve_guard_policy(self.config.guard), clock_net, faults=self.guard_faults
-        )
+        backends = self.config.resolved_backends()
+        guard = StageGuard(backends.guard, clock_net, faults=self.guard_faults)
         guard.validate_inputs(self.pdk, corners=self.config.corners)
+        if backends.representation == "ir":
+            return self._run_ir(clock_net, name, guard, backends)
+        return self._run_object(clock_net, name, guard, backends)
+
+    # -------------------------------------------------------------- IR path
+    def _run_ir(
+        self,
+        clock_net: ClockNet,
+        name: str,
+        guard: StageGuard,
+        backends: ResolvedBackends,
+    ) -> CtsRunResult:
+        from repro.ir import stages
+
+        ctx = stages.StageContext(
+            pdk=self.pdk,
+            config=self.config,
+            backends=backends,
+            guard=guard,
+            clock_net=clock_net,
+            design_name=name,
+            flow_name=self.flow_name,
+        )
+        start = time.perf_counter()
+        design = stages.RoutingStage().run(None, ctx)
+        design = stages.InsertionStage().run(design, ctx)
+        if self.config.enable_skew_refinement:
+            design = stages.RefinementStage().run(design, ctx)
+        ctx.runtime = time.perf_counter() - start
+        design.validate()
+        design = stages.EvaluationStage().run(design, ctx)
+        return CtsRunResult(
+            design_name=name,
+            flow_name=self.flow_name,
+            routing=ctx.routing,
+            insertion=ctx.insertion,
+            skew_report=ctx.skew_report,
+            metrics=ctx.metrics,
+            runtime=ctx.runtime,
+            guard_policy=guard.policy,
+            guard_diagnostics=guard.diagnostics,
+            design=design,
+        )
+
+    # ---------------------------------------------------------- object path
+    def _run_object(
+        self,
+        clock_net: ClockNet,
+        name: str,
+        guard: StageGuard,
+        backends: ResolvedBackends,
+    ) -> CtsRunResult:
         start = time.perf_counter()
 
         routing = self._route(clock_net)
@@ -163,7 +243,6 @@ class DoubleSideCTS:
         return CtsRunResult(
             design_name=name,
             flow_name=self.flow_name,
-            tree=tree,
             routing=routing,
             insertion=insertion,
             skew_report=skew_report,
@@ -171,67 +250,56 @@ class DoubleSideCTS:
             runtime=runtime,
             guard_policy=guard.policy,
             guard_diagnostics=guard.diagnostics,
+            _tree=tree,
         )
 
     # ------------------------------------------------------------------ steps
+    # Stage engines come from the construction points shared with the
+    # IR-native pipeline (repro.ir.stages), so the two paths cannot drift.
     def _route(
         self, clock_net: ClockNet, reference: bool = False
     ) -> HierarchicalRoutingResult:
-        router = HierarchicalClockRouter(
-            self.pdk,
-            high_cluster_size=self.config.high_cluster_size,
-            low_cluster_size=self.config.low_cluster_size,
-            seed=self.config.seed,
-            hierarchical=self.config.hierarchical_routing,
-            dme_backend="reference" if reference else self.config.dme_backend,
-        )
-        return router.route(clock_net)
+        from repro.ir.stages import build_router, reference_config
+
+        config = reference_config(self.config) if reference else self.config
+        return build_router(self.pdk, config).route(clock_net)
 
     def _insert(self, tree: ClockTree, reference: bool = False) -> InsertionResult:
-        inserter = ConcurrentInserter(
+        from repro.ir.stages import build_inserter
+
+        backends = self.config.resolved_backends()
+        inserter = build_inserter(
             self.pdk,
-            self._insertion_config(reference=reference),
-            engine="reference" if reference else self.config.timing_engine,
-            corners=self.config.construction_corners(),
+            self.config,
+            timing="reference" if reference else backends.timing,
+            dp="reference" if reference else backends.dp,
         )
         return inserter.run(tree, fanout_threshold=self.config.fanout_threshold)
 
     def _refine(
         self, tree: ClockTree, reference: bool = False
     ) -> SkewRefinementReport:
-        refiner = SkewRefiner(
-            self.pdk,
-            skew_trigger_fraction=self.config.skew_trigger_fraction,
-            max_endpoints=self.config.max_refined_endpoints,
-            strategy=self.config.skew_strategy,
-            engine="reference" if reference else self.config.timing_engine,
-            corners=self.config.construction_corners(),
-            nominal_skew_budget=self.config.nominal_skew_budget,
+        from repro.ir.stages import build_refiner
+
+        timing = (
+            "reference" if reference else self.config.resolved_backends().timing
         )
-        return refiner.refine(tree)
+        return build_refiner(self.pdk, self.config, timing).refine(tree)
 
     def _evaluate(
         self, tree: ClockTree, name: str, runtime: float, reference: bool = False
     ) -> ClockTreeMetrics:
+        timing = (
+            "reference" if reference else self.config.resolved_backends().timing
+        )
         return evaluate_tree(
             tree,
             self.pdk,
             design=name,
             flow=self.flow_name,
             runtime=runtime,
-            engine="reference" if reference else self.config.timing_engine,
+            engine=timing,
             corners=self.config.corners,
-        )
-
-    def _insertion_config(self, reference: bool = False) -> InsertionConfig:
-        return InsertionConfig(
-            weights=self.config.moes_weights,
-            selection=self.config.selection,
-            max_segment_length=self.config.max_segment_length,
-            keep_resource_diversity=self.config.keep_resource_diversity,
-            max_candidates_per_side=self.config.max_candidates_per_side,
-            default_mode=self.config.default_mode,
-            dp_backend="reference" if reference else self.config.dp_backend,
         )
 
     # ------------------------------------------------------------------ input

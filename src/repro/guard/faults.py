@@ -32,9 +32,14 @@ from typing import TYPE_CHECKING, Callable, Iterable
 from repro.clocktree.node import NodeKind
 from repro.clocktree.tree import ClockTree
 from repro.geometry import Point
+from repro.ir.design import KIND_NTSV, KIND_TAP, DesignArrays
+from repro.clocktree.arrays import KIND_STEINER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.flow.config import CtsConfig
+
+#: Either live flow representation a fault may be asked to corrupt.
+FlowState = ClockTree | DesignArrays
 
 
 @dataclass(frozen=True)
@@ -43,11 +48,13 @@ class StageFault:
 
     ``stage`` is one of the guarded stage names (``"routing"``,
     ``"insertion"``, ``"refinement"``); ``inject`` is a module-level callable
-    taking the live :class:`ClockTree`.
+    taking the live :class:`ClockTree` or :class:`DesignArrays`.  Every
+    injector here handles both representations, so the same fault matrix
+    exercises the object-hop and the IR-native flow paths.
     """
 
     stage: str
-    inject: Callable[[ClockTree], None]
+    inject: Callable[[FlowState], None]
 
     @property
     def name(self) -> str:
@@ -55,7 +62,7 @@ class StageFault:
 
 
 def apply_faults(
-    faults: Iterable[StageFault], stage: str, tree: ClockTree
+    faults: Iterable[StageFault], stage: str, tree: FlowState
 ) -> None:
     """Apply every fault registered for ``stage`` to ``tree``."""
     for fault in faults:
@@ -64,37 +71,62 @@ def apply_faults(
 
 
 # ---------------------------------------------------------------- injectors
-def poke_nan_capacitance(tree: ClockTree) -> None:
+def poke_nan_capacitance(tree: FlowState) -> None:
     """NaN escaping a numpy kernel into a pin capacitance (``cap`` column)."""
-    tree.sinks()[0].capacitance = float("nan")
+    if isinstance(tree, DesignArrays):
+        tree.cap[int(tree.sink_rows()[0])] = float("nan")
+    else:
+        tree.sinks()[0].capacitance = float("nan")
     tree.touch()
 
 
-def poke_nan_location(tree: ClockTree) -> None:
+def poke_nan_location(tree: FlowState) -> None:
     """NaN coordinates on a node (poisons the ``edge_length`` column)."""
-    tree.sinks()[-1].location = Point(float("nan"), float("nan"))
+    if isinstance(tree, DesignArrays):
+        row = int(tree.sink_rows()[-1])
+        tree.x[row] = tree.y[row] = float("nan")
+        tree.edge_length[row] = tree._edge(row, int(tree.parent_row[row]))
+    else:
+        tree.sinks()[-1].location = Point(float("nan"), float("nan"))
     tree.touch()
 
 
-def poke_negative_capacitance(tree: ClockTree) -> None:
+def poke_negative_capacitance(tree: FlowState) -> None:
     """A negative capacitance (an underflowing subtraction in a kernel)."""
-    tree.sinks()[0].capacitance = -1.0
+    if isinstance(tree, DesignArrays):
+        tree.cap[int(tree.sink_rows()[0])] = -1.0
+    else:
+        tree.sinks()[0].capacitance = -1.0
     tree.touch()
 
 
-def drop_sink(tree: ClockTree) -> None:
+def drop_sink(tree: FlowState) -> None:
     """Silently lose one sink subtree (the PR-5 silent-sink-drop bug class)."""
-    tree.sinks()[0].detach()
+    if isinstance(tree, DesignArrays):
+        tree.detach_subtree(int(tree.sink_rows()[0]))
+    else:
+        tree.sinks()[0].detach()
     tree.touch()
 
 
-def flip_wire_side(tree: ClockTree) -> None:
+def flip_wire_side(tree: FlowState) -> None:
     """Move one wire to the opposite die side without an nTSV.
 
     This is the observable effect of a routing backend returning an
     off-side node: a non-nTSV vertex now touches wires on both sides,
     violating the paper's shared-vertex side constraint.
     """
+    if isinstance(tree, DesignArrays):
+        for row in tree.rows_preorder():
+            parent = int(tree.parent_row[row])
+            if parent < 0:
+                continue
+            if tree.kind[row] == KIND_NTSV or tree.kind[parent] == KIND_NTSV:
+                continue
+            tree.wire_front[row] = not tree.wire_front[row]
+            tree.touch()
+            return
+        raise AssertionError("no flippable wire found")  # pragma: no cover
     for node in tree.nodes():
         if node.parent is None or node.is_ntsv or node.parent.is_ntsv:
             continue
@@ -104,8 +136,18 @@ def flip_wire_side(tree: ClockTree) -> None:
     raise AssertionError("no flippable wire found")  # pragma: no cover
 
 
-def duplicate_node_name(tree: ClockTree) -> None:
+def duplicate_node_name(tree: FlowState) -> None:
     """Give an internal node the name of an existing sink."""
+    if isinstance(tree, DesignArrays):
+        sink_name = tree.names[int(tree.sink_rows()[0])]
+        for row in tree.rows_preorder():
+            if tree.kind[row] in (KIND_STEINER, KIND_TAP):
+                # Bypass rename(): the simulated bug corrupts the name
+                # column without maintaining the lookup index.
+                tree.names[row] = sink_name
+                tree.touch()
+                return
+        raise AssertionError("no internal node to rename")  # pragma: no cover
     sink_name = tree.sinks()[0].name
     for node in tree.nodes():
         if node.kind in (NodeKind.STEINER, NodeKind.TAP):
@@ -115,11 +157,12 @@ def duplicate_node_name(tree: ClockTree) -> None:
     raise AssertionError("no internal node to rename")  # pragma: no cover
 
 
-def drop_edit_log_entry(tree: ClockTree) -> None:
+def drop_edit_log_entry(tree: FlowState) -> None:
     """Lose one recorded edit (incremental timers would silently desync).
 
     Reaches into the private log on purpose: that is the corruption being
-    simulated.  The tree structure is untouched; only the log lies.
+    simulated.  The tree structure is untouched; only the log lies.  Both
+    representations keep the same private log shape.
     """
     if not tree._edits:
         tree.touch()

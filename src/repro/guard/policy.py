@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.clocktree import ClockTree
     from repro.guard.faults import StageFault
+    from repro.ir.design import DesignArrays
     from repro.netlist.clock import ClockNet
 
 #: Mirrors :data:`repro.flow.config.GUARD_POLICY_CHOICE` as literals
@@ -161,7 +162,7 @@ class StageGuard:
 
         validate_flow_inputs(self.clock_net, pdk, corners=corners)
 
-    def inject(self, stage: str, tree: "ClockTree") -> None:
+    def inject(self, stage: str, tree: "ClockTree | DesignArrays") -> None:
         """Apply the injected faults registered for ``stage`` (all policies)."""
         if not self.faults:
             return
@@ -172,7 +173,7 @@ class StageGuard:
     def check(
         self,
         stage: str,
-        tree: "ClockTree | None",
+        tree: "ClockTree | DesignArrays | None",
         extra: Callable[[], str | None] | None = None,
     ) -> bool:
         """Check the stage output; True when the stage must be degraded.
@@ -197,7 +198,7 @@ class StageGuard:
     def confirm(
         self,
         stage: str,
-        tree: "ClockTree | None",
+        tree: "ClockTree | DesignArrays | None",
         extra: Callable[[], str | None] | None = None,
         backend: str = "reference",
     ) -> None:
@@ -225,7 +226,9 @@ class StageGuard:
         self._pending = ""
 
     def _anomaly(
-        self, tree: "ClockTree | None", extra: Callable[[], str | None] | None
+        self,
+        tree: "ClockTree | DesignArrays | None",
+        extra: Callable[[], str | None] | None,
     ) -> str | None:
         from repro.guard.validation import stage_anomaly
 

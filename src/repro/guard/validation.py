@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.clocktree.node import ClockTreeNode, NodeKind
 from repro.clocktree.tree import ClockTree, ConnectivityError
+from repro.ir.design import DesignArrays
 from repro.tech.layers import Side
 from repro.guard.policy import GuardError
 from repro.netlist.clock import ClockNet
@@ -252,7 +253,9 @@ def _raise_on_problems(problems: list[str], fingerprint: str) -> None:
 
 
 # ------------------------------------------------------------------- stages
-def stage_anomaly(tree: ClockTree, clock_net: ClockNet | None = None) -> str | None:
+def stage_anomaly(
+    tree: ClockTree | DesignArrays, clock_net: ClockNet | None = None
+) -> str | None:
     """The shared post-stage probe: None when healthy, else a summary.
 
     Semantically this is :meth:`ClockTree.validate` (cycles, parent links,
@@ -264,7 +267,12 @@ def stage_anomaly(tree: ClockTree, clock_net: ClockNet | None = None) -> str | N
     must cost a couple of milliseconds, not a handful of full-tree passes
     (``tests/test_guard.py`` proves each corruption class is still caught,
     and the ``guarded_flow`` bench row gates the overhead in CI).
+
+    :class:`~repro.ir.design.DesignArrays` designs take a fully vectorized
+    variant of the same probe (column screens instead of a node traversal).
     """
+    if isinstance(tree, DesignArrays):
+        return _stage_anomaly_design(tree, clock_net)
     sink_kind, buffer_kind, ntsv_kind = NodeKind.SINK, NodeKind.BUFFER, NodeKind.NTSV
     front = Side.FRONT
     seen: set[int] = set()
@@ -358,6 +366,70 @@ def stage_anomaly(tree: ClockTree, clock_net: ClockNet | None = None) -> str | N
     return anomaly
 
 
+def _stage_anomaly_design(
+    design: DesignArrays, clock_net: ClockNet | None
+) -> str | None:
+    """The IR twin of the shared probe, reduced over the design's rows.
+
+    Structure (cycles, reachability, duplicate names, side constraints)
+    reuses :meth:`DesignArrays.validate` after a bounded reachability walk —
+    the walk must come first because a corrupted ``children_rows`` cycle
+    would spin ``validate``'s level grouping forever.  The numeric screens
+    recompute edge lengths from the coordinate columns (mirroring the object
+    probe, which derives lengths from node locations), so a NaN poked into
+    either the geometry or the capacitance column is caught.
+    """
+    rows = design.alive_rows()
+    total = int(rows.size)
+    if not total or not design.alive[0]:
+        return "invariant violation: design has no alive root row"
+    reached = 0
+    frontier = [0]
+    while frontier:
+        reached += len(frontier)
+        if reached > total:
+            return "invariant violation: cycle detected in the design rows"
+        frontier = [c for row in frontier for c in design.children_rows[row]]
+    try:
+        design.validate()
+    except ConnectivityError as exc:
+        return f"invariant violation: {exc}"
+    anomaly = edit_log_anomaly(design)
+    if anomaly is None:
+        anomaly = _design_column_anomaly(
+            design, rows, design.cap[rows], "node capacitance"
+        )
+    if anomaly is None:
+        parents = design.parent_row[rows]
+        edge_rows = rows[parents >= 0]
+        edge_parents = parents[parents >= 0]
+        lengths = np.abs(design.x[edge_rows] - design.x[edge_parents]) + np.abs(
+            design.y[edge_rows] - design.y[edge_parents]
+        )
+        anomaly = _design_column_anomaly(design, edge_rows, lengths, "edge length")
+    if anomaly is None and clock_net is not None:
+        sink_names = [design.names[int(row)] for row in design.sink_rows()]
+        anomaly = _sink_preservation_anomaly(sink_names, clock_net)
+    return anomaly
+
+
+def _design_column_anomaly(
+    design: DesignArrays, rows: np.ndarray, values: np.ndarray, label: str
+) -> str | None:
+    """Non-finite or negative entries in one per-row numeric column."""
+    finite = np.isfinite(values)
+    if not finite.all():
+        bad = rows[~finite]
+        names = [design.names[int(row)] for row in bad[:3]]
+        return f"{label}: {bad.size}/{values.size} non-finite entries (e.g. {names})"
+    negative = values < 0
+    if negative.any():
+        bad = rows[negative]
+        names = [design.names[int(row)] for row in bad[:3]]
+        return f"{label}: {bad.size}/{values.size} negative entries (e.g. {names})"
+    return None
+
+
 def _column_anomaly(
     order: list[ClockTreeNode], values: list[float], label: str
 ) -> str | None:
@@ -396,13 +468,15 @@ def _sink_preservation_anomaly(
     return "sink preservation violated: " + ", ".join(parts)
 
 
-def edit_log_anomaly(tree: ClockTree) -> str | None:
+def edit_log_anomaly(tree: ClockTree | DesignArrays) -> str | None:
     """Coherence of the edit log incremental timers replay.
 
     The log must carry known edit kinds with strictly increasing versions,
     splice/rewire entries must name their node, and the newest entry must
     match the tree version (an edited tree with a pruned or stale log would
-    silently desync every incremental consumer).
+    silently desync every incremental consumer).  Designs share the log
+    shape (including ``compact()``'s collapsed single-touch log), so the
+    same checks apply to both representations.
     """
     edits = tree.edit_log
     if not edits:

@@ -62,6 +62,7 @@ from repro.insertion.frontier import (
 from repro.insertion.moes import MoesWeights, select_by_moes, select_min_latency
 from repro.insertion.patterns import EdgePattern, InsertionMode, patterns_for
 from repro.insertion.pruning import prune_per_side
+from repro.ir.design import KIND_NTSV, DesignArrays
 from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
@@ -128,7 +129,7 @@ class InsertionResult:
     corner-aware (and is ``None`` for nominal-only runs).
     """
 
-    tree: ClockTree
+    tree: ClockTree | DesignArrays
     dp_tree: DpTree
     selected: CandidateSolution
     root_candidates: list[CandidateSolution]
@@ -205,7 +206,7 @@ class ConcurrentInserter:
     # ----------------------------------------------------------------- public
     def run(
         self,
-        tree: ClockTree,
+        tree: ClockTree | DesignArrays,
         dp_tree: DpTree | None = None,
         mode_of: Callable[[DpNode], InsertionMode] | None = None,
         fanout_threshold: int | None = None,
@@ -213,12 +214,21 @@ class ConcurrentInserter:
         """Insert buffers and nTSVs into ``tree`` (modified in place).
 
         Args:
-            tree: the routed, unbuffered clock tree.
+            tree: the routed, unbuffered clock tree — :class:`ClockTree` or
+                its array IR, :class:`~repro.ir.design.DesignArrays` (the
+                ``vectorized`` DP backend only; the per-object reference DP
+                consumes object trees, bridge via ``to_clock_tree()``).
             dp_tree: a pre-built DP tree; built from ``tree`` when omitted.
             mode_of: optional per-node mode assignment (overrides the default).
             fanout_threshold: the DSE heuristic — nodes with fewer downstream
                 sinks than the threshold use full mode, others intra-side.
         """
+        is_design = isinstance(tree, DesignArrays)
+        if is_design and self.dp_backend != "vectorized":
+            raise ValueError(
+                "the reference DP backend runs on object trees; realise the "
+                "design via to_clock_tree() before running it"
+            )
         if dp_tree is None:
             dp_tree = build_dp_tree(
                 tree,
@@ -249,14 +259,19 @@ class ConcurrentInserter:
             if self._corner_aware
             else None
         )
+        if is_design:
+            _nodes, _sinks, buffers, ntsvs = tree.counts()
+        else:
+            buffers = tree.buffer_count()
+            ntsvs = tree.ntsv_count()
         return InsertionResult(
             tree=tree,
             dp_tree=dp_tree,
             selected=selected,
             root_candidates=root_candidates,
             timing=timing,
-            inserted_buffers=tree.buffer_count(),
-            inserted_ntsvs=tree.ntsv_count(),
+            inserted_buffers=buffers,
+            inserted_ntsvs=ntsvs,
             timing_per_corner=timing_per_corner,
         )
 
@@ -283,7 +298,12 @@ class ConcurrentInserter:
         root_candidates = dp.materialize_root(root)
         selected = self._select(root_candidates)
         chosen = next(i for i, c in enumerate(root_candidates) if c is selected)
-        dp.realize(dp_tree, frontiers, root.choice[chosen], self._realize_pattern)
+        realize = (
+            self._realize_pattern_design
+            if isinstance(dp_tree.clock_tree, DesignArrays)
+            else self._realize_pattern
+        )
+        dp.realize(dp_tree, frontiers, root.choice[chosen], realize)
         return root_candidates, selected
 
     # ------------------------------------------------------- step 2: bottom-up
@@ -775,5 +795,79 @@ class ConcurrentInserter:
             child.wire_side = Side.BACK
             child.side = Side.BACK
             tree.add_ntsv(child, parent.location, ntsv.capacitance, Side.FRONT)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown pattern {pattern.name!r}")
+
+    def _realize_pattern_design(
+        self, design: DesignArrays, dp_node: DpNode, pattern: EdgePattern
+    ) -> None:
+        """Row twin of :meth:`_realize_pattern` (same devices, names, order)."""
+        child = dp_node.tree_row
+        parent = int(design.parent_row[child])
+        if parent < 0:  # pragma: no cover - root edges always have a parent
+            raise RuntimeError(f"DP node {dp_node.name} has no parent edge")
+        ntsv = self.pdk.ntsv
+        length = dp_node.length
+
+        if pattern.name == "P2_Wiring_F":
+            design.wire_front[child] = True
+            if design.kind[child] != KIND_NTSV:
+                design.side_front[child] = True
+        elif pattern.name == "P3_Wiring_B":
+            design.wire_front[child] = False
+            design.side_front[child] = False
+        elif pattern.name == "P1_Buffer":
+            design.wire_front[child] = True
+            design.side_front[child] = True
+            midpoint = point_toward(
+                design.location_of(child), design.location_of(parent), length / 2.0
+            )
+            design.add_buffer(
+                child, midpoint.x, midpoint.y, self.pdk.buffer.input_capacitance
+            )
+        elif pattern.name == "P4_nTSV1":
+            assert ntsv is not None
+            design.wire_front[child] = True
+            design.side_front[child] = True
+            child_location = design.location_of(child)
+            parent_location = design.location_of(parent)
+            low = design.add_ntsv(
+                child,
+                child_location.x,
+                child_location.y,
+                ntsv.capacitance,
+                upstream_front=False,
+            )
+            design.add_ntsv(
+                low,
+                parent_location.x,
+                parent_location.y,
+                ntsv.capacitance,
+                upstream_front=True,
+            )
+        elif pattern.name == "P5_nTSV2":
+            assert ntsv is not None
+            design.wire_front[child] = True
+            design.side_front[child] = True
+            child_location = design.location_of(child)
+            design.add_ntsv(
+                child,
+                child_location.x,
+                child_location.y,
+                ntsv.capacitance,
+                upstream_front=False,
+            )
+        elif pattern.name == "P6_nTSV3":
+            assert ntsv is not None
+            design.wire_front[child] = False
+            design.side_front[child] = False
+            parent_location = design.location_of(parent)
+            design.add_ntsv(
+                child,
+                parent_location.x,
+                parent_location.y,
+                ntsv.capacitance,
+                upstream_front=True,
+            )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown pattern {pattern.name!r}")

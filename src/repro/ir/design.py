@@ -1,0 +1,729 @@
+"""The persistent struct-of-arrays design representation of the IR flow.
+
+:class:`DesignArrays` is the one design object the IR-native flow threads
+through clustering → topology → DME → insertion → refinement → evaluation.
+It deliberately exposes the exact read surface of
+:class:`~repro.clocktree.arrays.TreeArrays` (``parent_row`` / ``kind`` /
+``edge_length`` / ``wire_front`` / ``cap`` / ``alive`` columns,
+``children_rows``, ``levels()``, ``sink_rows()``, …) so the vectorized
+timing engine can run its level-batched passes directly on the design —
+no per-stage snapshot compile — plus the columns a *design* needs beyond a
+timing snapshot: names, coordinates, node sides, and the name counter that
+keeps fresh node names identical to the object flow's.
+
+Structural edits go through the same edit-log protocol as
+:class:`~repro.clocktree.ClockTree` (``mark_splice`` / ``mark_rewire`` /
+``touch`` with the same bounded log), except entries carry *rows* instead of
+node objects and the structure is updated eagerly at edit time.  The
+vectorized engine replays the log with the same numeric patch sequence as
+its ``TreeArrays`` path, which is what keeps the IR flow bit-identical to
+the object flow.
+
+Object trees exist only at the boundaries: :meth:`to_clock_tree` /
+:meth:`from_clock_tree` are lossless (names, children order, sides, caps,
+coordinates, and the name counter are bit-preserved both ways).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clocktree.arrays import (
+    KIND_BUFFER,
+    KIND_CODE,
+    KIND_NTSV,
+    KIND_ROOT,
+    KIND_SINK,
+    KIND_TAP,
+)
+from repro.clocktree.node import ClockTreeNode, NodeKind
+from repro.clocktree.tree import _MAX_EDIT_LOG, ClockTree, ConnectivityError
+from repro.geometry import Point
+from repro.tech.layers import Side
+
+#: Integer kind code -> :class:`NodeKind` (inverse of ``KIND_CODE``).
+KIND_OF_CODE: tuple[NodeKind, ...] = tuple(
+    sorted(KIND_CODE, key=KIND_CODE.__getitem__)
+)
+
+
+class DesignArrays:
+    """A persistent, editable struct-of-arrays clock-tree design.
+
+    Row 0 is always the clock root.  ``size`` counts allocated rows
+    including tombstones; ``alive`` filters.  All structural operations
+    mirror the :class:`~repro.clocktree.ClockTree` editing API one-to-one
+    (same children ordering, same fresh-name sequence, same edit log), so a
+    flow run on rows makes exactly the decisions the object flow makes.
+    """
+
+    __slots__ = (
+        "name",
+        "size",
+        "names",
+        "parent_row",
+        "kind",
+        "edge_length",
+        "wire_front",
+        "cap",
+        "alive",
+        "x",
+        "y",
+        "side_front",
+        "children_rows",
+        "name_to_row",
+        "dead_count",
+        "_counter",
+        "_version",
+        "_edits",
+        "_levels",
+        "_sink_rows",
+        "_alive_rows",
+        "_bfs_clean",
+    )
+
+    def __init__(self, name: str = "clk", capacity: int = 64) -> None:
+        capacity = max(1, int(capacity))
+        self.name = name
+        self.size = 0
+        self.names: list[str | None] = []
+        self.parent_row = np.full(capacity, -1, dtype=np.int64)
+        self.kind = np.zeros(capacity, dtype=np.int8)
+        self.edge_length = np.zeros(capacity, dtype=np.float64)
+        self.wire_front = np.ones(capacity, dtype=bool)
+        self.cap = np.zeros(capacity, dtype=np.float64)
+        self.alive = np.ones(capacity, dtype=bool)
+        self.x = np.zeros(capacity, dtype=np.float64)
+        self.y = np.zeros(capacity, dtype=np.float64)
+        self.side_front = np.ones(capacity, dtype=bool)
+        self.children_rows: list[list[int]] = []
+        self.name_to_row: dict[str, int] = {}
+        self.dead_count = 0
+        self._counter = 0
+        self._version = 0
+        self._edits: list[tuple[int, str, int | None]] = []
+        self._levels: list[np.ndarray] | None = None
+        self._sink_rows: np.ndarray | None = None
+        self._alive_rows: np.ndarray | None = None
+        self._bfs_clean = True
+
+    # ------------------------------------------------------- edit tracking
+    @property
+    def version(self) -> int:
+        """Monotonic structural version; bumped by every recorded edit."""
+        return self._version
+
+    def _record(self, kind: str, row: int | None) -> None:
+        self._version += 1
+        self._edits.append((self._version, kind, row))
+        if len(self._edits) > _MAX_EDIT_LOG:
+            self._edits = [(self._version, "touch", None)]
+
+    def mark_splice(self, row: int) -> None:
+        """Record that ``row`` was spliced onto the edge above its only child."""
+        self._record("splice", row)
+
+    def mark_rewire(self, row: int) -> None:
+        """Record that the subtree rooted at ``row`` changed arbitrarily."""
+        self._record("rewire", row)
+
+    def touch(self) -> None:
+        """Record an unscoped structural change (forces full re-analysis)."""
+        self._record("touch", None)
+
+    @property
+    def edit_log(self) -> tuple[tuple[int, str, int | None], ...]:
+        """The recorded ``(version, kind, row)`` edits, oldest first."""
+        return tuple(self._edits)
+
+    def edits_since(self, version: int) -> list[tuple[int, str, int | None]] | None:
+        """Edits recorded after ``version``, or None when the log was pruned."""
+        if version == self._version:
+            return []
+        if not self._edits or self._edits[0][0] > version + 1:
+            return None
+        return [edit for edit in self._edits if edit[0] > version]
+
+    def new_name(self, prefix: str) -> str:
+        """Return a fresh unique node name (same sequence as ``ClockTree``)."""
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    # ------------------------------------------------------------- queries
+    @property
+    def capacity(self) -> int:
+        return int(self.parent_row.shape[0])
+
+    def levels(self) -> list[np.ndarray]:
+        """Alive rows grouped by depth, root first (rebuilt after edits)."""
+        if self._levels is None:
+            levels: list[np.ndarray] = []
+            frontier = [0]
+            while frontier:
+                levels.append(np.asarray(frontier, dtype=np.int64))
+                frontier = [c for row in frontier for c in self.children_rows[row]]
+            self._levels = levels
+        return self._levels
+
+    def sink_rows(self) -> np.ndarray:
+        """Rows of every alive sink node."""
+        if self._sink_rows is None:
+            used = self.kind[: self.size]
+            mask = (used == KIND_SINK) & self.alive[: self.size]
+            self._sink_rows = np.flatnonzero(mask)
+        return self._sink_rows
+
+    def alive_rows(self) -> np.ndarray:
+        """Every alive row (any order)."""
+        if self._alive_rows is None:
+            self._alive_rows = np.flatnonzero(self.alive[: self.size])
+        return self._alive_rows
+
+    def kind_rows(self, code: int) -> np.ndarray:
+        rows = self.alive_rows()
+        return rows[self.kind[rows] == code]
+
+    def rows_preorder(self) -> list[int]:
+        """Every alive row in pre-order (matches ``ClockTree.nodes()``)."""
+        order: list[int] = []
+        stack = [0]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            row = pop()
+            order.append(row)
+            extend(reversed(self.children_rows[row]))
+        return order
+
+    def counts(self) -> tuple[int, int, int, int]:
+        """(nodes, sinks, buffers, ntsvs) over the alive rows."""
+        rows = self.alive_rows()
+        kinds = self.kind[rows]
+        return (
+            int(rows.size),
+            int(np.count_nonzero(kinds == KIND_SINK)),
+            int(np.count_nonzero(kinds == KIND_BUFFER)),
+            int(np.count_nonzero(kinds == KIND_NTSV)),
+        )
+
+    def wirelength(self, side: Side | None = None) -> float:
+        """Total Manhattan wirelength (um), optionally on one side."""
+        rows = self.alive_rows()
+        mask = self.parent_row[rows] >= 0
+        if side is not None:
+            mask &= self.wire_front[rows] == (side is Side.FRONT)
+        return float(np.sum(self.edge_length[rows[mask]]))
+
+    def location_of(self, row: int) -> Point:
+        return Point(float(self.x[row]), float(self.y[row]))
+
+    def _edge(self, row: int, parent: int) -> float:
+        # Scalar Manhattan distance, bit-identical to Point.manhattan().
+        return abs(float(self.x[row]) - float(self.x[parent])) + abs(
+            float(self.y[row]) - float(self.y[parent])
+        )
+
+    # ------------------------------------------------------------- editing
+    def _invalidate(self) -> None:
+        self._levels = None
+        self._sink_rows = None
+        self._alive_rows = None
+        self._bfs_clean = False
+
+    def _grow(self) -> None:
+        grow = max(16, self.capacity)
+        self.parent_row = np.concatenate(
+            [self.parent_row, np.full(grow, -1, dtype=np.int64)]
+        )
+        self.kind = np.concatenate([self.kind, np.zeros(grow, dtype=np.int8)])
+        self.edge_length = np.concatenate([self.edge_length, np.zeros(grow)])
+        self.wire_front = np.concatenate([self.wire_front, np.ones(grow, bool)])
+        self.cap = np.concatenate([self.cap, np.zeros(grow)])
+        self.alive = np.concatenate([self.alive, np.ones(grow, bool)])
+        self.x = np.concatenate([self.x, np.zeros(grow)])
+        self.y = np.concatenate([self.y, np.zeros(grow)])
+        self.side_front = np.concatenate([self.side_front, np.ones(grow, bool)])
+
+    def _append_row(
+        self,
+        name: str,
+        kind_code: int,
+        x: float,
+        y: float,
+        side_front: bool,
+        capacitance: float,
+        wire_front: bool,
+    ) -> int:
+        if capacitance < 0:
+            raise ValueError(f"node {name}: negative capacitance")
+        if name in self.name_to_row:
+            raise ValueError(f"design {self.name}: duplicate node name {name!r}")
+        if self.size == self.capacity:
+            self._grow()
+        row = self.size
+        self.size += 1
+        self.names.append(name)
+        self.children_rows.append([])
+        self.parent_row[row] = -1
+        self.kind[row] = kind_code
+        self.edge_length[row] = 0.0
+        self.wire_front[row] = wire_front
+        self.cap[row] = capacitance
+        self.alive[row] = True
+        self.x[row] = x
+        self.y[row] = y
+        self.side_front[row] = side_front
+        self.name_to_row[name] = row
+        return row
+
+    def add_root(self, name: str, x: float, y: float) -> int:
+        """Create the clock-root row (must be the first row)."""
+        if self.size:
+            raise ValueError("design already has a root row")
+        row = self._append_row(name, KIND_ROOT, x, y, True, 0.0, True)
+        self._invalidate()
+        return row
+
+    def add_child(
+        self,
+        parent: int,
+        name: str,
+        kind_code: int,
+        x: float,
+        y: float,
+        side_front: bool = True,
+        capacitance: float = 0.0,
+        wire_front: bool = True,
+    ) -> int:
+        """Append a new leaf row under ``parent`` (mirrors ``add_child``)."""
+        row = self._append_row(
+            name, kind_code, x, y, side_front, capacitance, wire_front
+        )
+        self.parent_row[row] = parent
+        self.edge_length[row] = self._edge(row, parent)
+        self.children_rows[parent].append(row)
+        self._invalidate()
+        return row
+
+    def add_children(
+        self,
+        parent: int,
+        names: list[str],
+        kind_code: int,
+        xs: "list[float] | np.ndarray",
+        ys: "list[float] | np.ndarray",
+        capacitances: "list[float] | np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Append ``len(names)`` sibling rows under ``parent`` in one shot.
+
+        Decision-identical to calling :meth:`add_child` once per name in
+        order — same row numbers, same children order, and bit-equal edge
+        lengths (the vectorized ``|dx| + |dy|`` is the elementwise twin of
+        the scalar :meth:`_edge`).  Exists because per-row appends dominate
+        routing materialisation for sink-heavy designs.
+        """
+        n = len(names)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        caps = (
+            np.zeros(n)
+            if capacitances is None
+            else np.asarray(capacitances, dtype=np.float64)
+        )
+        if caps.min() < 0:
+            bad = names[int(np.argmax(caps < 0))]
+            raise ValueError(f"node {bad}: negative capacitance")
+        fresh: set[str] = set()
+        for name in names:
+            if name in self.name_to_row or name in fresh:
+                raise ValueError(
+                    f"design {self.name}: duplicate node name {name!r}"
+                )
+            fresh.add(name)
+        while self.capacity < self.size + n:
+            self._grow()
+        start = self.size
+        stop = start + n
+        self.size = stop
+        self.parent_row[start:stop] = parent
+        self.kind[start:stop] = kind_code
+        self.edge_length[start:stop] = np.abs(xs - self.x[parent]) + np.abs(
+            ys - self.y[parent]
+        )
+        self.wire_front[start:stop] = True
+        self.cap[start:stop] = caps
+        self.alive[start:stop] = True
+        self.x[start:stop] = xs
+        self.y[start:stop] = ys
+        self.side_front[start:stop] = True
+        self.names.extend(names)
+        self.children_rows.extend([] for _ in range(n))
+        self.children_rows[parent].extend(range(start, stop))
+        for offset, name in enumerate(names):
+            self.name_to_row[name] = start + offset
+        self._invalidate()
+        return np.arange(start, stop, dtype=np.int64)
+
+    def insert_on_edge(
+        self,
+        child: int,
+        kind_code: int,
+        x: float,
+        y: float,
+        side_front: bool = True,
+        capacitance: float = 0.0,
+        wire_front: bool | None = None,
+        name: str | None = None,
+    ) -> int:
+        """Insert a new row on the edge between ``child`` and its parent.
+
+        Mirrors :meth:`ClockTree.insert_on_edge` exactly: the fresh name uses
+        the kind's value as prefix, the new row replaces ``child`` at the
+        *end* of the parent's children list (remove + append), and a splice
+        edit is recorded.
+        """
+        parent = int(self.parent_row[child])
+        if parent < 0:
+            raise ValueError(
+                f"cannot insert above the root row {self.names[child]!r}"
+            )
+        if wire_front is None:
+            wire_front = bool(self.wire_front[child])
+        row = self._append_row(
+            name or self.new_name(KIND_OF_CODE[kind_code].value),
+            kind_code,
+            x,
+            y,
+            side_front,
+            capacitance,
+            wire_front,
+        )
+        siblings = self.children_rows[parent]
+        siblings.remove(child)
+        siblings.append(row)
+        self.children_rows[row] = [child]
+        self.parent_row[row] = parent
+        self.parent_row[child] = row
+        self.edge_length[row] = self._edge(row, parent)
+        self.edge_length[child] = self._edge(child, row)
+        self._invalidate()
+        self.mark_splice(row)
+        return row
+
+    def add_buffer(
+        self, child: int, x: float, y: float, input_capacitance: float
+    ) -> int:
+        """Insert a clock buffer on the edge above ``child`` (front side)."""
+        return self.insert_on_edge(
+            child,
+            KIND_BUFFER,
+            x,
+            y,
+            side_front=True,
+            capacitance=input_capacitance,
+            wire_front=True,
+        )
+
+    def add_ntsv(
+        self, child: int, x: float, y: float, capacitance: float, upstream_front: bool
+    ) -> int:
+        """Insert an nTSV on the edge above ``child``."""
+        return self.insert_on_edge(
+            child,
+            KIND_NTSV,
+            x,
+            y,
+            side_front=upstream_front,
+            capacitance=capacitance,
+            wire_front=upstream_front,
+        )
+
+    def move_child(self, row: int, new_parent: int) -> None:
+        """Detach ``row`` from its parent and append it under ``new_parent``.
+
+        Mirrors ``node.detach(); new_parent.add_child(node)`` — the caller is
+        responsible for recording the covering rewire edit, exactly like the
+        object API.
+        """
+        old_parent = int(self.parent_row[row])
+        if old_parent < 0:
+            raise ValueError(f"row {self.names[row]!r} has no parent to detach")
+        self.children_rows[old_parent].remove(row)
+        self.children_rows[new_parent].append(row)
+        self.parent_row[row] = new_parent
+        self.edge_length[row] = self._edge(row, new_parent)
+        self._invalidate()
+
+    def remove_leaf(self, row: int) -> None:
+        """Detach and tombstone a childless row (caller records the rewire)."""
+        if self.children_rows[row]:
+            raise ValueError(f"row {self.names[row]!r} still has children")
+        parent = int(self.parent_row[row])
+        if parent >= 0:
+            self.children_rows[parent].remove(row)
+        self.parent_row[row] = -1
+        self.alive[row] = False
+        self.dead_count += 1
+        name = self.names[row]
+        if name is not None:
+            self.name_to_row.pop(name, None)
+        self.names[row] = None
+        self._invalidate()
+
+    def detach_subtree(self, row: int) -> None:
+        """Detach and tombstone a whole subtree (fault injection / pruning)."""
+        parent = int(self.parent_row[row])
+        if parent >= 0:
+            self.children_rows[parent].remove(row)
+        stack = [row]
+        while stack:
+            current = stack.pop()
+            stack.extend(self.children_rows[current])
+            self.children_rows[current] = []
+            self.parent_row[current] = -1
+            self.alive[current] = False
+            self.dead_count += 1
+            name = self.names[current]
+            if name is not None:
+                self.name_to_row.pop(name, None)
+            self.names[current] = None
+        self._invalidate()
+
+    def rename(self, row: int, name: str) -> None:
+        """Rename a row (duplicate names allowed, like the object tree)."""
+        old = self.names[row]
+        if old is not None and self.name_to_row.get(old) == row:
+            del self.name_to_row[old]
+        self.names[row] = name
+        # First-in-wins for duplicates, mirroring ClockTree.find semantics.
+        self.name_to_row.setdefault(name, row)
+
+    # --------------------------------------------------------- maintenance
+    def compact(self) -> None:
+        """Renumber every alive row into breadth-first order (root first).
+
+        This is the IR analogue of a fresh ``TreeArrays`` compile: after
+        compaction the row order, and therefore the level grouping every
+        vectorized pass reduces over, is exactly what a full recompile of
+        the equivalent object tree would produce — which is what keeps IR
+        and object timing bit-identical across stage boundaries.  The edit
+        log is collapsed (old entries reference old row numbers).
+        """
+        if self._bfs_clean and not self.dead_count:
+            return
+        order: list[int] = []
+        frontier = [0]
+        while frontier:
+            order.extend(frontier)
+            frontier = [c for row in frontier for c in self.children_rows[row]]
+        remap = np.full(self.size, -1, dtype=np.int64)
+        for new, old in enumerate(order):
+            remap[old] = new
+        perm = np.asarray(order, dtype=np.int64)
+        n = len(order)
+        old_parent = self.parent_row[perm]
+        self.parent_row[:n] = np.where(old_parent >= 0, remap[old_parent], -1)
+        self.parent_row[n:] = -1
+        for column in ("kind", "edge_length", "wire_front", "cap", "x", "y",
+                       "side_front"):
+            values = getattr(self, column)
+            values[:n] = values[perm]
+        self.alive[:n] = True
+        self.names = [self.names[old] for old in order]
+        self.children_rows = [
+            [int(remap[c]) for c in self.children_rows[old]] for old in order
+        ]
+        self.name_to_row = {}
+        for row, name in enumerate(self.names):
+            if name is not None:
+                self.name_to_row.setdefault(name, row)
+        self.size = n
+        self.dead_count = 0
+        self._edits = (
+            [(self._version, "touch", None)] if self._version else []
+        )
+        self._invalidate()
+        self._bfs_clean = True
+
+    def snapshot(self) -> dict:
+        """A cheap full copy of the design state (guard degrade recovery)."""
+        n = self.size
+        return {
+            "size": n,
+            "dead_count": self.dead_count,
+            "counter": self._counter,
+            "version": self._version,
+            "edits": list(self._edits),
+            "names": list(self.names),
+            "children_rows": [list(rows) for rows in self.children_rows],
+            "columns": {
+                column: getattr(self, column)[:n].copy()
+                for column in (
+                    "parent_row",
+                    "kind",
+                    "edge_length",
+                    "wire_front",
+                    "cap",
+                    "alive",
+                    "x",
+                    "y",
+                    "side_front",
+                )
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore the state captured by :meth:`snapshot` in place."""
+        n = snapshot["size"]
+        self.size = n
+        self.dead_count = snapshot["dead_count"]
+        self._counter = snapshot["counter"]
+        self._version = snapshot["version"]
+        self._edits = list(snapshot["edits"])
+        self.names = list(snapshot["names"])
+        self.children_rows = [list(rows) for rows in snapshot["children_rows"]]
+        for column, values in snapshot["columns"].items():
+            getattr(self, column)[:n] = values
+        self.parent_row[n:] = -1
+        self.alive[n:] = True
+        self.name_to_row = {}
+        for row, name in enumerate(self.names):
+            if name is not None:
+                self.name_to_row.setdefault(name, row)
+        self._invalidate()
+
+    # ---------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Vectorized structural + double-side connectivity invariants.
+
+        The IR twin of :meth:`ClockTree.validate`: raises
+        :class:`ConnectivityError` on cycles/orphans, duplicate names,
+        back-side sinks or buffers, and the paper's shared-vertex side
+        constraint.
+        """
+        rows = self.alive_rows()
+        if not rows.size or self.kind[0] != KIND_ROOT or not self.alive[0]:
+            raise ConnectivityError("design has no alive root row")
+        reached = sum(level.size for level in self.levels())
+        if reached != rows.size:
+            raise ConnectivityError(
+                f"{rows.size - reached} alive rows unreachable from the root"
+            )
+        names = [self.names[row] for row in rows]
+        if len(set(names)) != len(names):
+            seen: set[str] = set()
+            for name in names:
+                if name in seen:
+                    raise ConnectivityError(f"duplicate node name {name!r}")
+                seen.add(name)
+        kinds = self.kind[rows]
+        front = self.side_front[rows]
+        for code, label in ((KIND_SINK, "sink"), (KIND_BUFFER, "buffer")):
+            bad = rows[(kinds == code) & ~front]
+            if bad.size:
+                raise ConnectivityError(
+                    f"{label} {self.names[int(bad[0])]!r} is on the back side"
+                )
+        parents = self.parent_row[rows]
+        has_parent = parents >= 0
+        ntsv = kinds == KIND_NTSV
+        # Upstream wire must match the node side (nTSV and non-nTSV alike).
+        bad = rows[has_parent & (self.wire_front[rows] != front)]
+        if bad.size:
+            row = int(bad[0])
+            raise ConnectivityError(
+                f"node {self.names[row]!r} side/wire mismatch "
+                f"(upstream wire on the opposite side)"
+            )
+        # Downstream wires: node side for non-nTSVs, opposite for nTSVs.
+        child_rows = rows[has_parent]
+        child_parents = parents[has_parent]
+        parent_front = self.side_front[child_parents]
+        parent_ntsv = self.kind[child_parents] == KIND_NTSV
+        expected_front = np.where(parent_ntsv, ~parent_front, parent_front)
+        bad = child_rows[self.wire_front[child_rows] != expected_front]
+        if bad.size:
+            row = int(bad[0])
+            parent = int(self.parent_row[row])
+            raise ConnectivityError(
+                f"node {self.names[parent]!r} touches a downstream wire on "
+                f"the wrong side (child {self.names[row]!r})"
+            )
+        del ntsv
+
+    # ----------------------------------------------------------- boundary
+    def to_clock_tree(self) -> ClockTree:
+        """Realise the design as an object :class:`ClockTree` (lossless)."""
+        order: list[int] = []
+        frontier = [0]
+        while frontier:
+            order.extend(frontier)
+            frontier = [c for row in frontier for c in self.children_rows[row]]
+        nodes: dict[int, ClockTreeNode] = {}
+        tree: ClockTree | None = None
+        for row in order:
+            node = ClockTreeNode(
+                name=self.names[row],
+                kind=KIND_OF_CODE[int(self.kind[row])],
+                location=Point(float(self.x[row]), float(self.y[row])),
+                side=Side.FRONT if self.side_front[row] else Side.BACK,
+                capacitance=float(self.cap[row]),
+                wire_side=Side.FRONT if self.wire_front[row] else Side.BACK,
+            )
+            nodes[row] = node
+            parent = int(self.parent_row[row])
+            if parent < 0:
+                tree = ClockTree(node, name=self.name)
+            else:
+                nodes[parent].add_child(node)
+        assert tree is not None
+        tree._counter = self._counter
+        return tree
+
+    @classmethod
+    def from_clock_tree(cls, tree: ClockTree) -> "DesignArrays":
+        """Compile an object tree into a fresh design (BFS row order)."""
+        order: list[ClockTreeNode] = []
+        frontier = [tree.root]
+        while frontier:
+            order.extend(frontier)
+            frontier = [c for node in frontier for c in node.children]
+        design = cls(name=tree.name, capacity=len(order))
+        row_of = {id(node): row for row, node in enumerate(order)}
+        for row, node in enumerate(order):
+            design.names.append(node.name)
+            design.children_rows.append([row_of[id(c)] for c in node.children])
+            design.name_to_row.setdefault(node.name, row)
+            parent = node.parent
+            design.parent_row[row] = -1 if parent is None else row_of[id(parent)]
+            design.kind[row] = KIND_CODE[node.kind]
+            design.edge_length[row] = node.edge_length()
+            design.wire_front[row] = node.wire_side is Side.FRONT
+            design.cap[row] = node.capacitance
+            design.x[row] = node.location.x
+            design.y[row] = node.location.y
+            design.side_front[row] = node.side is Side.FRONT
+        design.size = len(order)
+        design._counter = tree._counter
+        return design
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nodes, sinks, buffers, ntsvs = self.counts()
+        return (
+            f"DesignArrays(name={self.name!r}, nodes={nodes}, sinks={sinks}, "
+            f"buffers={buffers}, ntsvs={ntsvs})"
+        )
+
+
+#: Re-exported kind codes for IR-side call sites.
+__all__ = [
+    "DesignArrays",
+    "KIND_OF_CODE",
+    "KIND_ROOT",
+    "KIND_SINK",
+    "KIND_BUFFER",
+    "KIND_NTSV",
+    "KIND_TAP",
+]

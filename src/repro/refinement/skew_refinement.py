@@ -30,6 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.ir.design import (
+    KIND_BUFFER,
+    KIND_ROOT,
+    KIND_SINK,
+    KIND_TAP,
+    DesignArrays,
+)
 from repro.refinement.adaptive import refined_endpoint_count
 from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
@@ -195,8 +202,16 @@ class SkewRefiner:
         """The resolved corner set the refiner optimises against."""
         return self._engine.corners
 
-    def refine(self, tree: ClockTree) -> SkewRefinementReport:
-        """Refine ``tree`` in place and return the before/after report."""
+    def refine(self, tree: ClockTree | DesignArrays) -> SkewRefinementReport:
+        """Refine ``tree`` in place and return the before/after report.
+
+        Accepts either representation; the design path makes the same ranked
+        endpoint choices and the same accept/reject decisions (endpoints and
+        trial buffers are tracked by *name* because the incremental engine
+        compacts the design, renumbering rows).
+        """
+        if isinstance(tree, DesignArrays):
+            return self._refine_design(tree)
         before = self._measure(tree, with_arrivals=True)
         if not self.force and not before.violates(self.skew_trigger_fraction):
             return self._report(False, 0, 0, before, before)
@@ -267,9 +282,220 @@ class SkewRefiner:
                 self._remove_endpoint_buffer(tree, endpoint, buffer_node)
         return added, current
 
+    # ------------------------------------------------- IR (DesignArrays) path
+    def _refine_design(self, design: DesignArrays) -> SkewRefinementReport:
+        """Row twin of :meth:`refine` over the array IR."""
+        before = self._measure(design, with_arrivals=True)
+        if not self.force and not before.violates(self.skew_trigger_fraction):
+            return self._report(False, 0, 0, before, before)
+
+        endpoint_names = self._end_point_names(design)
+        sink_count = int(design.sink_rows().size)
+        budget = refined_endpoint_count(sink_count, self.max_endpoints)
+        ranked = self._rank_endpoint_names(design, endpoint_names, before.ranking)
+        ranked = ranked[:budget]
+
+        added, after = self._refine_batch_design(design, ranked, before)
+        if added == 0:
+            added, after = self._refine_greedy_design(design, ranked, before)
+        return self._report(True, len(ranked), added, before, after)
+
+    def _refine_batch_design(
+        self,
+        design: DesignArrays,
+        ranked: list[str],
+        before: _TimingSnapshot,
+    ) -> tuple[int, _TimingSnapshot]:
+        """Design twin of :meth:`_refine_batch` (same accept/reject rule)."""
+        inserted: list[tuple[str, str]] = []
+        for endpoint_name in ranked:
+            buffer_name = self._insert_endpoint_buffer_design(
+                design, endpoint_name, before
+            )
+            if buffer_name is not None:
+                inserted.append((endpoint_name, buffer_name))
+        if not inserted:
+            return 0, before
+        after = self._measure(design)
+        if not self._improves(after, before, before):
+            for endpoint_name, buffer_name in inserted:
+                self._remove_endpoint_buffer_design(
+                    design, endpoint_name, buffer_name
+                )
+            return 0, before
+        self._attach_arrivals(after, design)
+        return len(inserted), after
+
+    def _refine_greedy_design(
+        self,
+        design: DesignArrays,
+        ranked: list[str],
+        before: _TimingSnapshot,
+    ) -> tuple[int, _TimingSnapshot]:
+        """Design twin of :meth:`_refine_greedy`."""
+        added = 0
+        current = before
+        for endpoint_name in ranked:
+            if not self.force and not current.violates(self.skew_trigger_fraction):
+                break
+            buffer_name = self._insert_endpoint_buffer_design(
+                design, endpoint_name, current
+            )
+            if buffer_name is None:
+                continue
+            trial = self._measure(design)
+            if self._improves(trial, current, before):
+                self._attach_arrivals(trial, design)
+                current = trial
+                added += 1
+            else:
+                self._remove_endpoint_buffer_design(
+                    design, endpoint_name, buffer_name
+                )
+        return added, current
+
+    @staticmethod
+    def _end_point_names(design: DesignArrays) -> list[str]:
+        """Design twin of :meth:`_end_points` (same pre-order discovery)."""
+        taps = [
+            design.names[row]
+            for row in design.rows_preorder()
+            if design.kind[row] == KIND_TAP
+        ]
+        if taps:
+            return taps
+        parent_rows: dict[int, None] = {}
+        for row in design.rows_preorder():
+            if design.kind[row] != KIND_SINK:
+                continue
+            parent = int(design.parent_row[row])
+            if parent >= 0:
+                parent_rows.setdefault(parent, None)
+        return [
+            design.names[parent]
+            for parent in parent_rows
+            if design.kind[parent] != KIND_ROOT
+        ]
+
+    def _rank_endpoint_names(
+        self,
+        design: DesignArrays,
+        endpoint_names: list[str],
+        timing: TimingResult,
+    ) -> list[str]:
+        """Design twin of :meth:`_rank_endpoints` (same scores, stable sort)."""
+        scored: list[tuple[float, str]] = []
+        for name in endpoint_names:
+            arrivals = self._sink_arrivals_design(
+                design, design.name_to_row[name], timing
+            )
+            if not arrivals:
+                continue
+            key = min(arrivals) if self.strategy == "pad_fast" else max(arrivals)
+            scored.append((key, name))
+        reverse = self.strategy == "shield_slow"
+        scored.sort(key=lambda item: item[0], reverse=reverse)
+        return [name for _score, name in scored]
+
+    @staticmethod
+    def _sink_arrivals_design(
+        design: DesignArrays, row: int, timing: TimingResult
+    ) -> list[float]:
+        arrivals: list[float] = []
+        stack = [row]
+        while stack:
+            current = stack.pop()
+            stack.extend(design.children_rows[current])
+            if design.kind[current] == KIND_SINK:
+                name = design.names[current]
+                if name in timing.arrivals:
+                    arrivals.append(timing.arrivals[name])
+        return arrivals
+
+    def _padded_sink_rows(
+        self,
+        design: DesignArrays,
+        endpoint_row: int,
+        snapshot: _TimingSnapshot,
+    ) -> list[int]:
+        """Design twin of :meth:`_padded_sinks` (same loads, same cut)."""
+        sink_children = [
+            child
+            for child in design.children_rows[endpoint_row]
+            if design.kind[child] == KIND_SINK
+        ]
+        if not sink_children:
+            return []
+        if self.strategy == "shield_slow":
+            return sink_children
+        timing = snapshot.ranking
+        if timing is None:  # pragma: no cover - internal misuse guard
+            raise RuntimeError("padded-sink selection needs an arrivals snapshot")
+        est_pdk = self._estimation_pdk(snapshot)
+        latency = timing.latency
+        layer = est_pdk.front_layer
+        endpoint_location = design.location_of(endpoint_row)
+        selected = sink_children
+        for _ in range(2):
+            load = sum(
+                layer.wire_capacitance(
+                    endpoint_location.manhattan(design.location_of(child))
+                )
+                + float(design.cap[child])
+                for child in selected
+            )
+            added_delay = est_pdk.buffer.delay(load)
+            selected = [
+                child
+                for child in sink_children
+                if timing.arrivals.get(design.names[child], latency) + added_delay
+                <= latency + 1e-9
+            ]
+            if not selected:
+                return []
+        return selected
+
+    def _insert_endpoint_buffer_design(
+        self, design: DesignArrays, endpoint_name: str, snapshot: _TimingSnapshot
+    ) -> str | None:
+        """Design twin of :meth:`_insert_endpoint_buffer`; returns the name."""
+        endpoint_row = design.name_to_row[endpoint_name]
+        padded = self._padded_sink_rows(design, endpoint_row, snapshot)
+        if not padded:
+            return None
+        buffer_name = design.new_name("sr_buf")
+        location = design.location_of(endpoint_row)
+        buffer_row = design.add_child(
+            endpoint_row,
+            buffer_name,
+            KIND_BUFFER,
+            location.x,
+            location.y,
+            side_front=True,
+            capacitance=self.pdk.buffer.input_capacitance,
+            wire_front=True,
+        )
+        for sink in padded:
+            design.move_child(sink, buffer_row)
+        design.mark_rewire(endpoint_row)
+        return buffer_name
+
+    @staticmethod
+    def _remove_endpoint_buffer_design(
+        design: DesignArrays, endpoint_name: str, buffer_name: str
+    ) -> None:
+        """Design twin of :meth:`_remove_endpoint_buffer` (name lookups are
+        fresh: the measuring engine may have compacted the design)."""
+        buffer_row = design.name_to_row[buffer_name]
+        endpoint_row = design.name_to_row[endpoint_name]
+        for sink in list(design.children_rows[buffer_row]):
+            design.move_child(sink, endpoint_row)
+        design.remove_leaf(buffer_row)
+        design.mark_rewire(endpoint_row)
+
     # --------------------------------------------------------------- internals
     def _measure(
-        self, tree: ClockTree, with_arrivals: bool = False
+        self, tree: ClockTree | DesignArrays, with_arrivals: bool = False
     ) -> _TimingSnapshot:
         """One engine pass over the tree (corner-batched when corner-aware).
 

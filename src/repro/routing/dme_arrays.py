@@ -178,6 +178,63 @@ def _group_by(values: np.ndarray) -> list[np.ndarray]:
     return [order[bounds[k] : bounds[k + 1]] for k in range(len(bounds) - 1)]
 
 
+@dataclass
+class DmeEmbedding:
+    """A routed DME solution kept in array form (the IR-native result).
+
+    Holds the flattened topology plus the bottom-up merge state and the
+    top-down embedding coordinates — everything :meth:`VectorizedDmeRouter.route`
+    computes *before* realising :class:`~repro.routing.dme.EmbeddedNode`
+    objects.  IR-flow callers materialise design rows straight from these
+    arrays; :meth:`realise` recovers the exact object tree at boundaries.
+
+    ``arrays`` is ``None`` for single-terminal nets (no merge happened); the
+    root accessors then fall through to the lone terminal.
+    """
+
+    terminals: list[DmeTerminal]
+    arrays: _TopologyArrays | None
+    state: dict[str, np.ndarray] | None
+    x: np.ndarray | None
+    y: np.ndarray | None
+
+    @property
+    def is_single(self) -> bool:
+        return self.arrays is None
+
+    @property
+    def root_location(self) -> Point:
+        if self.arrays is None:
+            return self.terminals[0].location
+        return Point(float(self.x[0]), float(self.y[0]))
+
+    @property
+    def root_capacitance(self) -> float:
+        if self.arrays is None:
+            return self.terminals[0].capacitance
+        return float(self.state["cap"][0])
+
+    @property
+    def root_delay(self) -> float:
+        if self.arrays is None:
+            return self.terminals[0].delay
+        return float(self.state["delay"][0])
+
+    def realise(self) -> EmbeddedNode:
+        """Build the object embedding (identical to :meth:`route`'s return)."""
+        if self.arrays is None:
+            term = self.terminals[0]
+            return EmbeddedNode(
+                location=term.location,
+                terminal=term,
+                subtree_capacitance=term.capacitance,
+                subtree_delay=term.delay,
+            )
+        return VectorizedDmeRouter._realise(
+            self.arrays, self.terminals, self.state, self.x, self.y
+        )
+
+
 class VectorizedDmeRouter:
     """Elmore-balanced DME over a single metal layer, one level per batch.
 
@@ -214,22 +271,35 @@ class VectorizedDmeRouter:
         Same contract as :meth:`DmeRouter.route`; the returned tree is
         node-for-node identical to the scalar router's.
         """
+        return self.embed(terminals, root_location, topology).realise()
+
+    def embed(
+        self,
+        terminals: list[DmeTerminal],
+        root_location: Point | None = None,
+        topology: TopologyNode | None = None,
+    ) -> DmeEmbedding:
+        """Route the terminals and return the solution in array form.
+
+        The IR-native entry point: identical decisions to :meth:`route`
+        (same topology, merge state, and embedding coordinates) without
+        realising :class:`EmbeddedNode` objects.  ``embed(...).realise()``
+        equals ``route(...)`` node for node.
+        """
         if not terminals:
             raise ValueError("DME needs at least one terminal")
         if len(terminals) == 1:
-            term = terminals[0]
-            return EmbeddedNode(
-                location=term.location,
-                terminal=term,
-                subtree_capacitance=term.capacitance,
-                subtree_delay=term.delay,
+            return DmeEmbedding(
+                terminals=list(terminals), arrays=None, state=None, x=None, y=None
             )
         if topology is None:
             topology = matching_topology([t.location for t in terminals])
         arrays = _flatten(topology)
         state = self._bottom_up(arrays, terminals)
         x, y = self._top_down(arrays, state, root_location)
-        return self._realise(arrays, terminals, state, x, y)
+        return DmeEmbedding(
+            terminals=list(terminals), arrays=arrays, state=state, x=x, y=y
+        )
 
     # ----------------------------------------------------------- bottom-up
     def _bottom_up(

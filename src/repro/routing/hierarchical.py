@@ -17,13 +17,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.clocktree import ClockTree, ClockTreeNode, NodeKind
+from repro.clocktree.arrays import KIND_SINK, KIND_STEINER, KIND_TAP
 from repro.clustering import Cluster, DualLevelClustering, dual_level_clustering
+from repro.geometry import Point
+from repro.ir.design import DesignArrays
 from repro.netlist.clock import ClockNet
 from repro.routing.dme import DmeTerminal, EmbeddedNode
-from repro.routing.dme_arrays import create_dme_router, resolve_dme_backend
+from repro.routing.dme_arrays import (
+    DmeEmbedding,
+    VectorizedDmeRouter,
+    create_dme_router,
+    resolve_dme_backend,
+)
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
+
+if TYPE_CHECKING:  # deferred at runtime: repro.flow.config imports the flow pkg
+    from repro.flow.config import CtsConfig
 
 
 @dataclass
@@ -41,30 +54,139 @@ class HierarchicalRoutingResult:
         return self.trunk_wirelength + self.leaf_wirelength
 
 
+@dataclass
+class DesignRoutingResult:
+    """Array-IR twin of :class:`HierarchicalRoutingResult`.
+
+    Taps are recorded by *name* (rows are renumbered whenever the design is
+    compacted, names are stable for the lifetime of the node).
+    """
+
+    design: DesignArrays
+    clustering: DualLevelClustering | None
+    trunk_wirelength: float
+    leaf_wirelength: float
+    tap_names: list[str] = field(default_factory=list)
+
+    @property
+    def total_wirelength(self) -> float:
+        return self.trunk_wirelength + self.leaf_wirelength
+
+
+class _DmeCursor:
+    """:class:`EmbeddedNode`-shaped read view over a :class:`DmeEmbedding`.
+
+    Lets the design materialisers walk the array-form DME solution with the
+    exact traversal the object materialisers use, without realising
+    EmbeddedNode objects.
+    """
+
+    __slots__ = ("_emb", "_index")
+
+    def __init__(self, emb: DmeEmbedding, index: int = 0) -> None:
+        self._emb = emb
+        self._index = index
+
+    @property
+    def is_leaf(self) -> bool:
+        if self._emb.arrays is None:
+            return True
+        return int(self._emb.arrays.term[self._index]) >= 0
+
+    @property
+    def terminal(self) -> DmeTerminal:
+        if self._emb.arrays is None:
+            return self._emb.terminals[0]
+        return self._emb.terminals[int(self._emb.arrays.term[self._index])]
+
+    @property
+    def location(self) -> Point:
+        if self.is_leaf:
+            return self.terminal.location
+        return Point(float(self._emb.x[self._index]), float(self._emb.y[self._index]))
+
+    @property
+    def children(self) -> list["_DmeCursor"]:
+        arrays = self._emb.arrays
+        return [
+            _DmeCursor(self._emb, int(arrays.left[self._index])),
+            _DmeCursor(self._emb, int(arrays.right[self._index])),
+        ]
+
+
+def _root_cursor(embedding: "DmeEmbedding | EmbeddedNode"):
+    """Uniform walkable root for array-form and object-form embeddings."""
+    if isinstance(embedding, DmeEmbedding):
+        return _DmeCursor(embedding)
+    return embedding
+
+
 class HierarchicalClockRouter:
     """Builds the initial clock tree topology of the paper's flow."""
+
+    _LOOSE_KWARGS_KEY = "HierarchicalClockRouter.loose-kwargs"
 
     def __init__(
         self,
         pdk: Pdk,
-        high_cluster_size: int = 3000,
-        low_cluster_size: int = 30,
-        seed: int = 2025,
-        hierarchical: bool = True,
+        high_cluster_size: int | None = None,
+        low_cluster_size: int | None = None,
+        seed: int | None = None,
+        hierarchical: bool | None = None,
         dme_backend: str | None = None,
+        config: "CtsConfig | None" = None,
     ) -> None:
-        """``dme_backend`` selects the DME engine (``"vectorized"`` — the
-        level-batched array router, the default — or ``"reference"`` — the
-        per-node scalar spec); ``None`` resolves ``REPRO_DME_BACKEND`` /
-        the library default.  Both backends embed identical trees."""
-        if high_cluster_size < low_cluster_size:
-            raise ValueError("high-level cluster size must be >= low-level size")
+        """Preferred construction is ``HierarchicalClockRouter(pdk, config=cfg)``
+        — clustering shape, seed, hierarchy mode, and the DME backend all come
+        from the :class:`~repro.flow.config.CtsConfig` (backends through
+        ``config.resolved_backends()``).  The loose keyword arguments are
+        deprecated; they still win over ``config`` but warn once per process.
+        """
+        loose = {
+            key: value
+            for key, value in (
+                ("high_cluster_size", high_cluster_size),
+                ("low_cluster_size", low_cluster_size),
+                ("seed", seed),
+                ("hierarchical", hierarchical),
+                ("dme_backend", dme_backend),
+            )
+            if value is not None
+        }
+        # Deferred import: repro.flow imports this module at package init.
+        from repro.flow.config import CtsConfig, warn_deprecated_once
+
+        if loose:
+            warn_deprecated_once(
+                self._LOOSE_KWARGS_KEY,
+                "HierarchicalClockRouter(high_cluster_size=..., "
+                "low_cluster_size=..., seed=..., hierarchical=..., "
+                "dme_backend=...) is deprecated; pass config=CtsConfig(...) "
+                "(backends via CtsConfig.backends) instead",
+            )
+        if config is None:
+            config = CtsConfig()
         self.pdk = pdk
-        self.high_cluster_size = high_cluster_size
-        self.low_cluster_size = low_cluster_size
-        self.seed = seed
-        self.hierarchical = hierarchical
-        self.dme_backend = resolve_dme_backend(dme_backend)
+        self.high_cluster_size = (
+            high_cluster_size
+            if high_cluster_size is not None
+            else config.high_cluster_size
+        )
+        self.low_cluster_size = (
+            low_cluster_size
+            if low_cluster_size is not None
+            else config.low_cluster_size
+        )
+        self.seed = seed if seed is not None else config.seed
+        self.hierarchical = (
+            hierarchical if hierarchical is not None else config.hierarchical_routing
+        )
+        if dme_backend is not None:
+            self.dme_backend = resolve_dme_backend(dme_backend)
+        else:
+            self.dme_backend = config.resolved_backends().dme
+        if self.high_cluster_size < self.low_cluster_size:
+            raise ValueError("high-level cluster size must be >= low-level size")
 
     # ---------------------------------------------------------------- public
     def route(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
@@ -74,6 +196,22 @@ class HierarchicalClockRouter:
         if self.hierarchical:
             return self._route_hierarchical(clock_net)
         return self._route_flat(clock_net)
+
+    def route_design(self, clock_net: ClockNet) -> DesignRoutingResult:
+        """Route ``clock_net`` straight into a :class:`DesignArrays` (IR entry).
+
+        Decision-identical to :meth:`route`: same clustering, same DME
+        embeddings, and the same node names assigned in the same creation
+        order, so ``result.design.to_clock_tree()`` fingerprints equal to the
+        object route's tree.  The vectorized DME backend feeds the design rows
+        directly from its array-form solution; the reference backend walks the
+        scalar router's embedded tree (its sanctioned object boundary).
+        """
+        if clock_net.sink_count == 0:
+            raise ValueError("clock net has no sinks")
+        if self.hierarchical:
+            return self._route_hierarchical_design(clock_net)
+        return self._route_flat_design(clock_net)
 
     # --------------------------------------------------------- hierarchical
     def _route_hierarchical(self, clock_net: ClockNet) -> HierarchicalRoutingResult:
@@ -294,6 +432,206 @@ class HierarchicalClockRouter:
         for child in embedded.children:
             self._materialise_flat(tree, steiner, child, clock_net)
         return steiner
+
+    # ------------------------------------------------- IR (DesignArrays) path
+    def _embed(self, router, terminals, root_location) -> "DmeEmbedding | EmbeddedNode":
+        """Run DME keeping the vectorized solution in array form."""
+        if isinstance(router, VectorizedDmeRouter):
+            return router.embed(terminals, root_location=root_location)
+        return router.route(terminals, root_location=root_location)
+
+    def _route_hierarchical_design(self, clock_net: ClockNet) -> DesignRoutingResult:
+        layer = self.pdk.front_layer
+        clustering = dual_level_clustering(
+            clock_net.sinks,
+            high_size=self.high_cluster_size,
+            low_size=self.low_cluster_size,
+            seed=self.seed,
+            max_leaf_capacitance=0.9 * self.pdk.max_capacitance,
+            unit_wire_capacitance=layer.unit_capacitance,
+        )
+        router = create_dme_router(layer, backend=self.dme_backend)
+
+        design = DesignArrays(name=clock_net.name)
+        source = clock_net.source.location
+        root_row = design.add_root("clkroot", source.x, source.y)
+        tap_names: list[str] = []
+
+        sub_roots: list[tuple[DmeEmbedding | EmbeddedNode, list[Cluster]]] = []
+        for high in clustering.high_clusters:
+            lows = clustering.low_clusters_of(high.index)
+            terminals = [self._tap_terminal(low, layer) for low in lows]
+            embedding = self._embed(router, terminals, high.centroid)
+            sub_roots.append((embedding, lows))
+
+        if len(sub_roots) == 1:
+            embedding, lows = sub_roots[0]
+            self._materialise_sub_design(design, root_row, embedding, lows, tap_names)
+        else:
+            top_terminals = [
+                DmeTerminal(
+                    name=f"high_{i}",
+                    location=_root_cursor(embedding).location,
+                    capacitance=(
+                        embedding.root_capacitance
+                        if isinstance(embedding, DmeEmbedding)
+                        else embedding.subtree_capacitance
+                    ),
+                    delay=(
+                        embedding.root_delay
+                        if isinstance(embedding, DmeEmbedding)
+                        else embedding.subtree_delay
+                    ),
+                )
+                for i, (embedding, _lows) in enumerate(sub_roots)
+            ]
+            top_embedding = self._embed(router, top_terminals, source)
+            self._materialise_top_design(
+                design, root_row, _root_cursor(top_embedding), sub_roots, tap_names
+            )
+
+        leaf_wl = self._leaf_wirelength_design(design, tap_names)
+        trunk_wl = design.wirelength() - leaf_wl
+        return DesignRoutingResult(
+            design=design,
+            clustering=clustering,
+            trunk_wirelength=trunk_wl,
+            leaf_wirelength=leaf_wl,
+            tap_names=tap_names,
+        )
+
+    def _route_flat_design(self, clock_net: ClockNet) -> DesignRoutingResult:
+        layer = self.pdk.front_layer
+        router = create_dme_router(layer, backend=self.dme_backend)
+        terminals = [
+            DmeTerminal(name=s.name, location=s.location, capacitance=s.capacitance)
+            for s in clock_net.sinks
+        ]
+        embedding = self._embed(router, terminals, clock_net.source.location)
+        design = DesignArrays(name=clock_net.name)
+        source = clock_net.source.location
+        root_row = design.add_root("clkroot", source.x, source.y)
+        self._materialise_flat_design(
+            design, root_row, _root_cursor(embedding), clock_net
+        )
+        return DesignRoutingResult(
+            design=design,
+            clustering=None,
+            trunk_wirelength=design.wirelength(),
+            leaf_wirelength=0.0,
+            tap_names=[],
+        )
+
+    def _materialise_sub_design(
+        self,
+        design: DesignArrays,
+        parent_row: int,
+        embedding: "DmeEmbedding | EmbeddedNode",
+        lows: list[Cluster],
+        tap_names: list[str],
+    ) -> int:
+        low_by_name = {f"tap_{low.index}": low for low in lows}
+        return self._materialise_design_node(
+            design, parent_row, _root_cursor(embedding), low_by_name, tap_names
+        )
+
+    def _materialise_design_node(
+        self,
+        design: DesignArrays,
+        parent_row: int,
+        node,
+        low_by_name: dict[str, Cluster],
+        tap_names: list[str],
+    ) -> int:
+        """Row twin of :meth:`_materialise_node` (same names, same order)."""
+        if node.is_leaf:
+            low = low_by_name[node.terminal.name]
+            tap_row = design.add_child(
+                parent_row, node.terminal.name, KIND_TAP, low.centroid.x, low.centroid.y
+            )
+            tap_names.append(node.terminal.name)
+            design.add_children(
+                tap_row,
+                [sink.name for sink in low.sinks],
+                KIND_SINK,
+                [sink.location.x for sink in low.sinks],
+                [sink.location.y for sink in low.sinks],
+                [sink.capacitance for sink in low.sinks],
+            )
+            return tap_row
+        location = node.location
+        steiner = design.add_child(
+            parent_row, design.new_name("st"), KIND_STEINER, location.x, location.y
+        )
+        for child in node.children:
+            self._materialise_design_node(
+                design, steiner, child, low_by_name, tap_names
+            )
+        return steiner
+
+    def _materialise_top_design(
+        self,
+        design: DesignArrays,
+        root_row: int,
+        top_node,
+        sub_roots: "list[tuple[DmeEmbedding | EmbeddedNode, list[Cluster]]]",
+        tap_names: list[str],
+    ) -> int:
+        """Row twin of :meth:`_materialise_top`."""
+
+        def expand(parent_row: int, node) -> int:
+            if node.is_leaf:
+                index = int(node.terminal.name.split("_")[1])
+                embedding, lows = sub_roots[index]
+                return self._materialise_sub_design(
+                    design, parent_row, embedding, lows, tap_names
+                )
+            location = node.location
+            steiner = design.add_child(
+                parent_row, design.new_name("st"), KIND_STEINER, location.x, location.y
+            )
+            for child in node.children:
+                expand(steiner, child)
+            return steiner
+
+        return expand(root_row, top_node)
+
+    def _materialise_flat_design(
+        self,
+        design: DesignArrays,
+        parent_row: int,
+        node,
+        clock_net: ClockNet,
+    ) -> int:
+        """Row twin of :meth:`_materialise_flat`."""
+        if node.is_leaf:
+            sink = clock_net.sink_by_name(node.terminal.name)
+            return design.add_child(
+                parent_row,
+                sink.name,
+                KIND_SINK,
+                sink.location.x,
+                sink.location.y,
+                capacitance=sink.capacitance,
+            )
+        location = node.location
+        steiner = design.add_child(
+            parent_row, design.new_name("st"), KIND_STEINER, location.x, location.y
+        )
+        for child in node.children:
+            self._materialise_flat_design(design, steiner, child, clock_net)
+        return steiner
+
+    @staticmethod
+    def _leaf_wirelength_design(design: DesignArrays, tap_names: list[str]) -> float:
+        """Star leaf-net wirelength below the named taps (um)."""
+        total = 0.0
+        for name in tap_names:
+            tap = design.name_to_row[name]
+            for child in design.children_rows[tap]:
+                if design.kind[child] == KIND_SINK:
+                    total += float(design.edge_length[child])
+        return total
 
     # ------------------------------------------------------------------ misc
     @staticmethod

@@ -47,6 +47,7 @@ from repro.clocktree.arrays import (
     KIND_SINK,
     TreeArrays,
 )
+from repro.ir.design import DesignArrays
 from repro.tech.corners import CornerSet, Scenario
 from repro.tech.layers import Side
 from repro.tech.pdk import Pdk
@@ -228,9 +229,22 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         """Drop the cached state (next query recompiles from scratch)."""
         self._state = None
 
-    def _sync(self, tree: ClockTree, need_slews: bool) -> _EngineState:
+    def _sync(
+        self, tree: ClockTree | DesignArrays, need_slews: bool
+    ) -> _EngineState:
         state = self._state
-        if state is None or state.arrays.tree is not tree:
+        if isinstance(tree, DesignArrays):
+            # IR-native path: the design *is* the snapshot — no per-stage
+            # TreeArrays compile, the passes read its columns directly.
+            if state is None or state.arrays is not tree:
+                state = self._compile_design(tree)
+            else:
+                edits = tree.edits_since(state.version)
+                if edits is None:
+                    state = self._compile_design(tree)
+                elif edits and not self._apply_design_edits(state, edits):
+                    state = self._compile_design(tree)
+        elif state is None or getattr(state.arrays, "tree", None) is not tree:
             state = self._compile(tree)
         else:
             edits = tree.edits_since(state.version)
@@ -252,6 +266,27 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         self._full_arrivals(state)
         state.slews_valid = False
         state.version = tree.version
+        self._state = state
+        self.full_compiles += 1
+        return state
+
+    def _compile_design(self, design: DesignArrays) -> _EngineState:
+        """From-scratch passes over a :class:`DesignArrays` (no snapshot).
+
+        ``design.compact()`` renumbers the rows into the exact breadth-first
+        order a fresh :class:`TreeArrays` compile of the equivalent object
+        tree would produce, so every level-batched reduction below sums in
+        the same order — the IR path stays bit-identical to the object path.
+        """
+        design.compact()
+        state = _EngineState(design, len(self.corners))
+        self._refresh_wire(state, design.alive_rows())
+        self._full_caps(state)
+        self._refresh_stage(state, design.alive_rows())
+        self._refresh_wire_delay(state, design.alive_rows())
+        self._full_arrivals(state)
+        state.slews_valid = False
+        state.version = design.version
         self._state = state
         self.full_compiles += 1
         return state
@@ -505,6 +540,105 @@ class VectorizedElmoreEngine(ElmoreWireModel):
                 return int(row)
             walk = walk.parent
 
+    def _apply_design_edits(self, state: _EngineState, edits: list) -> bool:
+        """Replay :class:`DesignArrays` row edits onto the cached state.
+
+        The numeric patch sequence mirrors :meth:`_apply_edits` operation for
+        operation (same wire refreshes, same per-level scatters, same upward
+        capacitance walk), so an incremental IR replay lands on bit-identical
+        arrays to the object-path replay of the same logical edit.  Unlike
+        the object path the design's structure is already up to date (edits
+        are applied eagerly at op time); the log only tells the engine
+        *where* to patch.  Returns False to request a recompile.
+        """
+        if len(edits) > _MAX_INCREMENTAL_EDITS:
+            return False
+        design = state.arrays
+        if design.dead_count * 2 > design.size:
+            return False  # mostly tombstones: recompile to compact the rows
+        changed: set[int] = set()
+        tops: list[int] = []
+        for _version, edit_kind, row in edits:
+            if row is None or edit_kind == "touch":
+                return False
+            row = int(row)
+            if not _row_attached(design, row):
+                return False
+            if edit_kind == "splice":
+                children = design.children_rows[row]
+                if len(children) != 1 or design.parent_row[row] < 0:
+                    return False  # a later edit reshaped the splice: recompile
+                state.ensure_capacity()
+                child_row = int(children[0])
+                self._refresh_wire(
+                    state, np.asarray([row, child_row], dtype=np.int64)
+                )
+                state.load[:, row] = (
+                    state.wire_cap[:, child_row] + state.down_cap[:, child_row]
+                )
+                if design.kind[row] == KIND_BUFFER:
+                    state.down_cap[:, row] = design.cap[row]
+                else:
+                    state.down_cap[:, row] = (
+                        design.cap[row] + state.load[:, row]
+                    )
+                changed.update((row, child_row))
+            elif edit_kind == "rewire":
+                sub_levels = _design_sub_levels(design, row)
+                state.ensure_capacity()
+                flat = np.concatenate(sub_levels)
+                self._refresh_wire(state, flat)
+                state.load[:, flat] = 0.0
+                for rows in reversed(sub_levels):
+                    down = design.cap[rows][None, :] + state.load[:, rows]
+                    shielded = design.kind[rows] == KIND_BUFFER
+                    if shielded.any():
+                        down[:, shielded] = design.cap[rows][shielded][None, :]
+                    state.down_cap[:, rows] = down
+                    if rows is sub_levels[0]:
+                        continue  # the subtree root's parent lies outside
+                    contribution = state.wire_cap[:, rows] + down
+                    parents = design.parent_row[rows]
+                    for k in range(contribution.shape[0]):
+                        np.add.at(state.load[k], parents, contribution[k])
+                changed.update(int(r) for r in flat)
+            else:  # pragma: no cover - defensive against future edit kinds
+                return False
+            tops.append(self._propagate_caps_up_rows(state, row, changed))
+        rows = np.fromiter(changed, dtype=np.int64, count=len(changed))
+        self._refresh_stage(state, rows)
+        self._refresh_wire_delay(state, rows)
+        retimed: list[int] = []
+        for top in self._merge_tops(state, tops):
+            self._retime_cone(state, top, retimed)
+        self._patch_sink_arrivals(state, retimed)
+        state.version = design.version
+        self.incremental_updates += 1
+        return True
+
+    def _propagate_caps_up_rows(
+        self, state: _EngineState, row: int, changed: set[int]
+    ) -> int:
+        """Row-walking twin of :meth:`_propagate_caps_up` (same numerics)."""
+        design = state.arrays
+        walk = int(design.parent_row[row])
+        if walk < 0:
+            return row
+        while True:
+            child_rows = np.asarray(design.children_rows[walk], dtype=np.int64)
+            state.load[:, walk] = np.sum(
+                state.wire_cap[:, child_rows] + state.down_cap[:, child_rows],
+                axis=1,
+            )
+            changed.add(walk)
+            if design.kind[walk] == KIND_BUFFER:
+                return walk  # shielded: upstream sees the pin cap only
+            state.down_cap[:, walk] = design.cap[walk] + state.load[:, walk]
+            parent = int(design.parent_row[walk])
+            if parent < 0:
+                return walk
+            walk = parent
+
     def _merge_tops(self, state: _EngineState, tops: list[int]) -> list[int]:
         """Drop cone tops nested inside another top's subtree."""
         top_set = set(tops)
@@ -605,7 +739,9 @@ class VectorizedElmoreEngine(ElmoreWireModel):
             state.sink_arrival[:, cols] = state.arrival[:, rows]
 
     # ---------------------------------------------------------------- analyze
-    def analyze(self, tree: ClockTree, with_slew: bool = True) -> TimingResult:
+    def analyze(
+        self, tree: ClockTree | DesignArrays, with_slew: bool = True
+    ) -> TimingResult:
         """Run a full (or incremental) analysis; reports the primary corner."""
         state = self._sync(tree, need_slews=with_slew)
         arrays = state.arrays
@@ -615,7 +751,7 @@ class VectorizedElmoreEngine(ElmoreWireModel):
             state.result_arrivals = None
             state.result_slews = None
         if state.result_arrivals is None:
-            names = [arrays.nodes[row].name for row in sink_rows]
+            names = self._sink_names(arrays, sink_rows)
             state.result_arrivals = dict(
                 zip(
                     names,
@@ -635,13 +771,13 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         return TimingResult(arrivals=dict(state.result_arrivals), slews=slews)
 
     def analyze_corners(
-        self, tree: ClockTree, with_slew: bool = True
+        self, tree: ClockTree | DesignArrays, with_slew: bool = True
     ) -> dict[str, TimingResult]:
         """One batched pass, one :class:`TimingResult` per corner name."""
         state = self._sync(tree, need_slews=with_slew)
         arrays = state.arrays
         sink_rows = self._checked_sink_rows(tree, arrays)
-        names = [arrays.nodes[row].name for row in sink_rows]
+        names = self._sink_names(arrays, sink_rows)
         sink_arrival = self._sink_arrival_matrix(state)
         results: dict[str, TimingResult] = {}
         for k, scenario in enumerate(self.corners):
@@ -655,19 +791,31 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         return results
 
     @staticmethod
-    def _checked_sink_rows(tree: ClockTree, arrays: TreeArrays) -> np.ndarray:
+    def _sink_names(
+        arrays: TreeArrays | DesignArrays, sink_rows: np.ndarray
+    ) -> list[str]:
+        """Sink names, from the design's name column or the snapshot nodes."""
+        names = getattr(arrays, "names", None)
+        if names is not None:
+            return [names[int(row)] for row in sink_rows]
+        return [arrays.nodes[row].name for row in sink_rows]
+
+    @staticmethod
+    def _checked_sink_rows(
+        tree: ClockTree | DesignArrays, arrays: TreeArrays | DesignArrays
+    ) -> np.ndarray:
         sink_rows = arrays.sink_rows()
         if sink_rows.size == 0:
             raise ValueError(f"clock tree {tree.name!r} has no sinks to analyse")
         return sink_rows
 
-    def latency(self, tree: ClockTree) -> float:
+    def latency(self, tree: ClockTree | DesignArrays) -> float:
         """Convenience: maximum sink arrival (ps) at the primary corner."""
         state = self._sync(tree, need_slews=False)
         self._checked_sink_rows(tree, state.arrays)
         return float(self._sink_arrival_matrix(state)[self._primary].max())
 
-    def skew(self, tree: ClockTree) -> float:
+    def skew(self, tree: ClockTree | DesignArrays) -> float:
         """Convenience: global skew (ps) at the primary corner."""
         state = self._sync(tree, need_slews=False)
         self._checked_sink_rows(tree, state.arrays)
@@ -675,7 +823,7 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         return float(arrivals.max() - arrivals.min())
 
     # ---------------------------------------------------------- corner batch
-    def skew_per_corner(self, tree: ClockTree) -> dict[str, float]:
+    def skew_per_corner(self, tree: ClockTree | DesignArrays) -> dict[str, float]:
         """Global skew (ps) of every corner, from one batched pass."""
         state = self._sync(tree, need_slews=False)
         self._checked_sink_rows(tree, state.arrays)
@@ -683,18 +831,20 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         skews = arrivals.max(axis=1) - arrivals.min(axis=1)
         return dict(zip(self.corners.names, skews.tolist()))
 
-    def latency_per_corner(self, tree: ClockTree) -> dict[str, float]:
+    def latency_per_corner(
+        self, tree: ClockTree | DesignArrays
+    ) -> dict[str, float]:
         """Maximum sink arrival (ps) of every corner, from one batched pass."""
         state = self._sync(tree, need_slews=False)
         self._checked_sink_rows(tree, state.arrays)
         latencies = self._sink_arrival_matrix(state).max(axis=1)
         return dict(zip(self.corners.names, latencies.tolist()))
 
-    def worst_skew(self, tree: ClockTree) -> float:
+    def worst_skew(self, tree: ClockTree | DesignArrays) -> float:
         """The largest skew (ps) across the corner batch."""
         return max(self.skew_per_corner(tree).values())
 
-    def worst_latency(self, tree: ClockTree) -> float:
+    def worst_latency(self, tree: ClockTree | DesignArrays) -> float:
         """The largest latency (ps) across the corner batch."""
         return max(self.latency_per_corner(tree).values())
 
@@ -717,14 +867,26 @@ class VectorizedElmoreEngine(ElmoreWireModel):
             for node_id, row in state.arrays.row_of.items()
         }
 
-    def max_capacitance_violations(self, tree: ClockTree) -> list[tuple[str, float]]:
+    def max_capacitance_violations(
+        self, tree: ClockTree | DesignArrays
+    ) -> list[tuple[str, float]]:
         """``(driver name, load)`` pairs exceeding the PDK max load."""
-        loads = self.driver_loads(tree)
         limit = self.pdk.max_capacitance
+        if isinstance(tree, DesignArrays):
+            state = self._sync(tree, need_slews=False)
+            loads = state.load[self._primary]
+            violations = []
+            for row in tree.rows_preorder():
+                if tree.kind[row] in (KIND_ROOT, KIND_BUFFER):
+                    load = float(loads[row])
+                    if load > limit + 1e-9:
+                        violations.append((tree.names[row], load))
+            return violations
+        node_loads = self.driver_loads(tree)
         violations = []
         for node in tree.nodes():
             if node.kind in (NodeKind.ROOT, NodeKind.BUFFER):
-                load = loads[id(node)]
+                load = node_loads[id(node)]
                 if load > limit + 1e-9:
                     violations.append((node.name, load))
         return violations
@@ -734,3 +896,27 @@ def _attached(node: ClockTreeNode, root: ClockTreeNode) -> bool:
     while node.parent is not None:
         node = node.parent
     return node is root
+
+
+def _row_attached(design: DesignArrays, row: int) -> bool:
+    """True when ``row`` is alive and reachable from the design root."""
+    if row >= design.size or not design.alive[row]:
+        return False
+    while design.parent_row[row] >= 0:
+        row = int(design.parent_row[row])
+    return row == 0
+
+
+def _design_sub_levels(design: DesignArrays, row: int) -> list[np.ndarray]:
+    """The subtree below ``row`` grouped by relative depth (row first).
+
+    The IR twin of the level grouping :meth:`TreeArrays.apply_rewire`
+    returns: breadth-first over ``children_rows``, so each level lists the
+    rows in the same per-parent children order as the object path.
+    """
+    sub_levels: list[np.ndarray] = []
+    frontier = [row]
+    while frontier:
+        sub_levels.append(np.asarray(frontier, dtype=np.int64))
+        frontier = [c for r in frontier for c in design.children_rows[r]]
+    return sub_levels

@@ -99,13 +99,7 @@ def small_config() -> CtsConfig:
 @pytest.fixture()
 def routed_tree(pdk, random_clock_net, small_config):
     """A freshly routed (unbuffered) clock tree over the random sink cloud."""
-    router = HierarchicalClockRouter(
-        pdk,
-        high_cluster_size=small_config.high_cluster_size,
-        low_cluster_size=small_config.low_cluster_size,
-        seed=small_config.seed,
-    )
-    return router.route(random_clock_net)
+    return HierarchicalClockRouter(pdk, config=small_config).route(random_clock_net)
 
 
 @pytest.fixture(scope="session")

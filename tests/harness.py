@@ -29,7 +29,7 @@ from itertools import product
 from hypothesis import strategies as st
 
 from repro.clocktree import ClockTree
-from repro.flow import CtsConfig, DoubleSideCTS
+from repro.flow import BackendSelection, CtsConfig, DoubleSideCTS
 from repro.flow.cts import CtsRunResult
 from repro.geometry import Point
 from repro.netlist.clock import ClockNet
@@ -46,34 +46,26 @@ BACKEND_AXES: dict[str, tuple[str, ...]] = {
     "timing": ("reference", "vectorized"),
 }
 
-#: Axis name -> the CtsConfig field that selects it.
-_CONFIG_FIELDS = {
-    "dme": "dme_backend",
-    "dp": "dp_backend",
-    "timing": "timing_engine",
-}
-
-
 def backend_matrix(axes: tuple[str, ...] = ("dme", "dp", "timing")) -> list[dict]:
-    """Every backend combination over ``axes`` as CtsConfig kwarg dicts.
+    """Every backend combination over ``axes`` as BackendSelection kwargs.
 
     ``backend_matrix(("dme",))`` yields two single-key dicts; the full
     three-axis product yields eight.  Use with ``pytest.mark.parametrize``
-    plus :func:`backend_id` for readable test ids.
+    plus :func:`backend_id` for readable test ids; :func:`run_flow` feeds
+    the dict straight into :class:`~repro.flow.BackendSelection`.
     """
     unknown = set(axes) - set(BACKEND_AXES)
     if unknown:
         raise ValueError(f"unknown backend axes {sorted(unknown)}")
     return [
-        {_CONFIG_FIELDS[axis]: name for axis, name in zip(axes, combo)}
+        dict(zip(axes, combo))
         for combo in product(*(BACKEND_AXES[axis] for axis in axes))
     ]
 
 
 def backend_id(combo: dict) -> str:
     """A compact test id like ``dme=reference-dp=vectorized``."""
-    short = {field: axis for axis, field in _CONFIG_FIELDS.items()}
-    return "-".join(f"{short[field]}={name}" for field, name in combo.items())
+    return "-".join(f"{axis}={name}" for axis, name in combo.items())
 
 
 # ------------------------------------------------------------------ designs
@@ -163,21 +155,60 @@ def run_flow(
     clock_net: ClockNet,
     combo: dict | None = None,
     corners=None,
+    representation: str | None = None,
     **config_kwargs,
 ) -> CtsRunResult:
     """Run the double-side CTS flow under one backend combination.
 
-    ``combo`` is a kwarg dict from :func:`backend_matrix`; cluster sizes are
-    scaled down so the harness stays fast on unit-test nets.
+    ``combo`` is an axis dict from :func:`backend_matrix`;
+    ``representation`` selects the flow path (``"object"`` / ``"ir"``).
+    Cluster sizes are scaled down so the harness stays fast on unit-test
+    nets.
     """
     config = CtsConfig(
         high_cluster_size=40,
         low_cluster_size=6,
         seed=7,
         corners=corners,
-        **{**(combo or {}), **config_kwargs},
+        backends=BackendSelection(**(combo or {}), representation=representation),
+        **config_kwargs,
     )
     return DoubleSideCTS(pdk, config).run(clock_net)
+
+
+def assert_representations_identical(
+    pdk,
+    clock_net: ClockNet,
+    combo: dict | None = None,
+    corners=None,
+    **config_kwargs,
+) -> tuple[CtsRunResult, CtsRunResult]:
+    """The IR-native flow must be decision-identical to the object-hop flow.
+
+    Runs the same flow under both representations and asserts bit-equal
+    tree fingerprints plus equal decision-derived metrics (latency, skew,
+    resource counts).  Returns ``(object_result, ir_result)`` for further
+    checks.
+    """
+    obj = run_flow(
+        pdk, clock_net, combo, corners=corners,
+        representation="object", **config_kwargs,
+    )
+    ir = run_flow(
+        pdk, clock_net, combo, corners=corners,
+        representation="ir", **config_kwargs,
+    )
+    assert ir.design is not None, "IR run must carry the persistent design"
+    assert obj.design is None, "object run must not carry a design"
+    assert_clock_trees_identical(obj.tree, ir.tree)
+    assert obj.metrics.latency == ir.metrics.latency
+    assert obj.metrics.skew == ir.metrics.skew
+    assert obj.metrics.buffers == ir.metrics.buffers
+    assert obj.metrics.ntsvs == ir.metrics.ntsvs
+    assert obj.metrics.sinks == ir.metrics.sinks
+    assert obj.metrics.corner_skews == ir.metrics.corner_skews
+    assert obj.metrics.corner_latencies == ir.metrics.corner_latencies
+    return obj, ir
 
 
 # ------------------------------------------------------------------ asserts

@@ -21,7 +21,7 @@ from types import SimpleNamespace
 import pytest
 
 from repro.clocktree.node import ClockTreeNode, NodeKind
-from repro.flow import CtsConfig, DoubleSideCTS
+from repro.flow import BackendSelection, CtsConfig, DoubleSideCTS
 from repro.guard import (
     GuardError,
     StageFault,
@@ -478,3 +478,95 @@ class TestDegradeSemantics:
         assert all(
             d.fingerprint == design_fingerprint(net) for d in degraded.guard_diagnostics
         )
+
+
+# --------------------------------------------- IR-path fault-injection matrix
+def run_guarded_ir(pdk, clock_net, faults=(), guard=None, all_reference=False):
+    """The guarded flow on the IR-native representation."""
+    backends = BackendSelection(
+        timing="reference" if all_reference else None,
+        dp="reference" if all_reference else None,
+        dme="reference" if all_reference else None,
+        guard=guard,
+        representation="ir",
+    )
+    config = CtsConfig(
+        high_cluster_size=40, low_cluster_size=6, seed=7, backends=backends
+    )
+    return DoubleSideCTS(pdk, config, guard_faults=faults).run(clock_net)
+
+
+#: Every guarded mutating stage of the IR pipeline crossed with structural
+#: and numeric corruption classes — the injectors are polymorphic and write
+#: straight into the persistent :class:`DesignArrays` columns.
+IR_FAULT_CASES = [
+    ("routing", poke_nan_capacitance),
+    ("routing", drop_sink),
+    ("insertion", poke_nan_location),
+    ("insertion", duplicate_node_name),
+    ("insertion", drop_edit_log_entry),
+    ("refinement", flip_wire_side),
+    ("refinement", poke_negative_capacitance),
+]
+
+
+@pytest.mark.parametrize("case", IR_FAULT_CASES, ids=fault_id)
+class TestIrFaultInjectionMatrix:
+    """The guard semantics carry over to the IR-native flow path.
+
+    Unlike the object path (which *replays* earlier stages to rebuild the
+    pre-stage tree), the IR path restores the pre-stage design snapshot and
+    re-runs only the faulted stage on the reference backends — so for every
+    stage the recovered tree is bit-identical to an all-reference IR run.
+    """
+
+    def test_strict_raises_naming_the_stage(self, pdk, case):
+        stage, injector = case
+        net = small_net()
+        with pytest.raises(GuardError) as err:
+            run_guarded_ir(
+                pdk, net, faults=[StageFault(stage, injector)], guard="strict"
+            )
+        assert err.value.stage == stage
+        assert err.value.fingerprint == design_fingerprint(net)
+
+    def test_degrade_recovers_bit_identical_to_all_reference(self, pdk, case):
+        stage, injector = case
+        net = small_net()
+        degraded = run_guarded_ir(
+            pdk, net, faults=[StageFault(stage, injector)], guard="degrade"
+        )
+        stages = [d.stage for d in degraded.guard_diagnostics]
+        assert stage in stages
+        diagnostic = degraded.guard_diagnostics[stages.index(stage)]
+        assert diagnostic.action == "degraded"
+        assert diagnostic.backend == "reference"
+        assert degraded.degraded
+        reference = run_guarded_ir(pdk, net, all_reference=True)
+        assert_clock_trees_identical(degraded.tree, reference.tree)
+
+
+class TestIrGuardSemantics:
+    def test_clean_ir_run_under_degrade_matches_off(self, pdk):
+        net = small_net()
+        off = run_guarded_ir(pdk, net, guard="off")
+        degraded = run_guarded_ir(pdk, net, guard="degrade")
+        assert degraded.guard_diagnostics == []
+        assert_clock_trees_identical(off.tree, degraded.tree)
+
+    def test_ir_off_with_fault_is_silently_corrupt(self, pdk):
+        net = small_net()
+        result = run_guarded_ir(
+            pdk, net, faults=[StageFault("insertion", drop_sink)], guard="off"
+        )
+        assert result.guard_diagnostics == []
+        assert result.design.sink_rows().size == len(net.sinks) - 1
+
+    def test_ir_degrade_matches_object_degrade(self, pdk):
+        # The two representations degrade to the same final tree.
+        net = small_net()
+        fault = [StageFault("insertion", poke_nan_capacitance)]
+        via_ir = run_guarded_ir(pdk, net, faults=fault, guard="degrade")
+        via_object = run_guarded(pdk, net, faults=fault, guard="degrade")
+        assert via_ir.degraded and via_object.degraded
+        assert_clock_trees_identical(via_ir.tree, via_object.tree)

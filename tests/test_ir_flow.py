@@ -1,0 +1,101 @@
+"""IR-native flow path is decision-identical to the object-hop flow.
+
+The tentpole contract of :mod:`repro.ir`: threading one persistent
+:class:`~repro.ir.DesignArrays` through routing -> insertion -> refinement ->
+evaluation (``representation="ir"``) must produce *bit-equal* tree
+fingerprints and equal decision-derived metrics versus the object-hop flow
+(``representation="object"``), across the whole {dme, dp, timing} backend
+matrix.  These tests ride the shared differential harness
+(:func:`tests.harness.assert_representations_identical`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow import BackendSelection, CtsConfig, SingleSideCTS
+from tests.harness import (
+    SEEDED_DESIGNS,
+    assert_clock_trees_identical,
+    assert_representations_identical,
+    backend_id,
+    backend_matrix,
+    run_flow,
+)
+
+MEDIUM = SEEDED_DESIGNS[1]
+
+
+@pytest.mark.parametrize("combo", backend_matrix(), ids=backend_id)
+def test_ir_matches_object_across_backend_matrix(pdk, combo):
+    """All 8 {dme, dp, timing} combos: IR flow == object flow, bit-equal."""
+    assert_representations_identical(pdk, MEDIUM.clock_net(), combo)
+
+
+@pytest.mark.parametrize("design", SEEDED_DESIGNS, ids=lambda d: d.id)
+def test_ir_matches_object_across_designs(pdk, design):
+    """Default (all-vectorized) backends on every seeded design size."""
+    assert_representations_identical(pdk, design.clock_net())
+
+
+def test_ir_matches_object_with_corners(pdk):
+    """Corner-aware construction + multi-corner sign-off, both paths."""
+    obj, ir = assert_representations_identical(
+        pdk,
+        MEDIUM.clock_net(),
+        corners="tt,ss,ff",
+        corner_aware_construction=True,
+    )
+    assert ir.metrics.corner_skews  # the corner columns actually populated
+    assert set(obj.metrics.corner_skews) == set(ir.metrics.corner_skews)
+
+
+def test_ir_matches_object_without_refinement(pdk):
+    """The optional refinement stage off: pipeline skips RefinementStage."""
+    obj, ir = assert_representations_identical(
+        pdk, MEDIUM.clock_net(), enable_skew_refinement=False
+    )
+    assert obj.skew_report is None and ir.skew_report is None
+
+
+def test_ir_result_realises_tree_lazily(pdk):
+    """IR runs carry the design; the object tree materialises on demand."""
+    result = run_flow(pdk, SEEDED_DESIGNS[0].clock_net(), representation="ir")
+    assert result.design is not None
+    assert result._tree is None  # nothing realised inside the timed flow
+    first = result.tree
+    assert result._tree is first  # cached
+    assert result.tree is first
+    assert_clock_trees_identical(first, result.design.to_clock_tree())
+
+
+def test_object_result_has_no_design(pdk):
+    result = run_flow(pdk, SEEDED_DESIGNS[0].clock_net(), representation="object")
+    assert result.design is None
+    assert result.tree is not None
+
+
+def test_single_side_ir_matches_object(front_pdk):
+    """The inherited single-side flow rides the same IR dispatch."""
+    net = SEEDED_DESIGNS[0].clock_net()
+    results = {}
+    for representation in ("object", "ir"):
+        config = CtsConfig(
+            high_cluster_size=40,
+            low_cluster_size=6,
+            seed=7,
+            backends=BackendSelection(representation=representation),
+        )
+        results[representation] = SingleSideCTS(front_pdk, config).run(net)
+    assert_clock_trees_identical(results["object"].tree, results["ir"].tree)
+    assert results["ir"].metrics.ntsvs == 0
+    assert results["object"].metrics.skew == results["ir"].metrics.skew
+
+
+def test_ir_design_validates_and_counts_match_metrics(pdk):
+    result = run_flow(pdk, MEDIUM.clock_net(), representation="ir")
+    result.design.validate()
+    _nodes, sinks, buffers, ntsvs = result.design.counts()
+    assert sinks == result.metrics.sinks
+    assert buffers == result.metrics.buffers
+    assert ntsvs == result.metrics.ntsvs

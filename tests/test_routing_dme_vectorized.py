@@ -242,9 +242,9 @@ class TestFlowBackendCrossProduct:
     @pytest.fixture(scope="class")
     def reference_fingerprint(self, pdk, flow_net):
         combo = {
-            "dme_backend": "reference",
-            "dp_backend": "reference",
-            "timing_engine": "reference",
+            "dme": "reference",
+            "dp": "reference",
+            "timing": "reference",
         }
         return clock_tree_fingerprint(run_flow(pdk, flow_net, combo).tree)
 
@@ -308,7 +308,9 @@ class TestDmeBackendSelection:
 
         args = build_parser().parse_args(["run", "C4", "--dme-backend", "reference"])
         assert args.dme_backend == "reference"
-        assert _config_for(args).dme_backend == "reference"
+        # The CLI feeds the consolidated selection, not the deprecated
+        # loose field; assert through the one resolution path.
+        assert _config_for(args).resolved_backends().dme == "reference"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "C4", "--dme-backend", "bogus"])
 
