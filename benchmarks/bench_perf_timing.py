@@ -98,9 +98,20 @@ GUARDED_FLOW_SINKS = 2000
 #: Sink count the end-to-end representation row runs on (both modes).
 FLOW_E2E_SINKS = 2000
 
+#: The region-parallel scaled tier: serial vs. process-pool construction at
+#: this worker count.  Full mode runs the 100k-sink tier the rows are named
+#: after; smoke gates a 20k-sink cut of the same code path on CI runners.
+PARALLEL_WORKERS = 4
+PARALLEL_SINKS_FULL = 100_000
+PARALLEL_SINKS_SMOKE = 20_000
+
 
 def dme_embed_sizes() -> tuple[int, ...]:
     return DME_EMBED_SIZES_SMOKE if smoke_mode() else DME_EMBED_SIZES_FULL
+
+
+def parallel_sinks() -> int:
+    return PARALLEL_SINKS_SMOKE if smoke_mode() else PARALLEL_SINKS_FULL
 
 
 def smoke_mode() -> bool:
@@ -607,6 +618,123 @@ def bench_flow_e2e(sink_count: int, pdk) -> dict:
     }
 
 
+def bench_parallel_construction(sink_count: int, pdk) -> list[dict]:
+    """The region-parallel scaled tier: serial vs. process-pool construction.
+
+    Three rows, each timing ``workers=1`` against ``workers=PARALLEL_WORKERS``
+    on the same input:
+
+    * ``dme_embed_100k`` — ``route_design``: per-region low clustering, tap
+      DME, and shard materialisation fanned out over the top-level clusters,
+      stitched back by the deterministic graft protocol;
+    * ``insertion_dp_100k`` — the frontier DP with bottom subtrees shipped
+      to the pool as flat tables;
+    * ``flow_e2e_100k`` — the full persistent-IR flow end to end.
+
+    The parallel path is bit-identical to serial by contract
+    (``tests/test_parallel_construction.py`` pins the full matrix); each row
+    re-asserts a cheap cut of that invariant here before reporting.
+
+    Every row records the worker count and the measuring host's core count:
+    on hosts with fewer cores than workers the pool adds pickling and
+    spin-up cost with no hardware to spend it on, so the measured "speedup"
+    is honestly below 1.0 there.  The regression gates therefore apply the
+    committed floors only when ``cores >= workers`` (see
+    ``check_regression.py`` and ``test_perf_timing``); single-core hosts
+    still run the rows — exercising and sanity-checking the parallel code
+    path — but report them ungated.
+    """
+    from repro.flow.config import BackendSelection, CtsConfig
+    from repro.flow.cts import DoubleSideCTS
+    from repro.insertion.dp_tree import build_dp_tree
+    from repro.insertion.frontier import VectorizedInsertionDp
+
+    cores = os.cpu_count() or 1
+    workers = PARALLEL_WORKERS
+    clock_net = random_sink_cloud(sink_count)
+
+    def config_for(n: int) -> CtsConfig:
+        return CtsConfig(workers=n, backends=BackendSelection(representation="ir"))
+
+    def make_row(flow: str, serial_samples, parallel_samples) -> dict:
+        t_serial, t_parallel = min(serial_samples), min(parallel_samples)
+        return {
+            "flow": flow,
+            "sinks": sink_count,
+            "workers": workers,
+            "cores": cores,
+            "reference_s": round(t_serial, 6),
+            "vectorized_s": round(t_parallel, 6),
+            "speedup": round(t_serial / t_parallel, 2),
+        }
+
+    def timed_pairs(run, rounds: int):
+        samples: dict[int, list[float]] = {1: [], workers: []}
+        results: dict[int, object] = {}
+        for _ in range(rounds):
+            for n in (1, workers):
+                results[n] = None
+                gc.collect()
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    results[n] = run(n)
+                    samples[n].append(time.perf_counter() - start)
+                finally:
+                    gc.enable()
+        return samples, results[1], results[workers]
+
+    rows: list[dict] = []
+
+    # Region-parallel routing straight into design rows.
+    samples, serial, parallel = timed_pairs(
+        lambda n: HierarchicalClockRouter(pdk, config=config_for(n)).route_design(
+            clock_net
+        ),
+        rounds=3,
+    )
+    if (
+        serial.design.size != parallel.design.size
+        or serial.design.names != parallel.design.names
+        or serial.trunk_wirelength != parallel.trunk_wirelength
+        or serial.leaf_wirelength != parallel.leaf_wirelength
+    ):
+        raise AssertionError(
+            f"region-parallel routing diverges on {sink_count} sinks"
+        )
+    rows.append(make_row("dme_embed_100k", samples[1], samples[workers]))
+
+    # Subtree-parallel frontier DP over the serially routed design.
+    dp_tree = build_dp_tree(serial.design, pdk)
+    dp = VectorizedInsertionDp(pdk, InsertionConfig(), [pdk])
+    samples, (_, serial_root), (_, parallel_root) = timed_pairs(
+        lambda n: dp.run(dp_tree, workers=n), rounds=3
+    )
+    if not np.array_equal(serial_root.cap, parallel_root.cap) or not np.array_equal(
+        serial_root.choice, parallel_root.choice
+    ):
+        raise AssertionError(
+            f"subtree-parallel DP diverges on {sink_count} sinks"
+        )
+    rows.append(make_row("insertion_dp_100k", samples[1], samples[workers]))
+
+    # The full IR flow end to end.
+    samples, serial_flow, parallel_flow = timed_pairs(
+        lambda n: DoubleSideCTS(pdk, config_for(n)).run(clock_net), rounds=2
+    )
+    if (
+        serial_flow.metrics.skew != parallel_flow.metrics.skew
+        or serial_flow.metrics.latency != parallel_flow.metrics.latency
+        or serial_flow.metrics.buffers != parallel_flow.metrics.buffers
+        or serial_flow.metrics.ntsvs != parallel_flow.metrics.ntsvs
+    ):
+        raise AssertionError(
+            f"region-parallel flow diverges on {sink_count} sinks"
+        )
+    rows.append(make_row("flow_e2e_100k", samples[1], samples[workers]))
+    return rows
+
+
 def run_bench() -> list[dict]:
     pdk = asap7_backside()
     rows: list[dict] = []
@@ -623,6 +751,7 @@ def run_bench() -> list[dict]:
         rows.append(bench_dme_embed(DME_EMBED_SIZES_FULL[0], pdk, BENCH_CORNERS))
     rows.append(bench_guarded_flow(GUARDED_FLOW_SINKS, pdk))
     rows.append(bench_flow_e2e(FLOW_E2E_SINKS, pdk))
+    rows.extend(bench_parallel_construction(parallel_sinks(), pdk))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")
     for row in rows:
         label = row["flow"]
@@ -638,13 +767,21 @@ def run_bench() -> list[dict]:
 
 
 def test_perf_timing():
-    """Pytest entry: the kernel must beat the committed regression floors."""
+    """Pytest entry: the kernel must beat the committed regression floors.
+
+    Parallel-tier rows (those recording ``workers``) only gate when the
+    measuring host has at least that many cores; below that the pool cannot
+    physically deliver a speedup and the row is informational.
+    """
     rows = run_bench()
     floors = perf_floors()
     for row in rows:
         floor = floors.get(row["flow"])
-        if floor is not None:
-            assert row["speedup"] >= floor, row
+        if floor is None:
+            continue
+        if row.get("cores", 1) < row.get("workers", 1):
+            continue
+        assert row["speedup"] >= floor, row
 
 
 if __name__ == "__main__":

@@ -140,6 +140,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_construction_workers(parser: argparse.ArgumentParser) -> None:
+    # ``dse`` keeps its own --workers (sweep-grid parallelism); this one is
+    # the construction-stage knob, so it lives on run/compare only.
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        dest="construction_workers",
+        help="process-parallel construction: route and buffer independent "
+        "top-level regions on this many workers (IR representation; "
+        "bit-identical to serial; default: REPRO_FLOW_WORKERS or 1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dscts", description="Multi-objective double-side clock tree synthesis"
@@ -149,10 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run the double-side CTS flow on one benchmark")
     run.add_argument("design", help="benchmark id (C1..C5) or name (jpeg, aes, ...)")
     _add_common(run)
+    _add_construction_workers(run)
 
     compare = sub.add_parser("compare", help="compare flows on one or more benchmarks")
     compare.add_argument("designs", nargs="+", help="benchmark ids or names")
     _add_common(compare)
+    _add_construction_workers(compare)
 
     dse = sub.add_parser("dse", help="sweep the DSE fanout threshold")
     dse.add_argument("design", help="benchmark id or name")
@@ -190,6 +206,7 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
         corners=corners,
         corner_aware_construction=corner_aware,
         nominal_skew_budget=budget,
+        workers=getattr(args, "construction_workers", None),
         backends=BackendSelection(
             timing=args.engine,
             dp=getattr(args, "dp_backend", None),

@@ -12,6 +12,7 @@ from repro.clustering.dual_level import (
     DualLevelClustering,
     dual_level_clustering,
     estimate_leaf_load,
+    low_clusters_for_high,
     split_by_capacitance,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "DualLevelClustering",
     "dual_level_clustering",
     "estimate_leaf_load",
+    "low_clusters_for_high",
     "split_by_capacitance",
 ]

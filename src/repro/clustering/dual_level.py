@@ -36,10 +36,28 @@ class Cluster:
     centroid: Point
     sinks: list[ClockSink] = field(default_factory=list)
     parent_index: int | None = None
+    _columns: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def size(self) -> int:
         return len(self.sinks)
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (x, y, pin-cap) member columns, in member order.
+
+        Shared by every per-cluster vectorized pass (tap-terminal lumping,
+        leaf-net estimates) so the sink objects are walked at most once per
+        cluster.  Treat the arrays as read-only.
+        """
+        if self._columns is None:
+            self._columns = (
+                np.asarray([s.location.x for s in self.sinks]),
+                np.asarray([s.location.y for s in self.sinks]),
+                np.asarray([s.capacitance for s in self.sinks]),
+            )
+        return self._columns
 
     @property
     def total_capacitance(self) -> float:
@@ -190,6 +208,34 @@ def _cluster_sinks(
     return groups
 
 
+def low_clusters_for_high(
+    members: list[ClockSink],
+    low_size: int,
+    seed: int,
+    high_index: int,
+    balanced: bool = True,
+    max_leaf_capacitance: float | None = None,
+    unit_wire_capacitance: float = 0.0,
+) -> list[tuple[Point, list[ClockSink]]]:
+    """Low-level groups of one high cluster — the per-region unit of work.
+
+    Factored out of :func:`dual_level_clustering` so the region-parallel
+    routing tier can run exactly this per high cluster in a worker process:
+    both call sites derive the per-region seed the same way
+    (``seed + high_index + 1``), so a worker's low clusters are bit-identical
+    to the serial loop's.
+    """
+    low_groups = _cluster_sinks(members, low_size, seed + high_index + 1, balanced)
+    if max_leaf_capacitance is not None:
+        low_groups = split_by_capacitance(
+            low_groups,
+            max_capacitance=max_leaf_capacitance,
+            unit_wire_capacitance=unit_wire_capacitance,
+            seed=seed + high_index + 1,
+        )
+    return low_groups
+
+
 def dual_level_clustering(
     sinks: list[ClockSink],
     high_size: int = 3000,
@@ -232,14 +278,15 @@ def dual_level_clustering(
         high_clusters.append(
             Cluster(index=high_index, centroid=high_centroid, sinks=members)
         )
-        low_groups = _cluster_sinks(members, low_size, seed + high_index + 1, balanced)
-        if max_leaf_capacitance is not None:
-            low_groups = split_by_capacitance(
-                low_groups,
-                max_capacitance=max_leaf_capacitance,
-                unit_wire_capacitance=unit_wire_capacitance,
-                seed=seed + high_index + 1,
-            )
+        low_groups = low_clusters_for_high(
+            members,
+            low_size,
+            seed,
+            high_index,
+            balanced=balanced,
+            max_leaf_capacitance=max_leaf_capacitance,
+            unit_wire_capacitance=unit_wire_capacitance,
+        )
         for low_centroid, low_members in low_groups:
             low_clusters.append(
                 Cluster(

@@ -225,6 +225,11 @@ class CtsConfig:
             ``guard``), which are deprecated but keep working with the same
             precedence (and warn once per process); it also carries the flow
             ``representation`` knob (``"object"`` or ``"ir"``).
+        workers: process-level parallelism of the construction stages
+            (region-parallel DME routing and DP-subtree-parallel insertion
+            on the IR path).  ``None`` falls back to ``REPRO_FLOW_WORKERS``,
+            then 1 (serial).  Results are bit-identical to serial at every
+            worker count (CLI ``--workers``).
     """
 
     high_cluster_size: int = 3000
@@ -250,6 +255,7 @@ class CtsConfig:
     nominal_skew_budget: float = 0.0
     guard: str | None = None
     backends: BackendSelection | None = None
+    workers: int | None = None
 
     #: The loose per-subsystem fields superseded by :attr:`backends`.
     _DEPRECATED_BACKEND_FIELDS = (
@@ -290,6 +296,16 @@ class CtsConfig:
                 selection.representation
             ),
         )
+
+    def resolved_workers(self) -> int:
+        """The construction-stage worker count, resolved to a concrete int.
+
+        Precedence: ``workers`` field > ``REPRO_FLOW_WORKERS`` environment
+        variable > 1 (serial) — the same shape as the backend knobs.
+        """
+        from repro.parallel import resolve_workers
+
+        return resolve_workers(self.workers)
 
     def construction_corners(self) -> CornerSet | None:
         """The corner set construction steps optimise against (or None)."""

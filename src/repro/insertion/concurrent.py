@@ -184,9 +184,15 @@ class ConcurrentInserter:
         engine: str | None = None,
         corners: CornerSet | Scenario | str | None = None,
         dp_backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.pdk = pdk
         self.config = config if config is not None else InsertionConfig()
+        # Deferred import: repro.parallel is dependency-free but the explicit
+        # resolution rule (argument > env > 1) lives there.
+        from repro.parallel import resolve_workers
+
+        self.workers = resolve_workers(workers)
         if dp_backend is None:
             dp_backend = self.config.dp_backend
         self.dp_backend = resolve_dp_backend(dp_backend)
@@ -294,7 +300,7 @@ class ConcurrentInserter:
             primary_index=self._primary if self._corner_aware else 0,
             corner_aware=self._corner_aware,
         )
-        frontiers, root = dp.run(dp_tree)
+        frontiers, root = dp.run(dp_tree, workers=self.workers)
         root_candidates = dp.materialize_root(root)
         selected = self._select(root_candidates)
         chosen = next(i for i, c in enumerate(root_candidates) if c is selected)

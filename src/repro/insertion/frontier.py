@@ -173,6 +173,9 @@ class VectorizedInsertionDp:
         self.primary = primary_index
         self._buffers = [corner_pdk.buffer for corner_pdk in corner_pdks]
         self._k = len(corner_pdks)
+        # Kept for the subtree-parallel path: workers rebuild an equivalent
+        # DP instance from (pdk, config, corner pdks) in their own process.
+        self._corner_pdks = list(corner_pdks)
 
         def column(values: list[float]) -> np.ndarray:
             return np.asarray(values, dtype=float)[:, None]
@@ -273,27 +276,173 @@ class VectorizedInsertionDp:
 
     # ------------------------------------------------------------------ driver
     def run(
-        self, dp_tree: DpTree
+        self, dp_tree: DpTree, workers: int = 1
     ) -> tuple[dict[int, CandidateFrontier], CandidateFrontier]:
         """Bottom-up generation: the pruned frontier of every DP node plus
-        the combined root frontier (Steps 2 and the root part of Step 3)."""
+        the combined root frontier (Steps 2 and the root part of Step 3).
+
+        With ``workers > 1`` the DP ships disjoint bottom subtrees to a
+        process pool first (each node's frontier depends only on its
+        predecessors' frontiers, so a whole subtree evaluates without any
+        cross-subtree data) and finishes the remaining spine serially.  The
+        per-node arithmetic is byte-for-byte the serial code, so the result
+        is bit-identical at every worker count.
+        """
         frontiers: dict[int, CandidateFrontier] = {}
-        max_cap = self.pdk.max_capacitance
-        for dp_node in dp_tree.nodes:
-            merged = self._merge(dp_node, frontiers)
-            inserted = self._insert(dp_node, merged)
-            pruned = self._prune(inserted, max_capacitance=max_cap)
-            if pruned.size == 0:
-                # Mirror the object backend: retain unchecked candidates when
-                # even a buffer cannot legalise the load.
-                relaxed = self._insert(dp_node, merged, enforce_driver_load=False)
-                pruned = self._prune(relaxed)
-            if pruned.size == 0:  # pragma: no cover - relaxed set is non-empty
-                raise RuntimeError(
-                    f"DP node {dp_node.name} has no feasible candidate solutions"
-                )
-            frontiers[dp_node.index] = pruned
+        remaining = dp_tree.nodes
+        if workers > 1:
+            subtrees = self._partition_dp_subtrees(dp_tree, workers)
+            if len(subtrees) >= 2:
+                frontiers.update(self._run_subtrees_parallel(subtrees, workers))
+                remaining = [n for n in dp_tree.nodes if n.index not in frontiers]
+        for dp_node in remaining:
+            frontiers[dp_node.index] = self._generate(dp_node, frontiers)
         return frontiers, self._root_frontier(dp_tree, frontiers)
+
+    def _generate(
+        self, dp_node: DpNode, frontiers: dict[int, CandidateFrontier]
+    ) -> CandidateFrontier:
+        """One DP node's pruned frontier (merge, insert, prune, relax)."""
+        merged = self._merge(dp_node, frontiers)
+        inserted = self._insert(dp_node, merged)
+        pruned = self._prune(inserted, max_capacitance=self.pdk.max_capacitance)
+        if pruned.size == 0:
+            # Mirror the object backend: retain unchecked candidates when
+            # even a buffer cannot legalise the load.
+            relaxed = self._insert(dp_node, merged, enforce_driver_load=False)
+            pruned = self._prune(relaxed)
+        if pruned.size == 0:  # pragma: no cover - relaxed set is non-empty
+            raise RuntimeError(
+                f"DP node {dp_node.name} has no feasible candidate solutions"
+            )
+        return pruned
+
+    # ------------------------------------------------------ subtree parallelism
+    @staticmethod
+    def _partition_dp_subtrees(dp_tree: DpTree, workers: int) -> list[list[DpNode]]:
+        """Disjoint bottom subtrees big enough to amortise a process hop.
+
+        A node roots a shipped subtree iff its subtree holds at least
+        ``target`` DP nodes while every predecessor's subtree is still below
+        the target.  No strict descendant of such a root reaches the target
+        (so no nested root below) and every ancestor has a >= target
+        predecessor on the path down (so no nested root above): the selected
+        subtrees are provably disjoint.  Each returned list is in the global
+        bottom-up order, so a worker can evaluate it front to back.
+        """
+        nodes = dp_tree.nodes
+        target = max(32, len(nodes) // (workers * 4))
+        size: dict[int, int] = {}
+        for node in nodes:
+            size[node.index] = 1 + sum(size[p.index] for p in node.predecessors)
+        position = {node.index: i for i, node in enumerate(nodes)}
+        subtrees: list[list[DpNode]] = []
+        for root in nodes:
+            if size[root.index] < target:
+                continue
+            if any(size[p.index] >= target for p in root.predecessors):
+                continue
+            members = []
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                members.append(node)
+                stack.extend(node.predecessors)
+            members.sort(key=lambda n: position[n.index])
+            subtrees.append(members)
+        return subtrees
+
+    @staticmethod
+    def _subtree_tables(nodes: list[DpNode]) -> list[tuple]:
+        """Flatten a subtree into primitive rows for the process boundary.
+
+        Recursive :class:`DpNode` graphs and live clock-tree references never
+        cross into a worker: each row carries the node's own scalars, the
+        resolved direct-sink flag, and predecessor links as positions into
+        this same table.
+        """
+        local = {node.index: i for i, node in enumerate(nodes)}
+        return [
+            (
+                node.index,
+                node.length,
+                node.mode,
+                node.fanout,
+                node.base_capacitance,
+                node.base_max_delay,
+                node.base_min_delay,
+                node.corner_base_capacitance,
+                node.corner_base_max_delay,
+                node.corner_base_min_delay,
+                node.tree_row,
+                bool(node.has_direct_sinks),
+                [local[p.index] for p in node.predecessors],
+            )
+            for node in nodes
+        ]
+
+    @staticmethod
+    def _nodes_from_tables(tables: list[tuple]) -> list[DpNode]:
+        """Rebuild worker-side :class:`DpNode` objects from flat rows."""
+        nodes: list[DpNode] = []
+        for (
+            index,
+            length,
+            mode,
+            fanout,
+            base_cap,
+            base_max,
+            base_min,
+            corner_cap,
+            corner_max,
+            corner_min,
+            tree_row,
+            direct_sinks,
+            preds,
+        ) in tables:
+            nodes.append(
+                DpNode(
+                    index=index,
+                    tree_child=None,
+                    length=length,
+                    predecessors=[nodes[p] for p in preds],
+                    mode=mode,
+                    fanout=fanout,
+                    base_capacitance=base_cap,
+                    base_max_delay=base_max,
+                    base_min_delay=base_min,
+                    corner_base_capacitance=corner_cap,
+                    corner_base_max_delay=corner_max,
+                    corner_base_min_delay=corner_min,
+                    tree_row=tree_row,
+                    direct_sinks=direct_sinks,
+                )
+            )
+        return nodes
+
+    def _run_subtrees_parallel(
+        self, subtrees: list[list[DpNode]], workers: int
+    ) -> dict[int, CandidateFrontier]:
+        """Evaluate shipped subtrees on the shared pool, frontiers keyed by
+        the original DP node indices (the serial spine reads them directly)."""
+        from repro.parallel import shared_pool
+
+        payloads = [
+            (
+                self.pdk,
+                self.config,
+                self._corner_pdks,
+                self.primary,
+                self.corner_aware,
+                self._subtree_tables(nodes),
+            )
+            for nodes in subtrees
+        ]
+        pool = shared_pool(min(workers, len(payloads)))
+        merged: dict[int, CandidateFrontier] = {}
+        for result in pool.map(_dp_subtree_worker, payloads):
+            merged.update(result)
+        return merged
 
     def materialize_root(self, root: CandidateFrontier) -> list[CandidateSolution]:
         """Root frontier rows as :class:`CandidateSolution` objects.
@@ -976,3 +1125,24 @@ class VectorizedInsertionDp:
             pattern=combo.pattern,
             choice=combo.choice,
         )
+
+
+def _dp_subtree_worker(payload) -> dict[int, CandidateFrontier]:
+    """Evaluate one shipped DP subtree in a worker process.
+
+    Rebuilds an equivalent :class:`VectorizedInsertionDp` and the subtree's
+    nodes, then runs the exact serial per-node generation bottom-up.  The
+    returned frontiers are keyed by the original DP node indices.
+    """
+    pdk, config, corner_pdks, primary, corner_aware, tables = payload
+    dp = VectorizedInsertionDp(
+        pdk,
+        config,
+        corner_pdks,
+        primary_index=primary,
+        corner_aware=corner_aware,
+    )
+    frontiers: dict[int, CandidateFrontier] = {}
+    for node in VectorizedInsertionDp._nodes_from_tables(tables):
+        frontiers[node.index] = dp._generate(node, frontiers)
+    return frontiers

@@ -55,6 +55,13 @@ class DesignArrays:
     mirror the :class:`~repro.clocktree.ClockTree` editing API one-to-one
     (same children ordering, same fresh-name sequence, same edit log), so a
     flow run on rows makes exactly the decisions the object flow makes.
+
+    .. warning:: Row indices are only stable between compactions.  Any
+       engine sync may compact (``VectorizedElmoreEngine._compile_design``
+       calls :meth:`compact`, renumbering every row), so held row indices
+       must be re-resolved through ``name_to_row`` after handing the design
+       to an engine or crossing a stage boundary.  Names are the stable
+       handle; rows are a transient one.
     """
 
     __slots__ = (
@@ -73,6 +80,7 @@ class DesignArrays:
         "children_rows",
         "name_to_row",
         "dead_count",
+        "_dup_names",
         "_counter",
         "_version",
         "_edits",
@@ -99,6 +107,7 @@ class DesignArrays:
         self.children_rows: list[list[int]] = []
         self.name_to_row: dict[str, int] = {}
         self.dead_count = 0
+        self._dup_names: set[str] = set()
         self._counter = 0
         self._version = 0
         self._edits: list[tuple[int, str, int | None]] = []
@@ -366,6 +375,62 @@ class DesignArrays:
         self._invalidate()
         return np.arange(start, stop, dtype=np.int64)
 
+    def graft(
+        self, shard: "DesignArrays", parent: int, names: list[str]
+    ) -> np.ndarray:
+        """Block-append another design's rows (1..) under ``parent``.
+
+        The merge primitive of the region-parallel construction tier: a
+        worker routes one region into its own *shard* (whose row 0 is a
+        placeholder root), and the serial merge grafts the shard below
+        ``parent`` with caller-supplied global ``names`` — one per shard row
+        in shard row order.  Rows keep the shard's relative order and
+        children order, so a graft appends exactly the row sequence the
+        serial materialisation would have; edges of the shard root's
+        children are recomputed against the real parent (their shard edges
+        were measured against the placeholder root).
+
+        Returns the new row indices (aligned with ``names``).
+        """
+        if shard.dead_count:
+            raise ValueError("cannot graft a shard with tombstoned rows")
+        n = shard.size - 1
+        if n < 0 or len(names) != n:
+            raise ValueError(f"graft needs {max(n, 0)} names, got {len(names)}")
+        fresh: set[str] = set()
+        for name in names:
+            if name in self.name_to_row or name in fresh:
+                raise ValueError(
+                    f"design {self.name}: duplicate node name {name!r}"
+                )
+            fresh.add(name)
+        while self.capacity < self.size + n:
+            self._grow()
+        start = self.size
+        stop = start + n
+        base = start - 1  # shard row r (>= 1) lands at r + base
+        self.size = stop
+        for column in ("kind", "edge_length", "wire_front", "cap", "x", "y",
+                       "side_front"):
+            getattr(self, column)[start:stop] = getattr(shard, column)[1 : n + 1]
+        self.alive[start:stop] = True
+        shard_parent = shard.parent_row[1 : n + 1]
+        self.parent_row[start:stop] = np.where(
+            shard_parent == 0, parent, shard_parent + base
+        )
+        self.names.extend(names)
+        self.children_rows.extend(
+            [c + base for c in shard.children_rows[r]] for r in range(1, n + 1)
+        )
+        region_roots = [c + base for c in shard.children_rows[0]]
+        self.children_rows[parent].extend(region_roots)
+        for offset, name in enumerate(names):
+            self.name_to_row[name] = start + offset
+        for row in region_roots:
+            self.edge_length[row] = self._edge(row, parent)
+        self._invalidate()
+        return np.arange(start, stop, dtype=np.int64)
+
     def insert_on_edge(
         self,
         child: int,
@@ -466,11 +531,19 @@ class DesignArrays:
         self.parent_row[row] = -1
         self.alive[row] = False
         self.dead_count += 1
-        name = self.names[row]
-        if name is not None:
-            self.name_to_row.pop(name, None)
-        self.names[row] = None
+        self._drop_name(row)
         self._invalidate()
+
+    def _drop_name(self, row: int) -> None:
+        """Clear ``row``'s name and keep the index coherent for duplicates."""
+        name = self.names[row]
+        self.names[row] = None
+        if name is None:
+            return
+        if self.name_to_row.get(name) == row:
+            del self.name_to_row[name]
+        if name in self._dup_names:
+            self._reindex_duplicate(name)
 
     def detach_subtree(self, row: int) -> None:
         """Detach and tombstone a whole subtree (fault injection / pruning)."""
@@ -485,20 +558,67 @@ class DesignArrays:
             self.parent_row[current] = -1
             self.alive[current] = False
             self.dead_count += 1
-            name = self.names[current]
-            if name is not None:
-                self.name_to_row.pop(name, None)
-            self.names[current] = None
+            self._drop_name(current)
         self._invalidate()
 
     def rename(self, row: int, name: str) -> None:
-        """Rename a row (duplicate names allowed, like the object tree)."""
+        """Rename a row (duplicate names allowed, like the object tree).
+
+        Duplicate names resolve like a cold :meth:`ClockTree.find` index:
+        the first holder in *pre-order* owns the ``name_to_row`` entry.
+        Duplicates only ever arise through renames (appends reject them),
+        so the pre-order rescan runs only on an actual collision and the
+        unique-name fast path stays O(1).
+        """
         old = self.names[row]
+        if old == name:
+            return
+        self.names[row] = name
         if old is not None and self.name_to_row.get(old) == row:
             del self.name_to_row[old]
-        self.names[row] = name
-        # First-in-wins for duplicates, mirroring ClockTree.find semantics.
-        self.name_to_row.setdefault(name, row)
+            if old in self._dup_names:
+                self._reindex_duplicate(old)
+        existing = self.name_to_row.get(name)
+        if existing is None:
+            self.name_to_row[name] = row
+        elif existing != row:
+            self._dup_names.add(name)
+            self._reindex_duplicate(name)
+
+    def _reindex_duplicate(self, name: str) -> None:
+        """Point ``name_to_row[name]`` at the first pre-order holder."""
+        rows = [r for r in self.rows_preorder() if self.names[r] == name]
+        if not rows:
+            self._dup_names.discard(name)
+            self.name_to_row.pop(name, None)
+            return
+        if len(rows) == 1:
+            self._dup_names.discard(name)
+        self.name_to_row[name] = rows[0]
+
+    def _rebuild_name_index(self) -> None:
+        """Rebuild ``name_to_row`` from ``names`` (pre-order for duplicates)."""
+        index: dict[str, int] = {}
+        duplicated = False
+        for row, name in enumerate(self.names):
+            if name is None:
+                continue
+            if name in index:
+                duplicated = True
+            else:
+                index[name] = row
+        self._dup_names = set()
+        if duplicated:
+            index = {}
+            for row in self.rows_preorder():
+                name = self.names[row]
+                if name is None:
+                    continue
+                if name in index:
+                    self._dup_names.add(name)
+                else:
+                    index[name] = row
+        self.name_to_row = index
 
     # --------------------------------------------------------- maintenance
     def compact(self) -> None:
@@ -508,8 +628,15 @@ class DesignArrays:
         compaction the row order, and therefore the level grouping every
         vectorized pass reduces over, is exactly what a full recompile of
         the equivalent object tree would produce — which is what keeps IR
-        and object timing bit-identical across stage boundaries.  The edit
-        log is collapsed (old entries reference old row numbers).
+        and object timing bit-identical across stage boundaries.
+
+        A compaction that actually permutes rows is a *structural edit*:
+        the version bumps (through :meth:`_record`) and the edit log
+        collapses to that one covering touch (old entries reference old
+        row numbers), so an engine that synced just before the compaction
+        can never mistake the renumbered rows for "nothing changed".  A
+        no-op compaction (rows already breadth-first, no tombstones)
+        leaves the version and log untouched.
         """
         if self._bfs_clean and not self.dead_count:
             return
@@ -518,6 +645,9 @@ class DesignArrays:
         while frontier:
             order.extend(frontier)
             frontier = [c for row in frontier for c in self.children_rows[row]]
+        if not self.dead_count and order == list(range(self.size)):
+            self._bfs_clean = True
+            return
         remap = np.full(self.size, -1, dtype=np.int64)
         for new, old in enumerate(order):
             remap[old] = new
@@ -535,15 +665,11 @@ class DesignArrays:
         self.children_rows = [
             [int(remap[c]) for c in self.children_rows[old]] for old in order
         ]
-        self.name_to_row = {}
-        for row, name in enumerate(self.names):
-            if name is not None:
-                self.name_to_row.setdefault(name, row)
         self.size = n
         self.dead_count = 0
-        self._edits = (
-            [(self._version, "touch", None)] if self._version else []
-        )
+        self._rebuild_name_index()
+        self._record("touch", None)
+        self._edits = self._edits[-1:]
         self._invalidate()
         self._bfs_clean = True
 
@@ -575,24 +701,32 @@ class DesignArrays:
         }
 
     def restore(self, snapshot: dict) -> None:
-        """Restore the state captured by :meth:`snapshot` in place."""
+        """Restore the state captured by :meth:`snapshot` in place.
+
+        Structure, columns, and the name counter return to the snapshot;
+        the *version* does not.  A restore is itself a structural edit, so
+        the version stays monotonic (never rewinds to the snapshot's
+        counter) and a covering touch is recorded: any observer holding a
+        pre-restore version sees a non-empty ``edits_since`` (or ``None``,
+        forcing a recompile) — never a stale ``[]``.  The snapshot's edit
+        entries are dropped rather than replayed; their versions belong to
+        the abandoned timeline.
+        """
         n = snapshot["size"]
         self.size = n
         self.dead_count = snapshot["dead_count"]
         self._counter = snapshot["counter"]
-        self._version = snapshot["version"]
-        self._edits = list(snapshot["edits"])
+        self._version = max(self._version, snapshot["version"])
+        self._edits = []
         self.names = list(snapshot["names"])
         self.children_rows = [list(rows) for rows in snapshot["children_rows"]]
         for column, values in snapshot["columns"].items():
             getattr(self, column)[:n] = values
         self.parent_row[n:] = -1
         self.alive[n:] = True
-        self.name_to_row = {}
-        for row, name in enumerate(self.names):
-            if name is not None:
-                self.name_to_row.setdefault(name, row)
+        self._rebuild_name_index()
         self._invalidate()
+        self._record("touch", None)
 
     # ---------------------------------------------------------- validation
     def validate(self) -> None:
@@ -707,6 +841,10 @@ class DesignArrays:
             design.side_front[row] = node.side is Side.FRONT
         design.size = len(order)
         design._counter = tree._counter
+        if len(design.name_to_row) != len(order):
+            # Pathological duplicate names: redo the index in pre-order so
+            # lookups match a cold ClockTree.find scan.
+            design._rebuild_name_index()
         return design
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

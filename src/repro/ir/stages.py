@@ -71,6 +71,7 @@ def build_inserter(
         ),
         engine=timing,
         corners=config.construction_corners(),
+        workers=config.resolved_workers(),
     )
 
 

@@ -1,0 +1,67 @@
+"""Process-level parallelism shared by the scaled construction tier.
+
+The region-parallel routing and the DP-subtree-parallel insertion both fan
+work out over a process pool.  Spinning a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor` per stage call would
+dominate small runs (and the test suite under a ``workers>1`` matrix job),
+so this module keeps one lazily created pool per process and reuses it
+across calls; the pool grows when a caller asks for more workers than it
+currently has and is torn down at interpreter exit.
+
+``resolve_workers`` is the one resolution rule for the ``workers=`` knob:
+explicit argument > ``CtsConfig.workers`` > ``REPRO_FLOW_WORKERS`` > 1 —
+the same precedence shape every backend knob uses.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_FLOW_WORKERS"
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def resolve_workers(*candidates: int | None) -> int:
+    """Resolve the first non-None candidate, else the env var, else 1.
+
+    An empty environment value counts as unset so CI matrix entries can
+    pass ``REPRO_FLOW_WORKERS`` through unconditionally.
+    """
+    value = next((c for c in candidates if c is not None), None)
+    if value is None:
+        env = os.environ.get(WORKERS_ENV_VAR) or ""
+        value = int(env) if env.strip() else 1
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"workers must be at least 1, got {value}")
+    return value
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """A process pool with at least ``workers`` workers, reused across calls."""
+    global _POOL, _POOL_SIZE
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if _POOL is None or _POOL_SIZE < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_SIZE = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear the shared pool down (tests and interpreter exit)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+atexit.register(shutdown_pool)
