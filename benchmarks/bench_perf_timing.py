@@ -735,6 +735,65 @@ def bench_parallel_construction(sink_count: int, pdk) -> list[dict]:
     return rows
 
 
+def bench_parallel_resilience(pdk) -> dict:
+    """Healthy-path overhead of the fault-tolerant pool tier.
+
+    Times region-parallel ``route_design`` twice on the same pool and input:
+    once under a bare-minimum policy (one attempt, no timeout — the
+    pre-fault-tolerance behaviour) and once under a production policy
+    (retries, backoff, and a per-task timeout armed).  On a healthy run the
+    policy machinery must be almost free — its per-task cost is one
+    ``future.result(timeout=...)`` call and a validate hook on the main
+    process — so the ratio gates with a floor just under 1.0.
+
+    Both runs use the pool identically, so the ratio is core-independent and
+    the row gates on every host (no ``workers``/``cores`` keys).
+    """
+    from repro.flow.config import BackendSelection, CtsConfig
+    from repro.parallel import ParallelPolicy
+
+    clock_net = random_sink_cloud(PARALLEL_SINKS_SMOKE)
+    plain_policy = ParallelPolicy(attempts=1, backoff_s=0.0)
+    policed_policy = ParallelPolicy(attempts=3, timeout_s=600.0, backoff_s=0.05)
+
+    def config_for(policy: ParallelPolicy) -> CtsConfig:
+        return CtsConfig(
+            workers=PARALLEL_WORKERS,
+            parallel_policy=policy,
+            backends=BackendSelection(representation="ir"),
+        )
+
+    samples: dict[str, list[float]] = {"plain": [], "policed": []}
+    results: dict[str, object] = {}
+    for _ in range(3):
+        for key, policy in (("plain", plain_policy), ("policed", policed_policy)):
+            router = HierarchicalClockRouter(pdk, config=config_for(policy))
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                results[key] = router.route_design(clock_net)
+                samples[key].append(time.perf_counter() - start)
+            finally:
+                gc.enable()
+    plain, policed = results["plain"], results["policed"]
+    if (
+        plain.design.size != policed.design.size
+        or plain.design.names != policed.design.names
+        or plain.trunk_wirelength != policed.trunk_wirelength
+        or policed.parallel_diagnostics
+    ):
+        raise AssertionError("policed healthy-path routing diverges from plain")
+    t_plain, t_policed = min(samples["plain"]), min(samples["policed"])
+    return {
+        "flow": "parallel_resilience",
+        "sinks": PARALLEL_SINKS_SMOKE,
+        "reference_s": round(t_plain, 6),
+        "vectorized_s": round(t_policed, 6),
+        "speedup": round(t_plain / t_policed, 2),
+    }
+
+
 def run_bench() -> list[dict]:
     pdk = asap7_backside()
     rows: list[dict] = []
@@ -752,6 +811,7 @@ def run_bench() -> list[dict]:
     rows.append(bench_guarded_flow(GUARDED_FLOW_SINKS, pdk))
     rows.append(bench_flow_e2e(FLOW_E2E_SINKS, pdk))
     rows.extend(bench_parallel_construction(parallel_sinks(), pdk))
+    rows.append(bench_parallel_resilience(pdk))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")
     for row in rows:
         label = row["flow"]

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.baselines import (
@@ -119,6 +118,11 @@ def _compute_flow(pdk: Pdk, design: Design, config: CtsConfig, flow_key: str):
     raise KeyError(f"unknown base flow {flow_key!r}; expected one of {BASE_FLOWS}")
 
 
+def _compute_flow_task(payload: tuple):
+    """Single-argument adapter of :func:`_compute_flow` for the pool tier."""
+    return _compute_flow(*payload)
+
+
 @dataclass
 class FlowCache:
     """Runs flows lazily and memoises the results per benchmark design."""
@@ -126,6 +130,9 @@ class FlowCache:
     pdk: Pdk
     designs: dict[str, Design]
     config: CtsConfig = field(default_factory=CtsConfig)
+    #: Pool fault-tolerance records from :meth:`warm` (retries and
+    #: degrade-to-serial recoveries), appended across warm calls.
+    parallel_diagnostics: list = field(default_factory=list)
     _cache: dict[tuple[str, str], object] = field(default_factory=dict)
 
     # ------------------------------------------------------------- warm-up
@@ -154,28 +161,25 @@ class FlowCache:
         if not jobs:
             return 0
         workers = os.cpu_count() or 1 if workers is None else workers
-        if workers > 1 and len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-                futures = [
-                    (
-                        key,
-                        pool.submit(
-                            _compute_flow,
-                            self.pdk,
-                            self.designs[key[0]],
-                            self.config,
-                            key[1],
-                        ),
-                    )
-                    for key in jobs
-                ]
-                for key, future in futures:
-                    self._cache[key] = future.result()
-        else:
-            for key in jobs:
-                self._cache[key] = _compute_flow(
-                    self.pdk, self.designs[key[0]], self.config, key[1]
-                )
+        # The fault-tolerant pool tier retries crashed/hung flow runs and
+        # recomputes them inline as a last resort, so a broken worker can
+        # never leave the cache partially warmed.
+        from repro.parallel import run_tasks
+
+        payloads = [
+            (self.pdk, self.designs[key[0]], self.config, key[1]) for key in jobs
+        ]
+        results = run_tasks(
+            "flow_cache",
+            _compute_flow_task,
+            payloads,
+            min(workers, len(jobs)),
+            policy=self.config.resolved_parallel_policy(),
+            diagnostics=self.parallel_diagnostics,
+            label=lambda i, payload: f"{jobs[i][0]}/{jobs[i][1]}",
+        )
+        for key, result in zip(jobs, results):
+            self._cache[key] = result
         return len(jobs)
 
     # ------------------------------------------------------------- our flows

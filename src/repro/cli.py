@@ -38,6 +38,13 @@ DP and the skew refinement then optimise worst-corner objectives
 :mod:`repro.guard` (validation, anomaly detection, graceful degradation to
 the reference backends); ``--debug`` turns the one-line ``error:`` summaries
 back into full tracebacks.
+
+Worker pools (``--workers`` and ``dse --workers``) run on the fault-tolerant
+tier of :mod:`repro.parallel`: failed tasks are retried with backoff and, as
+a last resort, recomputed inline on the main process (bit-identical by
+construction).  ``dscts run`` reports these recoveries as a one-line
+``parallel:`` summary; ``--strict-parallel`` raises a typed
+:class:`~repro.parallel.ParallelError` instead of degrading to serial.
 """
 
 from __future__ import annotations
@@ -125,6 +132,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "anomaly)",
     )
     parser.add_argument(
+        "--strict-parallel",
+        action="store_true",
+        help="raise ParallelError when a worker-pool task exhausts its "
+        "retries instead of recomputing it inline (degrade-to-serial, "
+        "the default)",
+    )
+    parser.add_argument(
         "--representation",
         choices=FLOW_REPRESENTATION_CHOICE.names,
         default=None,
@@ -202,11 +216,17 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
             "error: --nominal-skew-budget only applies with "
             "--corner-aware-construction"
         )
+    parallel_policy = None
+    if getattr(args, "strict_parallel", False):
+        from repro.parallel import resolve_parallel_policy
+
+        parallel_policy = resolve_parallel_policy().with_updates(mode="strict")
     return CtsConfig(
         corners=corners,
         corner_aware_construction=corner_aware,
         nominal_skew_budget=budget,
         workers=getattr(args, "construction_workers", None),
+        parallel_policy=parallel_policy,
         backends=BackendSelection(
             timing=args.engine,
             dp=getattr(args, "dp_backend", None),
@@ -222,6 +242,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     design = load_design(args.design, scale=args.scale, include_combinational=False)
     result = DoubleSideCTS(pdk, _config_for(args)).run(design)
     print(format_metrics(result.metrics))
+    if result.parallel_tasks:
+        print(result.parallel_summary())
     if result.metrics.corner_skews:
         print(format_corner_table(result.metrics))
     return 0

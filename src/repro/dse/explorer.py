@@ -25,7 +25,6 @@ against it.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -96,11 +95,18 @@ class DseResult:
     every point is attempted independently, retried once on the all-reference
     backends, and recorded in :attr:`failures` if both attempts raise.  Serial
     and parallel sweeps produce identical points *and* identical failures.
+
+    Worker-level failures (a crashed process, an unpicklable result, a hung
+    task) are handled one level below by the fault-tolerant pool tier
+    (:func:`repro.parallel.run_tasks`): the point is retried on the pool and,
+    as a last resort, recomputed inline on the main process — each recovery
+    recorded in :attr:`parallel_diagnostics`.
     """
 
     design_name: str
     points: list[DsePoint] = field(default_factory=list)
     failures: list[DseFailure] = field(default_factory=list)
+    parallel_diagnostics: list = field(default_factory=list)
 
     def pareto(self) -> list[DsePoint]:
         """The non-dominated points over (latency, skew, resources)."""
@@ -160,39 +166,24 @@ class DesignSpaceExplorer:
         routing = router.route(clock_net)
         thresholds = [int(t) for t in fanout_thresholds]
         result = DseResult(design_name=name)
-        if workers > 1 and len(thresholds) > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, len(thresholds))) as pool:
-                futures = [
-                    pool.submit(
-                        _explore_point,
-                        self.pdk,
-                        self.config,
-                        routing.tree,
-                        t,
-                        name,
-                        point_hook,
-                    )
-                    for t in thresholds
-                ]
-                # Collect every future: one raising worker (a crashed process,
-                # an unpicklable error) must not discard the completed points.
-                outcomes = []
-                for future, threshold in zip(futures, thresholds):
-                    try:
-                        outcomes.append(future.result())
-                    except BaseException as exc:  # noqa: BLE001 - isolate points
-                        outcomes.append(
-                            DseFailure(
-                                configuration="ours_dse",
-                                parameter=float(threshold),
-                                error=f"{type(exc).__name__}: {exc}",
-                            )
-                        )
-        else:
-            outcomes = [
-                _explore_point(self.pdk, self.config, routing.tree, t, name, point_hook)
-                for t in thresholds
-            ]
+        # One task per threshold on the fault-tolerant pool tier: a crashed
+        # or hung worker is retried and, at worst, recomputed inline, so one
+        # broken process never discards the completed points.
+        from repro.parallel import run_tasks
+
+        payloads = [
+            (self.pdk, self.config, routing.tree, t, name, point_hook)
+            for t in thresholds
+        ]
+        outcomes = run_tasks(
+            "dse",
+            _explore_point_task,
+            payloads,
+            min(workers, len(thresholds)),
+            policy=self.config.resolved_parallel_policy(),
+            diagnostics=result.parallel_diagnostics,
+            label=lambda i, payload: f"threshold {payload[3]}",
+        )
         for outcome in outcomes:
             if isinstance(outcome, DseFailure):
                 result.failures.append(outcome)
@@ -352,3 +343,8 @@ def _explore_point(
             )
         point.retried = True
         return point
+
+
+def _explore_point_task(payload: tuple) -> DsePoint | DseFailure:
+    """Single-argument adapter of :func:`_explore_point` for the pool tier."""
+    return _explore_point(*payload)

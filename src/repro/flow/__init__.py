@@ -10,12 +10,16 @@
 from repro.flow.config import BackendSelection, CtsConfig, ResolvedBackends
 from repro.flow.cts import DoubleSideCTS, CtsRunResult
 from repro.flow.single_side import SingleSideCTS
+from repro.parallel import ParallelDiagnostic, ParallelError, ParallelPolicy
 
 __all__ = [
     "BackendSelection",
     "CtsConfig",
     "DoubleSideCTS",
     "CtsRunResult",
+    "ParallelDiagnostic",
+    "ParallelError",
+    "ParallelPolicy",
     "ResolvedBackends",
     "SingleSideCTS",
 ]

@@ -230,6 +230,16 @@ class CtsConfig:
             on the IR path).  ``None`` falls back to ``REPRO_FLOW_WORKERS``,
             then 1 (serial).  Results are bit-identical to serial at every
             worker count (CLI ``--workers``).
+        parallel_policy: fault-tolerance policy of the worker pools (a
+            :class:`~repro.parallel.ParallelPolicy` or a spec string such as
+            ``"attempts=3,timeout_s=30"`` or ``"strict"``).  ``None`` falls
+            back to ``REPRO_PARALLEL_POLICY``, then the default policy
+            (2 attempts, no timeout, degrade-to-serial on exhaustion).
+            Recovery is bit-identical by construction: a failed shard is
+            recomputed inline by the same serial spec the differential tests
+            pin the parallel tier against (CLI ``--strict-parallel`` flips
+            the terminal action to a raised
+            :class:`~repro.parallel.ParallelError`).
     """
 
     high_cluster_size: int = 3000
@@ -256,6 +266,7 @@ class CtsConfig:
     guard: str | None = None
     backends: BackendSelection | None = None
     workers: int | None = None
+    parallel_policy: object | None = None
 
     #: The loose per-subsystem fields superseded by :attr:`backends`.
     _DEPRECATED_BACKEND_FIELDS = (
@@ -306,6 +317,17 @@ class CtsConfig:
         from repro.parallel import resolve_workers
 
         return resolve_workers(self.workers)
+
+    def resolved_parallel_policy(self):
+        """The pool fault-tolerance policy, resolved to a concrete object.
+
+        Precedence: ``parallel_policy`` field > ``REPRO_PARALLEL_POLICY``
+        environment variable > :class:`~repro.parallel.ParallelPolicy`
+        defaults — the same shape as :meth:`resolved_workers`.
+        """
+        from repro.parallel import resolve_parallel_policy
+
+        return resolve_parallel_policy(self.parallel_policy)
 
     def construction_corners(self) -> CornerSet | None:
         """The corner set construction steps optimise against (or None)."""

@@ -59,6 +59,8 @@ class CtsRunResult:
     runtime: float
     guard_policy: str = "off"
     guard_diagnostics: list[GuardDiagnostic] = field(default_factory=list)
+    parallel_tasks: int = 0
+    parallel_diagnostics: list = field(default_factory=list)
     design: DesignArrays | None = None
     _tree: ClockTree | None = field(default=None, repr=False)
 
@@ -84,8 +86,48 @@ class CtsRunResult:
         """True when any stage was re-run on a reference backend."""
         return bool(self.guard_diagnostics)
 
+    @property
+    def parallel_retried(self) -> int:
+        """Worker-pool tasks that succeeded only after a retry."""
+        return sum(
+            1 for d in self.parallel_diagnostics if d.action == "retried"
+        )
+
+    @property
+    def parallel_degraded(self) -> int:
+        """Worker-pool tasks recomputed inline after exhausting retries."""
+        return sum(
+            1
+            for d in self.parallel_diagnostics
+            if d.action == "degraded-to-serial"
+        )
+
+    def parallel_summary(self) -> str:
+        """One-line pool fault-tolerance summary (``dscts run`` report)."""
+        return (
+            f"parallel: {self.parallel_tasks} tasks, "
+            f"{self.parallel_retried} retried, "
+            f"{self.parallel_degraded} degraded-to-serial"
+        )
+
     def summary(self) -> dict[str, float | int | str]:
         return self.metrics.as_row()
+
+
+def _collect_parallel(*results) -> tuple[int, list]:
+    """Sum pool task counts and concatenate diagnostics across stage results.
+
+    Stage results that predate the fault-tolerant tier (e.g. the object-path
+    :class:`HierarchicalRoutingResult`) simply contribute nothing.
+    """
+    tasks = 0
+    diagnostics: list = []
+    for result in results:
+        if result is None:
+            continue
+        tasks += getattr(result, "parallel_tasks", 0)
+        diagnostics.extend(getattr(result, "parallel_diagnostics", ()))
+    return tasks, diagnostics
 
 
 class DoubleSideCTS:
@@ -156,6 +198,9 @@ class DoubleSideCTS:
         ctx.runtime = time.perf_counter() - start
         design.validate()
         design = stages.EvaluationStage().run(design, ctx)
+        parallel_tasks, parallel_diagnostics = _collect_parallel(
+            ctx.routing, ctx.insertion
+        )
         return CtsRunResult(
             design_name=name,
             flow_name=self.flow_name,
@@ -166,6 +211,8 @@ class DoubleSideCTS:
             runtime=ctx.runtime,
             guard_policy=guard.policy,
             guard_diagnostics=guard.diagnostics,
+            parallel_tasks=parallel_tasks,
+            parallel_diagnostics=parallel_diagnostics,
             design=design,
         )
 
@@ -240,6 +287,9 @@ class DoubleSideCTS:
             guard.confirm(
                 "evaluation", None, extra=lambda: metrics_anomaly(metrics)
             )
+        parallel_tasks, parallel_diagnostics = _collect_parallel(
+            routing, insertion
+        )
         return CtsRunResult(
             design_name=name,
             flow_name=self.flow_name,
@@ -250,6 +300,8 @@ class DoubleSideCTS:
             runtime=runtime,
             guard_policy=guard.policy,
             guard_diagnostics=guard.diagnostics,
+            parallel_tasks=parallel_tasks,
+            parallel_diagnostics=parallel_diagnostics,
             _tree=tree,
         )
 

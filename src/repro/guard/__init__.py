@@ -18,7 +18,18 @@ their invariant checks here, and :class:`GuardError` is never caught at a
 call site.
 """
 
-from repro.guard.faults import SweepCrash, StageFault, apply_faults
+from repro.guard.faults import (
+    WORKER_FAULT_KINDS,
+    WORKER_FAULTS_ENV_VAR,
+    StageFault,
+    SweepCrash,
+    WorkerFault,
+    apply_faults,
+    arm_worker_faults,
+    break_pool,
+    corrupt_worker_result,
+    parse_worker_faults,
+)
 from repro.guard.policy import (
     GUARD_POLICY_DEFAULT,
     GUARD_POLICY_NAMES,
@@ -51,7 +62,14 @@ __all__ = [
     "StageFault",
     "StageGuard",
     "SweepCrash",
+    "WORKER_FAULT_KINDS",
+    "WORKER_FAULTS_ENV_VAR",
+    "WorkerFault",
     "apply_faults",
+    "arm_worker_faults",
+    "break_pool",
+    "corrupt_worker_result",
+    "parse_worker_faults",
     "clock_net_problems",
     "corner_problems",
     "design_fingerprint",

@@ -22,10 +22,24 @@ pristine pre-stage tree, and the degraded stage itself is never re-faulted.
 Everything here is module-level and pickle-friendly so faults can cross
 process pools (the DSE crash hook :class:`SweepCrash` must reach
 ``ProcessPoolExecutor`` workers).
+
+Beyond the stage-output injectors, this module also owns the **worker-level**
+injectors of the fault-tolerant parallel tier (:class:`WorkerFault`): crash,
+sleep-past-timeout, corrupt-result, crash-on-pickle, exit-mid-task, and
+broken-pool failures applied inside (or against) pool workers, so the test
+matrix in ``tests/test_parallel_faults.py`` can prove that
+:func:`repro.parallel.run_tasks` recovers every failure mode byte-identical
+to an all-serial run.  Arm them programmatically
+(:func:`arm_worker_faults`) or via the ``REPRO_PARALLEL_FAULTS``
+environment variable (:func:`parse_worker_faults`) so a whole CI job can
+run with, say, every first worker attempt crashing.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
@@ -167,6 +181,207 @@ def drop_edit_log_entry(tree: FlowState) -> None:
     if not tree._edits:
         tree.touch()
     del tree._edits[-1]
+
+
+# ------------------------------------------------------------ worker faults
+#: Environment variable arming worker faults process-wide.  Comma- or
+#: semicolon-separated ``stage:kind[:fail_attempts[:task_index]]`` entries;
+#: ``stage`` may be ``*`` (every pool consumer), e.g. ``*:crash:1`` crashes
+#: the first attempt of every parallel task.
+WORKER_FAULTS_ENV_VAR = "REPRO_PARALLEL_FAULTS"
+
+#: The worker failure modes :class:`WorkerFault` can inject.
+WORKER_FAULT_KINDS = (
+    "crash",  # raise inside the worker (the task fails cleanly)
+    "hang",  # sleep past the policy timeout inside the worker
+    "corrupt",  # return structurally corrupt rows (caught by validate)
+    "unpicklable",  # crash-on-pickle: the result cannot travel back
+    "exit",  # os._exit mid-task: kills the worker, breaks the pool
+    "broken_pool",  # main-side: terminate the pool's workers pre-submit
+)
+
+
+class _Unpicklable:
+    """A worker return value whose pickling fails (crash-on-pickle)."""
+
+    def __init__(self, wrapped: object = None) -> None:
+        self.wrapped = wrapped
+
+    def __reduce__(self):
+        raise RuntimeError("injected crash-on-pickle fault")
+
+
+def corrupt_worker_result(result: object) -> object:
+    """Structurally corrupt a pool-task result the way a buggy worker would.
+
+    Duck-typed over the pool consumers' result shapes: a routing
+    ``_RegionShard`` loses one sink subtree (tombstoned rows — caught by the
+    shard probe), a frontier dict gets NaN capacitances poked into one
+    frontier (caught by the finiteness probe).  Unknown result shapes pass
+    through unchanged (nothing meaningful to corrupt).
+    """
+    shard = getattr(result, "shard", None)
+    if shard is not None and hasattr(shard, "detach_subtree"):
+        shard.detach_subtree(int(shard.sink_rows()[0]))
+        return result
+    if isinstance(result, dict) and result:
+        frontier = result[min(result)]
+        cap = getattr(frontier, "cap", None)
+        if cap is not None:
+            cap[...] = float("nan")
+        return result
+    return result
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One injected worker-level failure of the fault-tolerant parallel tier.
+
+    Frozen and built from primitives so instances travel to pool workers
+    inside every task payload (no worker-side arming needed — the injector
+    works under any multiprocessing start method).
+
+    Attributes:
+        stage: pool consumer the fault targets (``"routing"``,
+            ``"insertion"``, ``"dse"``, ``"flow_cache"``, or ``"*"`` for
+            all).
+        kind: one of :data:`WORKER_FAULT_KINDS`.
+        fail_attempts: the fault fires while ``attempt <= fail_attempts``
+            — ``1`` (default) fails only the first attempt so a retry
+            recovers; set it at or above ``ParallelPolicy.attempts`` to
+            force degrade-to-serial (or a strict failure).
+        task_index: restrict the fault to one task position (``None`` hits
+            every task of the stage).
+        hang_s: sleep duration of the ``hang`` kind.
+    """
+
+    stage: str = "*"
+    kind: str = "crash"
+    fail_attempts: int = 1
+    task_index: int | None = None
+    hang_s: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown worker-fault kind {self.kind!r}; expected one of "
+                f"{WORKER_FAULT_KINDS}"
+            )
+        if self.fail_attempts < 1:
+            raise ValueError(
+                f"fail_attempts must be at least 1, got {self.fail_attempts}"
+            )
+
+    def applies_to(self, stage: str) -> bool:
+        return self.stage in ("*", stage)
+
+    def fires(self, stage: str, index: int, attempt: int) -> bool:
+        if not self.applies_to(stage):
+            return False
+        if self.task_index is not None and index != self.task_index:
+            return False
+        return attempt <= self.fail_attempts
+
+    # Called by repro.parallel._policed_call inside the worker process.
+    def worker_before(self, stage: str, index: int, attempt: int) -> None:
+        """Pre-task injection: crash, hang, or kill the worker outright."""
+        if not self.fires(stage, index, attempt):
+            return
+        if self.kind == "crash":
+            raise RuntimeError(
+                f"injected worker crash ({stage} task {index}, "
+                f"attempt {attempt})"
+            )
+        if self.kind == "hang":
+            time.sleep(self.hang_s)
+        elif self.kind == "exit":
+            os._exit(23)
+
+    def worker_after(
+        self, stage: str, index: int, attempt: int, result: object
+    ) -> object:
+        """Post-task injection: corrupt or un-picklable results."""
+        if not self.fires(stage, index, attempt):
+            return result
+        if self.kind == "corrupt":
+            return corrupt_worker_result(result)
+        if self.kind == "unpicklable":
+            return _Unpicklable(result)
+        return result
+
+
+def break_pool(pool) -> None:
+    """Terminate a pool's worker processes (the ``broken_pool`` injector).
+
+    Models a worker killed from outside (OOM killer, a node draining): the
+    executor notices the lost worker and marks itself broken, so pending
+    futures raise :class:`~concurrent.futures.process.BrokenProcessPool`.
+    A pool that has not spawned workers yet is forced to first — otherwise
+    there would be nothing to kill and the fault would silently no-op.
+    """
+    if not getattr(pool, "_processes", None):
+        pool.submit(_noop).result()
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+    for process in list(processes.values()):
+        process.join(timeout=5)
+
+
+def _noop() -> None:
+    """Trivial pool task used to force worker spawn before breaking it."""
+
+
+def parse_worker_faults(spec: str) -> tuple[WorkerFault, ...]:
+    """Parse a ``REPRO_PARALLEL_FAULTS`` spec into :class:`WorkerFault` rows.
+
+    Format: comma- or semicolon-separated
+    ``stage:kind[:fail_attempts[:task_index]]`` entries, e.g. ``*:crash:1``
+    or ``routing:corrupt:99;insertion:hang:1:0``.
+    """
+    faults: list[WorkerFault] = []
+    for entry in spec.replace(";", ",").split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        fields = entry.split(":")
+        if len(fields) < 2 or len(fields) > 4:
+            raise ValueError(
+                f"bad worker-fault entry {entry!r}; expected "
+                "stage:kind[:fail_attempts[:task_index]]"
+            )
+        kwargs: dict = {"stage": fields[0], "kind": fields[1]}
+        if len(fields) > 2 and fields[2]:
+            kwargs["fail_attempts"] = int(fields[2])
+        if len(fields) > 3 and fields[3]:
+            kwargs["task_index"] = int(fields[3])
+        faults.append(WorkerFault(**kwargs))
+    return tuple(faults)
+
+
+#: Faults armed programmatically for the current process (see
+#: :func:`arm_worker_faults`).
+_ARMED_WORKER_FAULTS: list[WorkerFault] = []
+
+
+@contextmanager
+def arm_worker_faults(*faults: WorkerFault):
+    """Arm worker faults for the duration of a ``with`` block (tests)."""
+    _ARMED_WORKER_FAULTS.extend(faults)
+    try:
+        yield
+    finally:
+        for fault in faults:
+            _ARMED_WORKER_FAULTS.remove(fault)
+
+
+def active_worker_faults() -> tuple[WorkerFault, ...]:
+    """Armed faults plus any ``REPRO_PARALLEL_FAULTS`` environment spec."""
+    faults = tuple(_ARMED_WORKER_FAULTS)
+    env = (os.environ.get(WORKER_FAULTS_ENV_VAR) or "").strip()
+    if env:
+        faults += parse_worker_faults(env)
+    return faults
 
 
 # ----------------------------------------------------------------- DSE hook

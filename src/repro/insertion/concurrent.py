@@ -137,6 +137,11 @@ class InsertionResult:
     inserted_buffers: int
     inserted_ntsvs: int
     timing_per_corner: dict[str, TimingResult] | None = None
+    #: DP subtrees the parallel path shipped to the pool (0 when serial)
+    #: and the recovery events (retries, degrade-to-serial) recorded for
+    #: them by :func:`repro.parallel.run_tasks`.
+    parallel_tasks: int = 0
+    parallel_diagnostics: list = field(default_factory=list)
 
     @property
     def latency(self) -> float:
@@ -185,6 +190,7 @@ class ConcurrentInserter:
         corners: CornerSet | Scenario | str | None = None,
         dp_backend: str | None = None,
         workers: int | None = None,
+        parallel_policy=None,
     ) -> None:
         self.pdk = pdk
         self.config = config if config is not None else InsertionConfig()
@@ -193,6 +199,10 @@ class ConcurrentInserter:
         from repro.parallel import resolve_workers
 
         self.workers = resolve_workers(workers)
+        # Fault-tolerance knob of the subtree-parallel DP path; ``None``
+        # resolves the usual precedence (env var, then defaults) inside
+        # run_tasks.
+        self.parallel_policy = parallel_policy
         if dp_backend is None:
             dp_backend = self.config.dp_backend
         self.dp_backend = resolve_dp_backend(dp_backend)
@@ -251,6 +261,7 @@ class ConcurrentInserter:
         if fanout_threshold is not None:
             dp_tree.configure_fanout_threshold(fanout_threshold)
 
+        self._last_parallel: tuple[int, list] = (0, [])
         if self.dp_backend == "vectorized":
             root_candidates, selected = self._run_vectorized(dp_tree)
         else:
@@ -270,6 +281,7 @@ class ConcurrentInserter:
         else:
             buffers = tree.buffer_count()
             ntsvs = tree.ntsv_count()
+        parallel_tasks, parallel_diagnostics = self._last_parallel
         return InsertionResult(
             tree=tree,
             dp_tree=dp_tree,
@@ -279,6 +291,8 @@ class ConcurrentInserter:
             inserted_buffers=buffers,
             inserted_ntsvs=ntsvs,
             timing_per_corner=timing_per_corner,
+            parallel_tasks=parallel_tasks,
+            parallel_diagnostics=parallel_diagnostics,
         )
 
     # --------------------------------------------------- vectorized backend
@@ -300,7 +314,10 @@ class ConcurrentInserter:
             primary_index=self._primary if self._corner_aware else 0,
             corner_aware=self._corner_aware,
         )
-        frontiers, root = dp.run(dp_tree, workers=self.workers)
+        frontiers, root = dp.run(
+            dp_tree, workers=self.workers, parallel_policy=self.parallel_policy
+        )
+        self._last_parallel = (dp.parallel_tasks, dp.parallel_diagnostics)
         root_candidates = dp.materialize_root(root)
         selected = self._select(root_candidates)
         chosen = next(i for i, c in enumerate(root_candidates) if c is selected)

@@ -176,6 +176,10 @@ class VectorizedInsertionDp:
         # Kept for the subtree-parallel path: workers rebuild an equivalent
         # DP instance from (pdk, config, corner pdks) in their own process.
         self._corner_pdks = list(corner_pdks)
+        # Filled by run(): pool tasks shipped and recovery events recorded
+        # for them (the inserter surfaces these on its result).
+        self.parallel_tasks = 0
+        self.parallel_diagnostics: list = []
 
         def column(values: list[float]) -> np.ndarray:
             return np.asarray(values, dtype=float)[:, None]
@@ -276,7 +280,10 @@ class VectorizedInsertionDp:
 
     # ------------------------------------------------------------------ driver
     def run(
-        self, dp_tree: DpTree, workers: int = 1
+        self,
+        dp_tree: DpTree,
+        workers: int = 1,
+        parallel_policy=None,
     ) -> tuple[dict[int, CandidateFrontier], CandidateFrontier]:
         """Bottom-up generation: the pruned frontier of every DP node plus
         the combined root frontier (Steps 2 and the root part of Step 3).
@@ -287,13 +294,30 @@ class VectorizedInsertionDp:
         cross-subtree data) and finishes the remaining spine serially.  The
         per-node arithmetic is byte-for-byte the serial code, so the result
         is bit-identical at every worker count.
+
+        The pool hops go through the fault-tolerant
+        :func:`~repro.parallel.run_tasks` map under ``parallel_policy``
+        (``None`` resolves the usual knob precedence); recovery events and
+        the shipped-task count are exposed as :attr:`parallel_diagnostics`
+        and :attr:`parallel_tasks` after the call, so the inserter can
+        surface them on its result.
         """
+        self.parallel_tasks = 0
+        self.parallel_diagnostics = []
         frontiers: dict[int, CandidateFrontier] = {}
         remaining = dp_tree.nodes
         if workers > 1:
             subtrees = self._partition_dp_subtrees(dp_tree, workers)
             if len(subtrees) >= 2:
-                frontiers.update(self._run_subtrees_parallel(subtrees, workers))
+                frontiers.update(
+                    self._run_subtrees_parallel(
+                        subtrees,
+                        workers,
+                        policy=parallel_policy,
+                        diagnostics=self.parallel_diagnostics,
+                    )
+                )
+                self.parallel_tasks = len(subtrees)
                 remaining = [n for n in dp_tree.nodes if n.index not in frontiers]
         for dp_node in remaining:
             frontiers[dp_node.index] = self._generate(dp_node, frontiers)
@@ -421,11 +445,22 @@ class VectorizedInsertionDp:
         return nodes
 
     def _run_subtrees_parallel(
-        self, subtrees: list[list[DpNode]], workers: int
+        self,
+        subtrees: list[list[DpNode]],
+        workers: int,
+        policy=None,
+        diagnostics: list | None = None,
     ) -> dict[int, CandidateFrontier]:
         """Evaluate shipped subtrees on the shared pool, frontiers keyed by
-        the original DP node indices (the serial spine reads them directly)."""
-        from repro.parallel import shared_pool
+        the original DP node indices (the serial spine reads them directly).
+
+        Each subtree is one fault-tolerant :func:`~repro.parallel.run_tasks`
+        task: a failed worker is retried and finally recomputed inline by
+        the very same :func:`_dp_subtree_worker` (bit-identical by
+        construction) under the ``degrade`` policy, or raises a typed
+        :class:`~repro.parallel.ParallelError` under ``strict``.
+        """
+        from repro.parallel import run_tasks
 
         payloads = [
             (
@@ -438,9 +473,18 @@ class VectorizedInsertionDp:
             )
             for nodes in subtrees
         ]
-        pool = shared_pool(min(workers, len(payloads)))
+        results = run_tasks(
+            "insertion",
+            _dp_subtree_worker,
+            payloads,
+            min(workers, len(payloads)),
+            policy=policy,
+            validate=_validate_subtree_frontiers,
+            diagnostics=diagnostics,
+            label=lambda i, payload: f"subtree {i} ({len(payload[5])} nodes)",
+        )
         merged: dict[int, CandidateFrontier] = {}
-        for result in pool.map(_dp_subtree_worker, payloads):
+        for result in results:
             merged.update(result)
         return merged
 
@@ -1146,3 +1190,30 @@ def _dp_subtree_worker(payload) -> dict[int, CandidateFrontier]:
     for node in VectorizedInsertionDp._nodes_from_tables(tables):
         frontiers[node.index] = dp._generate(node, frontiers)
     return frontiers
+
+
+def _validate_subtree_frontiers(result, payload) -> None:
+    """``run_tasks`` validate hook: probe a worker's frontier dict pre-merge.
+
+    Cheap structural checks on the main process — exact key coverage of the
+    shipped subtree, non-empty frontiers, finite cost columns — so a
+    corrupting worker counts as a failed attempt (retried, then recomputed
+    inline) instead of poisoning the serial spine above it.
+    """
+    tables = payload[5]
+    expected = {row[0] for row in tables}
+    if not isinstance(result, dict) or set(result) != expected:
+        got = sorted(result) if isinstance(result, dict) else type(result).__name__
+        raise RuntimeError(
+            f"worker frontier keys mismatch: expected {sorted(expected)}, "
+            f"got {got}"
+        )
+    for index, frontier in result.items():
+        if frontier.size == 0:
+            raise RuntimeError(f"DP node {index}: empty frontier from worker")
+        for name in ("cap", "max_delay", "min_delay"):
+            if not np.all(np.isfinite(getattr(frontier, name))):
+                raise RuntimeError(
+                    f"DP node {index}: non-finite {name} values in a "
+                    "worker frontier"
+                )

@@ -72,6 +72,7 @@ def build_inserter(
         engine=timing,
         corners=config.construction_corners(),
         workers=config.resolved_workers(),
+        parallel_policy=config.resolved_parallel_policy(),
     )
 
 

@@ -87,6 +87,10 @@ class DesignRoutingResult:
     trunk_wirelength: float
     leaf_wirelength: float
     tap_names: list[str] = field(default_factory=list)
+    #: Pool tasks the region-parallel path fanned out (0 when serial) and
+    #: the recovery events (retries, degrade-to-serial) recorded for them.
+    parallel_tasks: int = 0
+    parallel_diagnostics: list = field(default_factory=list)
 
     @property
     def total_wirelength(self) -> float:
@@ -325,6 +329,23 @@ def _probe_region_shard(region: _RegionShard, expected_sinks: int) -> None:
         )
 
 
+def _validate_region_shard(region: _RegionShard, payload) -> None:
+    """``run_tasks`` validate hook: probe a worker's shard against its payload.
+
+    Runs on the main process before the shard can reach the merge; a
+    malformed shard (worker-side corruption) counts as a failed attempt and
+    goes through the retry / degrade-to-serial ladder instead of aborting
+    the flow.
+    """
+    expected_high, _, members = payload[0], payload[1], payload[2]
+    if region.high_index != expected_high:
+        raise ConnectivityError(
+            f"worker returned region {region.high_index}, "
+            f"expected {expected_high}"
+        )
+    _probe_region_shard(region, len(members))
+
+
 class HierarchicalClockRouter:
     """Builds the initial clock tree topology of the paper's flow."""
 
@@ -390,6 +411,7 @@ class HierarchicalClockRouter:
         else:
             self.dme_backend = config.resolved_backends().dme
         self.workers = config.resolved_workers()
+        self.parallel_policy = config.resolved_parallel_policy()
         if self.high_cluster_size < self.low_cluster_size:
             raise ValueError("high-level cluster size must be >= low-level size")
 
@@ -704,8 +726,17 @@ class HierarchicalClockRouter:
         stitches the returned shards back in the serial flow's exact row and
         name order, so the merged design fingerprints bit-equal to the serial
         route at every worker count.
+
+        Shards travel through the fault-tolerant
+        :func:`~repro.parallel.run_tasks` map: a crashed, hung, or
+        corrupting worker gets its region retried on the pool and, failing
+        that, recomputed inline by the same module-level worker function —
+        bit-identical by construction — with a
+        :class:`~repro.parallel.ParallelDiagnostic` recorded on the result
+        (``strict`` policy raises :class:`~repro.parallel.ParallelError`
+        instead, which is never caught here or anywhere downstream).
         """
-        from repro.parallel import shared_pool
+        from repro.parallel import run_tasks
 
         payloads = [
             (
@@ -722,19 +753,27 @@ class HierarchicalClockRouter:
             )
             for high_index, (centroid, members) in enumerate(high_groups)
         ]
-        pool = shared_pool(min(self.workers, len(payloads)))
-        regions = sorted(
-            pool.map(_route_region_shard, payloads), key=lambda r: r.high_index
+        diagnostics: list = []
+        regions = run_tasks(
+            "routing",
+            _route_region_shard,
+            payloads,
+            min(self.workers, len(payloads)),
+            policy=self.parallel_policy,
+            validate=_validate_region_shard,
+            diagnostics=diagnostics,
+            label=lambda i, payload: f"region {payload[0]}",
         )
+        regions = sorted(regions, key=lambda r: r.high_index)
 
         # Rebuild the clustering around the ORIGINAL sink objects (the
-        # worker copies never travel back; only member positions do) and
-        # probe each shard before it can touch the flow design.
+        # worker copies never travel back; only member positions do).
+        # Every shard was already probed by the run_tasks validate hook
+        # before it could reach this merge.
         high_clusters: list[Cluster] = []
         low_clusters: list[Cluster] = []
         tap_bases: list[int] = []
         for region, (centroid, members) in zip(regions, high_groups):
-            _probe_region_shard(region, len(members))
             high_clusters.append(
                 Cluster(index=region.high_index, centroid=centroid, sinks=members)
             )
@@ -789,6 +828,8 @@ class HierarchicalClockRouter:
             trunk_wirelength=trunk_wl,
             leaf_wirelength=leaf_wl,
             tap_names=tap_names,
+            parallel_tasks=len(payloads),
+            parallel_diagnostics=diagnostics,
         )
 
     def _stitch_top_design(

@@ -7,7 +7,22 @@ benchmark harness instead.
 
 from __future__ import annotations
 
+import faulthandler
+import os
+import signal
+
 import pytest
+
+# Debugging hook for runs that hang (a stuck worker, an interpreter-exit
+# deadlock): `REPRO_HANG_DEBUG=1 pytest ... &` then `kill -USR1 <pid>` dumps
+# every thread's stack without killing the process.
+if os.environ.get("REPRO_HANG_DEBUG") and hasattr(signal, "SIGUSR1"):
+    # The real stderr fd, not pytest's capture wrapper — a dump requested
+    # after the test session (e.g. an interpreter-exit deadlock) must land
+    # on the terminal, not in a torn-down capture buffer.
+    import sys
+
+    faulthandler.register(signal.SIGUSR1, file=sys.__stderr__, all_threads=True)
 
 from repro.designs import PlacementGenerator, PlacementSpec, random_sink_cloud
 from repro.flow import CtsConfig, DoubleSideCTS, SingleSideCTS
