@@ -29,6 +29,11 @@ Times four access patterns on generated 500 / 2000 / 8000-sink clock trees:
   against one corner's wire RC at a time, so the corner row is K
   independent routes for both backends).  Topology construction is shared
   and untimed; the rows isolate the embedding kernel.
+* ``serve_whatif`` — the serve tier's warm path: a ``what_if`` buffer-insert
+  query answered by a cached ``DesignSession`` (incremental dirty-cone
+  re-time on the live design) vs. the cold one-shot equivalent (full flow
+  rebuild plus the same edit and evaluation).  The warm reply is asserted
+  byte-identical to the cold one before timing.
 * ``guarded_flow`` — the full double-side flow with ``guard=off`` vs.
   ``guard=degrade`` on a healthy 2000-sink run; the ``speedup`` column is
   ``t_off / t_degrade`` and its floor (just under 1.0x) caps the guard's
@@ -97,6 +102,11 @@ GUARDED_FLOW_SINKS = 2000
 
 #: Sink count the end-to-end representation row runs on (both modes).
 FLOW_E2E_SINKS = 2000
+
+#: Sink counts the serve warm-vs-cold row runs on (cold is a full flow run
+#: per round, so smoke gates a smaller cut of the same code path).
+SERVE_WHATIF_SINKS_FULL = 2000
+SERVE_WHATIF_SINKS_SMOKE = 500
 
 #: The region-parallel scaled tier: serial vs. process-pool construction at
 #: this worker count.  Full mode runs the 100k-sink tier the rows are named
@@ -618,6 +628,57 @@ def bench_flow_e2e(sink_count: int, pdk) -> dict:
     }
 
 
+def bench_serve_whatif(sink_count: int, pdk) -> dict:
+    """The serve tier's warm path vs. its cold one-shot equivalent.
+
+    Warm: ``DesignSession.what_if`` on a cached built design — a buffer
+    insert applied to the live ``DesignArrays``, re-timed through the
+    engine's incremental dirty-cone update, measured, and reverted.  Cold:
+    :func:`repro.serve.session.one_shot_reply` — a full flow rebuild plus
+    the same edit and a fresh-engine evaluation, i.e. what answering the
+    same question with ``dscts run`` costs.  The two replies are asserted
+    byte-identical (the serve acceptance contract) before anything is timed.
+    """
+    from repro.flow.config import CtsConfig
+    from repro.serve import build_session, encode_reply, one_shot_reply
+
+    clock_net = random_sink_cloud(sink_count)
+    config = CtsConfig()
+    session = build_session(pdk, clock_net, config)
+    session.query()  # compile the engine once; what-ifs ride incrementally
+
+    pinned_edit = [{"kind": "insert_buffer", "node": "ff_7"}]
+    cold_reply = one_shot_reply(pdk, clock_net, config, edits=pinned_edit)
+    warm_reply = session.what_if(pinned_edit)
+    if encode_reply(warm_reply) != encode_reply(cold_reply):
+        raise AssertionError(
+            f"warm what_if reply drifts from the cold one-shot on "
+            f"{sink_count} sinks"
+        )
+
+    rng = np.random.default_rng(17)
+    warm_samples: list[float] = []
+    for sink in rng.integers(0, sink_count, size=INCREMENTAL_EDITS):
+        edits = [{"kind": "insert_buffer", "node": f"ff_{int(sink)}"}]
+        start = time.perf_counter()
+        session.what_if(edits)
+        warm_samples.append(time.perf_counter() - start)
+    warm_samples.sort()
+    t_warm = warm_samples[len(warm_samples) // 2]
+
+    t_cold = _median_time(
+        lambda: one_shot_reply(pdk, clock_net, config, edits=pinned_edit),
+        rounds=3,
+    )
+    return {
+        "flow": "serve_whatif",
+        "sinks": sink_count,
+        "reference_s": round(t_cold, 6),
+        "vectorized_s": round(t_warm, 9),
+        "speedup": round(t_cold / t_warm, 2),
+    }
+
+
 def bench_parallel_construction(sink_count: int, pdk) -> list[dict]:
     """The region-parallel scaled tier: serial vs. process-pool construction.
 
@@ -810,6 +871,12 @@ def run_bench() -> list[dict]:
         rows.append(bench_dme_embed(DME_EMBED_SIZES_FULL[0], pdk, BENCH_CORNERS))
     rows.append(bench_guarded_flow(GUARDED_FLOW_SINKS, pdk))
     rows.append(bench_flow_e2e(FLOW_E2E_SINKS, pdk))
+    rows.append(
+        bench_serve_whatif(
+            SERVE_WHATIF_SINKS_SMOKE if smoke_mode() else SERVE_WHATIF_SINKS_FULL,
+            pdk,
+        )
+    )
     rows.extend(bench_parallel_construction(parallel_sinks(), pdk))
     rows.append(bench_parallel_resilience(pdk))
     result_path().write_text(json.dumps(rows, indent=2) + "\n")

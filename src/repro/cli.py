@@ -8,6 +8,12 @@ Examples::
     dscts run C4 --corners tt,ss,ff           # multi-corner sign-off columns
     dscts dse C4 --corners signoff            # Pareto on worst-corner skew
     dscts table2                              # print the benchmark statistics
+    dscts serve --port 9000                   # long-lived cross-design service
+
+``dscts serve`` keeps built designs warm in a fingerprint-keyed session
+cache and answers ``what_if`` requests (buffer inserts, retargets, corner
+swaps) over newline-delimited JSON through the timing engine's incremental
+path — see :mod:`repro.serve.protocol` for the wire format.
 
 Every flow command accepts ``--engine {reference,vectorized}`` to pick the
 timing engine: ``vectorized`` (the default) runs the array-based incremental
@@ -66,6 +72,16 @@ from repro.insertion.frontier import DP_BACKEND_NAMES
 from repro.routing.dme_arrays import DME_BACKEND_NAMES
 from repro.tech import CornerSet, asap7_backside
 from repro.timing import ENGINE_NAMES
+
+
+class CliError(ValueError):
+    """A pre-flight argument-combination error of the ``dscts`` CLI.
+
+    Raised (not printed) so every error travels the same path through
+    :func:`main`'s handler: one ``error: ...`` line on stderr, exit code 1,
+    and a full traceback under ``--debug`` — the same contract as every
+    other flow error.
+    """
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +213,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(dse)
 
+    serve = sub.add_parser(
+        "serve", help="long-lived CTS service with a cross-design session cache"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve newline-delimited JSON over stdin/stdout instead of TCP",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="session cache capacity (least-recently-used designs evicted)",
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="bounded worker pool size bridging requests into the flow",
+    )
+    _add_common(serve)
+    _add_construction_workers(serve)
+
     sub.add_parser("table2", help="print the Table II benchmark statistics")
     return parser
 
@@ -207,13 +250,13 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
         corners = CornerSet.parse(args.corners)
     corner_aware = bool(getattr(args, "corner_aware_construction", False))
     if corner_aware and corners is None:
-        raise SystemExit("error: --corner-aware-construction requires --corners")
+        raise CliError("--corner-aware-construction requires --corners")
     budget = float(getattr(args, "nominal_skew_budget", 0.0))
     if budget < 0:
-        raise SystemExit("error: --nominal-skew-budget must be non-negative")
+        raise CliError("--nominal-skew-budget must be non-negative")
     if budget and not corner_aware:
-        raise SystemExit(
-            "error: --nominal-skew-budget only applies with "
+        raise CliError(
+            "--nominal-skew-budget only applies with "
             "--corner-aware-construction"
         )
     parallel_policy = None
@@ -239,8 +282,10 @@ def _config_for(args: argparse.Namespace) -> CtsConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     pdk = asap7_backside()
+    # Pre-flight the argument combination before the (expensive) design load.
+    config = _config_for(args)
     design = load_design(args.design, scale=args.scale, include_combinational=False)
-    result = DoubleSideCTS(pdk, _config_for(args)).run(design)
+    result = DoubleSideCTS(pdk, config).run(design)
     print(format_metrics(result.metrics))
     if result.parallel_tasks:
         print(result.parallel_summary())
@@ -271,14 +316,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_dse(args: argparse.Namespace) -> int:
     pdk = asap7_backside()
+    config = _config_for(args)
     design = load_design(args.design, scale=args.scale, include_combinational=False)
-    explorer = DesignSpaceExplorer(pdk, _config_for(args))
+    explorer = DesignSpaceExplorer(pdk, config)
     result = explorer.explore(
         design, fanout_thresholds=args.fanout, workers=args.workers
     )
     print(format_table(result.rows()))
     pareto = result.pareto()
     print(f"\nPareto-optimal configurations: {[p.parameter for p in pareto]}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import CtsServer
+
+    if args.max_sessions < 1:
+        raise CliError("--max-sessions must be at least 1")
+    if args.serve_workers < 1:
+        raise CliError("--serve-workers must be at least 1")
+    server = CtsServer(
+        asap7_backside(),
+        _config_for(args),
+        max_sessions=args.max_sessions,
+        workers=args.serve_workers,
+    )
+    if args.stdio:
+        return server.run_stdio()
+    asyncio.run(server.serve_tcp(args.host, args.port))
     return 0
 
 
@@ -298,6 +365,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "dse": _cmd_dse,
+        "serve": _cmd_serve,
         "table2": _cmd_table2,
     }
     overrides = {}

@@ -339,6 +339,19 @@ class CtsConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def for_session(self) -> "CtsConfig":
+        """Configuration for a long-lived serve session (``dscts serve``).
+
+        Forces the IR representation: a session holds the flow's persistent
+        :class:`~repro.ir.design.DesignArrays` so what-if edits can ride the
+        timing engine's incremental dirty-cone path — an object-hop result
+        has no design to keep.  Every other knob is preserved.
+        """
+        selection = self.backends or BackendSelection()
+        return self.with_updates(
+            backends=replace(selection, representation="ir")
+        )
+
     def single_side(self) -> "CtsConfig":
         """Configuration for the front-side-only flow (no nTSV patterns)."""
         return self.with_updates(fanout_threshold=None)

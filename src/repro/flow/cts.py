@@ -171,6 +171,36 @@ class DoubleSideCTS:
             return self._run_ir(clock_net, name, guard, backends)
         return self._run_object(clock_net, name, guard, backends)
 
+    def evaluate_design(
+        self,
+        design: DesignArrays,
+        design_name: str = "",
+        runtime: float = 0.0,
+        timing_engine=None,
+    ) -> ClockTreeMetrics:
+        """Evaluate a pre-built :class:`DesignArrays` without re-running the flow.
+
+        The session-reusable entry point of the serve tier: a long-lived
+        session keeps the design its flow run produced and calls this after
+        every what-if edit.  Passing the session's compiled
+        :class:`~repro.timing.vectorized.VectorizedElmoreEngine` as
+        ``timing_engine`` routes the evaluation through the engine's
+        incremental dirty-cone update instead of a fresh compile; with no
+        engine the evaluation is a cold one-shot identical to the flow's own
+        :class:`~repro.ir.stages.EvaluationStage` arithmetic.
+        """
+        timing = self.config.resolved_backends().timing
+        return evaluate_tree(
+            design,
+            self.pdk,
+            design=design_name,
+            flow=self.flow_name,
+            runtime=runtime,
+            engine=timing,
+            corners=self.config.corners,
+            timing_engine=timing_engine,
+        )
+
     # -------------------------------------------------------------- IR path
     def _run_ir(
         self,

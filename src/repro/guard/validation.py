@@ -71,6 +71,86 @@ def design_fingerprint(clock_net: ClockNet) -> str:
     return hasher.hexdigest()[:12]
 
 
+def design_cache_key(
+    design: "ClockNet | DesignArrays",
+    pdk: Pdk | None = None,
+    corners: CornerSet | None = None,
+) -> str:
+    """:func:`design_fingerprint` extended into a stable cache key.
+
+    Keys the serve tier's :class:`~repro.serve.session.SessionCache`: the sha
+    of the design's identity — the full-precision clock-net columns for a
+    pre-build lookup, or the canonicalised :class:`DesignArrays` columns of a
+    built tree — plus the PDK and corner identity, so two requests share a
+    session exactly when they would build the same tree and time it the same
+    way.  Floats hash by ``float.hex()`` (exact, no repr rounding) and built
+    designs hash their *alive* rows in name order with parent *names*, so
+    tombstones, row renumbering, and compaction never change the key.
+    """
+    hasher = hashlib.sha256()
+    if isinstance(design, DesignArrays):
+        hasher.update(b"design-arrays")
+        rows = sorted(
+            (int(row) for row in design.alive_rows()),
+            key=lambda row: design.names[row],
+        )
+        for row in rows:
+            parent = int(design.parent_row[row])
+            parent_name = design.names[parent] if parent >= 0 else ""
+            hasher.update(
+                f"|{design.names[row]}:{int(design.kind[row])}:{parent_name}"
+                f":{float(design.x[row]).hex()}:{float(design.y[row]).hex()}"
+                f":{float(design.cap[row]).hex()}:{int(design.side_front[row])}"
+                f":{int(design.wire_front[row])}".encode()
+            )
+    else:
+        source = design.source
+        hasher.update(
+            f"clock-net|{design.name}|{source.name}"
+            f":{float(source.location.x).hex()}:{float(source.location.y).hex()}"
+            f":{float(source.drive_resistance).hex()}"
+            f":{float(source.output_slew).hex()}".encode()
+        )
+        for sink in design.sinks:
+            hasher.update(
+                f"|{sink.name}:{float(sink.location.x).hex()}"
+                f":{float(sink.location.y).hex()}"
+                f":{float(sink.capacitance).hex()}".encode()
+            )
+    if pdk is not None:
+        buffer = pdk.buffer
+        hasher.update(
+            f"|pdk:{pdk.name}:{int(pdk.has_backside)}"
+            f":{float(pdk.max_capacitance).hex()}:{float(pdk.max_slew).hex()}"
+            f"|buf:{buffer.name}:{float(buffer.input_capacitance).hex()}"
+            f":{float(buffer.intrinsic_delay).hex()}"
+            f":{float(buffer.drive_resistance).hex()}"
+            f":{float(buffer.output_slew).hex()}".encode()
+        )
+        for layer in (pdk.front_layer, pdk.back_layer if pdk.has_backside else None):
+            if layer is not None:
+                hasher.update(
+                    f"|layer:{layer.name}:{float(layer.unit_resistance).hex()}"
+                    f":{float(layer.unit_capacitance).hex()}".encode()
+                )
+        if pdk.ntsv is not None:
+            hasher.update(
+                f"|ntsv:{pdk.ntsv.name}:{float(pdk.ntsv.resistance).hex()}"
+                f":{float(pdk.ntsv.capacitance).hex()}".encode()
+            )
+    if corners is not None:
+        for scenario in corners:
+            hasher.update(
+                f"|corner:{scenario.name}"
+                f":{float(scenario.wire_res_scale).hex()}"
+                f":{float(scenario.wire_cap_scale).hex()}"
+                f":{float(scenario.buffer_derate).hex()}"
+                f":{float(scenario.ntsv_res_scale).hex()}"
+                f":{scenario.use_nldm}".encode()
+            )
+    return hasher.hexdigest()
+
+
 # ------------------------------------------------------------------- inputs
 def _positive(value: float) -> bool:
     return math.isfinite(value) and value > 0

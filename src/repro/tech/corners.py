@@ -185,8 +185,15 @@ class CornerSet:
         if not self.scenarios:
             raise ValueError("a corner set needs at least one scenario")
         names = [scenario.name for scenario in self.scenarios]
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate corner names in {names}")
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            # Corner names key the per-corner metric columns and the serve
+            # tier's session-cache identity, so collisions must name the
+            # offending corners, not just the whole set.
+            raise ValueError(
+                f"duplicate corner names {duplicates} in {names}; every "
+                "corner (preset or custom) may appear at most once per set"
+            )
 
     # ----------------------------------------------------------- collection
     def __iter__(self) -> Iterator[Scenario]:

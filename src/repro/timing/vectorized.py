@@ -687,6 +687,20 @@ class VectorizedElmoreEngine(ElmoreWireModel):
             frontier = [c for row in frontier for c in arrays.children_rows[row]]
 
     # ------------------------------------------------------ sink arrival cache
+    @staticmethod
+    def _sink_rows_current(
+        cache: np.ndarray | None, sink_rows: np.ndarray
+    ) -> bool:
+        """True when the cached sink-row vector matches the current one.
+
+        A ``None`` cache never matches: a partially dropped state (rows gone,
+        arrivals kept) must rebuild rather than serve stale sink arrivals —
+        long-lived serve sessions hit this constantly.
+        """
+        if cache is None:
+            return False
+        return cache is sink_rows or bool(np.array_equal(cache, sink_rows))
+
     def _sink_arrival_matrix(self, state: _EngineState) -> np.ndarray:
         """The (corners, sinks) sink-arrival gather, cached across edits.
 
@@ -697,8 +711,8 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         sink_rows = state.arrays.sink_rows()
         if (
             state.sink_arrival is None
-            or state.sink_rows_cache is not sink_rows
-            and not np.array_equal(state.sink_rows_cache, sink_rows)
+            or state.sink_col is None
+            or not self._sink_rows_current(state.sink_rows_cache, sink_rows)
         ):
             state.sink_rows_cache = sink_rows
             state.sink_arrival = state.arrival[:, sink_rows].copy()
@@ -711,15 +725,13 @@ class VectorizedElmoreEngine(ElmoreWireModel):
         """Refresh the cached sink-arrival columns touched by an edit batch.
 
         When the edit changed the sink *set* itself (a retimed row is not a
-        known column, or sinks vanished) the cache is dropped and rebuilt on
-        the next query.
+        known column, or sinks vanished) — or the cached row vector is gone —
+        the cache is dropped and rebuilt on the next query.
         """
         if state.sink_arrival is None or state.sink_col is None:
             return
         sink_rows = state.arrays.sink_rows()
-        if state.sink_rows_cache is not sink_rows and not np.array_equal(
-            state.sink_rows_cache, sink_rows
-        ):
+        if not self._sink_rows_current(state.sink_rows_cache, sink_rows):
             state.drop_sink_arrivals()
             return
         state.sink_rows_cache = sink_rows

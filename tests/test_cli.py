@@ -147,3 +147,41 @@ class TestErrorHandling:
         with pytest.raises(SystemExit) as err:
             main(["run"])
         assert err.value.code == 2
+
+    def test_preflight_combination_is_one_line_error(self, capsys):
+        # Pre-flight errors used to raise SystemExit directly, bypassing the
+        # one-line handler (and --debug); they must ride the typed path.
+        assert main(["run", "C4", "--corner-aware-construction"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "--corners" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_preflight_error_reraises_under_debug(self):
+        from repro.cli import CliError
+
+        with pytest.raises(CliError, match="--corner-aware-construction"):
+            main(["run", "C4", "--corner-aware-construction", "--debug"])
+
+    def test_negative_skew_budget_is_one_line_error(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "C4", "--corners", "tt,ss",
+                    "--corner-aware-construction", "--nominal-skew-budget", "-1",
+                ]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "non-negative" in captured.err
+
+    def test_preflight_runs_before_the_design_load(self, capsys):
+        # An invalid flag combination on an unknown design must report the
+        # flag problem: argument validation happens before the design load.
+        assert main(["run", "no_such_design", "--corner-aware-construction"]) == 1
+        captured = capsys.readouterr()
+        assert "--corners" in captured.err
+        assert "no_such_design" not in captured.err

@@ -362,7 +362,7 @@ class TestCornerAwareFlowSurfaces:
         assert off.construction_corners() is None
 
     def test_cli_flag_round_trip(self):
-        from repro.cli import _config_for, build_parser
+        from repro.cli import CliError, _config_for, build_parser
 
         args = build_parser().parse_args(
             [
@@ -379,15 +379,16 @@ class TestCornerAwareFlowSurfaces:
         assert config.corner_aware_construction
         assert config.nominal_skew_budget == 1.5
         assert config.corners.names == ["tt", "ss"]
-        # The flag without --corners is a usage error.
+        # The flag without --corners is a usage error (typed, so main()
+        # can render it as a one-line message and --debug can reraise it).
         bad = build_parser().parse_args(["run", "C4", "--corner-aware-construction"])
-        with pytest.raises(SystemExit):
+        with pytest.raises(CliError, match="--corners"):
             _config_for(bad)
         # So is a nominal-skew budget without corner-aware construction.
         bad = build_parser().parse_args(
             ["run", "C4", "--corners", "tt,ss", "--nominal-skew-budget", "1.0"]
         )
-        with pytest.raises(SystemExit):
+        with pytest.raises(CliError, match="corner-aware"):
             _config_for(bad)
 
     def test_dse_sweep_runs_corner_aware(self, pdk):

@@ -124,6 +124,23 @@ class TestCornerSet:
         with pytest.raises(ValueError, match="duplicate"):
             CornerSet.parse("ss,ss")
 
+    def test_duplicate_error_lists_the_offending_names(self):
+        # The message must name the colliding corners (they key metric
+        # columns and the serve session-cache identity).
+        with pytest.raises(ValueError, match=r"\['tt'\]"):
+            CornerSet.parse("tt,tt")
+        with pytest.raises(ValueError, match=r"\['ss', 'tt'\]"):
+            CornerSet.parse("tt,ss,tt,ss")
+
+    def test_duplicate_via_signoff_expansion_rejected(self):
+        # "signoff" expands to the five presets, so adding tt again collides.
+        with pytest.raises(ValueError, match=r"\['tt'\]"):
+            CornerSet.parse("signoff,tt")
+
+    def test_custom_corner_shadowing_a_preset_rejected(self):
+        with pytest.raises(ValueError, match=r"\['ss'\]"):
+            CornerSet.parse("ss,ss:1.2:1.1:1.25")
+
     def test_ensure_nominal_prepends(self):
         corners = CornerSet.parse("ss,ff").ensure_nominal()
         assert corners.nominal_index() == 0

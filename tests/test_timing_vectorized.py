@@ -302,6 +302,57 @@ class TestIncrementalDifferential:
             assert_engines_match(ref, vec, tree, context=f"seed {seed} step {step} {kind}")
 
 
+class TestSinkArrivalCache:
+    """Regression: a stale or ``None`` sink-row cache never serves stale arrivals.
+
+    A long-lived engine (the serve tier) can end up with a partially dropped
+    state — the cached sink-row vector gone while the gathered arrival matrix
+    survives.  Both cache entry points must treat that as a miss and rebuild.
+    """
+
+    def test_none_rows_cache_forces_rebuild_on_query(self, pdk):
+        rng = np.random.default_rng(5)
+        tree = random_tree(rng, sinks=30, internals=15)
+        vec = VectorizedElmoreEngine(pdk)
+        truth = vec.skew(tree)
+        state = vec._state
+        # Drop only the row vector and poison the kept arrival gather: a
+        # matching query must rebuild, not serve the poisoned matrix.
+        state.sink_rows_cache = None
+        state.sink_arrival = state.sink_arrival + 1e6
+        assert vec.skew(tree) == pytest.approx(truth, abs=TOLERANCE)
+        assert vec.latency(tree) == pytest.approx(
+            ElmoreTimingEngine(pdk).latency(tree), abs=TOLERANCE
+        )
+
+    def test_none_rows_cache_drops_cleanly_on_incremental_patch(self, pdk):
+        rng = np.random.default_rng(6)
+        tree = random_tree(rng, sinks=30, internals=15)
+        vec = VectorizedElmoreEngine(pdk)
+        vec.analyze(tree)
+        state = vec._state
+        state.sink_rows_cache = None
+        state.sink_arrival = state.sink_arrival + 1e6
+        # An incremental edit routes through _patch_sink_arrivals, which must
+        # detect the missing row vector, drop the cache, and stay correct.
+        random_edit(tree, rng, pdk)
+        assert vec.skew(tree) == pytest.approx(
+            ElmoreTimingEngine(pdk).skew(tree), abs=TOLERANCE
+        )
+        assert vec.full_compiles == 1  # still served on the dirty-cone path
+
+    def test_stale_rows_vector_is_a_miss(self, pdk):
+        rng = np.random.default_rng(7)
+        tree = random_tree(rng, sinks=20, internals=10)
+        vec = VectorizedElmoreEngine(pdk)
+        truth = vec.skew(tree)
+        state = vec._state
+        # A row vector from some other design must not validate the cache.
+        state.sink_rows_cache = state.sink_rows_cache[:-1]
+        state.sink_arrival = state.sink_arrival + 1e6
+        assert vec.skew(tree) == pytest.approx(truth, abs=TOLERANCE)
+
+
 # ----------------------------------------------------------- infrastructure
 class TestTreeArrays:
     def test_snapshot_shape(self, pdk):
